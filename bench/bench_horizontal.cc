@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Table 3 reproduction: horizontal scaling on the three Azure trace
+ * archetypes (Bursty, Periodic, Sporadic) comparing FaST-GS+ (eager
+ * scaling), INFless+ (prediction + keep-alive) and Dilu (lazy scaling
+ * with fast vertical headroom).
+ *
+ * Metrics: CSC (cold start count), SVR (SLO violation rate), and SGT
+ * (GPU time the baseline spends beyond Dilu's).
+ */
+#include <cstdio>
+
+#include "bench_util.h"
+
+namespace {
+
+using namespace dilu;
+
+struct RunResult {
+  int csc = 0;
+  double svr = 0.0;
+  double gpu_seconds = 0.0;
+  long long completed = 0;
+};
+
+RunResult RunTrace(const std::string& system_kind,
+                   workload::TraceKind trace)
+{
+  core::SystemConfig cfg;
+  std::string policy;
+  if (system_kind == "fastgs+") {
+    cfg = core::SystemConfig::Preset("fastgs");
+    policy = "eager";
+  } else if (system_kind == "infless+") {
+    cfg = core::SystemConfig::Preset("infless-l");
+    policy = "keep-alive";
+  } else {
+    cfg = core::SystemConfig::Preset("dilu");
+    policy = "dilu-lazy";
+  }
+  cfg.cluster.nodes = 3;
+  core::System system(cfg);
+
+  const FunctionId fn = system.DeployInference("roberta-large");
+  system.Provision(fn, 1);
+  system.EnableCoScaling(fn, policy);
+
+  // The single-instance serving capacity is ~80 rps (RoBERTa-large at
+  // IBS=4); burst batching stretches that to ~110 rps transiently, so
+  // the archetypes are sized to demand 1-3 instances like the paper's.
+  workload::TraceSpec spec;
+  spec.duration_s = 600;
+  spec.base_rps = 55.0;
+  std::vector<double> env;
+  if (trace == workload::TraceKind::kBursty) {
+    // Few-second-level surges: the regime the paper's lazy scale-out
+    // explicitly declines to chase (Section 3.4.2).
+    workload::BurstySpec b;
+    static_cast<workload::TraceSpec&>(b) = spec;
+    b.burst_scale = 2.6;
+    b.burst_len_s = 12;
+    b.burst_gap_s = 60;
+    env = workload::BuildBurstyTrace(b);
+  } else if (trace == workload::TraceKind::kPeriodic) {
+    workload::PeriodicSpec p;
+    static_cast<workload::TraceSpec&>(p) = spec;
+    p.base_rps = 60.0;
+    p.amplitude = 0.7;
+    p.period_s = 150;
+    env = workload::BuildPeriodicTrace(p);
+  } else {
+    workload::SporadicSpec s;
+    static_cast<workload::TraceSpec&>(s) = spec;
+    s.base_rps = 65.0;
+    s.active_fraction = 0.25;
+    s.spike_len_s = 30;
+    env = workload::BuildSporadicTrace(s);
+  }
+  system.DriveEnvelope(fn, env, Sec(600));
+  system.RunFor(Sec(610));
+
+  RunResult r;
+  const auto rep = system.MakeInferenceReport(fn);
+  r.csc = rep.cold_starts;
+  r.svr = rep.svr_percent;
+  r.completed = rep.completed;
+  // Flush still-live instances' GPU time by scaling everything in.
+  while (system.runtime().ScaleInOne(fn)) {
+  }
+  system.RunFor(Ms(1));
+  r.gpu_seconds = system.runtime().metrics().total_gpu_seconds();
+  return r;
+}
+
+}  // namespace
+
+int
+main()
+{
+  std::printf("=== Table 3: horizontal scaling on Azure trace "
+              "archetypes ===\n");
+  std::printf("%-10s %-10s %6s %8s %10s %10s\n", "Trace", "Baseline",
+              "CSC", "SVR(%)", "SGT(s)", "requests");
+  for (auto trace : {workload::TraceKind::kBursty,
+                     workload::TraceKind::kPeriodic,
+                     workload::TraceKind::kSporadic}) {
+    RunResult dilu = RunTrace("dilu", trace);
+    for (const char* sys : {"fastgs+", "infless+", "dilu"}) {
+      const RunResult r =
+          std::string(sys) == "dilu" ? dilu : RunTrace(sys, trace);
+      const double sgt = r.gpu_seconds - dilu.gpu_seconds;
+      std::printf("%-10s %-10s %6d %8.2f %10.1f %10lld\n",
+                  workload::ToString(trace), sys, r.csc, r.svr,
+                  std::string(sys) == "dilu" ? 0.0 : sgt, r.completed);
+    }
+  }
+  std::printf("\n(paper: Dilu cuts CSC by 75-77%% and SVR by 46-67%% vs "
+              "INFless+/FaST-GS+ while saving the SGT column of GPU "
+              "time)\n");
+  return 0;
+}

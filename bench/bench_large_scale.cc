@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Fig 17 reproduction: large-scale cluster simulation — 1000 nodes x
+ * 4 GPUs, up to 3,200 DL instances with the paper's 2:2:6 mix of
+ * training, LLM inference and non-LLM inference.
+ *
+ * This is a placement-level simulation (as in the paper): it exercises
+ * the schedulers and fragmentation accounting without per-kernel
+ * execution. Reports SM/memory fragmentation and occupied GPU counts at
+ * 800/1600/2400/3200 instances for Exclusive, INFless+-l and Dilu, plus
+ * a churn-phase GPU-count time series.
+ */
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "models/cost_model.h"
+#include "profiler/inference_profiler.h"
+#include "profiler/training_profiler.h"
+#include "scheduler/baseline_schedulers.h"
+#include "scheduler/scheduler.h"
+
+namespace {
+
+using namespace dilu;
+
+struct InstanceDef {
+  scheduler::PlacementRequest request;
+  int shards = 1;
+};
+
+/** Draw an instance from the paper's 2:2:6 type mix. */
+InstanceDef DrawInstance(Rng* rng, const std::string& quota_mode)
+{
+  static std::map<std::string, profiler::InferenceProfile>* inf_cache =
+      new std::map<std::string, profiler::InferenceProfile>();
+  static std::map<std::string, profiler::TrainingProfile>* train_cache =
+      new std::map<std::string, profiler::TrainingProfile>();
+
+  InstanceDef def;
+  const double roll = rng->Uniform();
+  std::string model;
+  if (roll < 0.2) {
+    // Training worker.
+    const char* pool[] = {"bert-base", "roberta-large", "gpt2-large",
+                          "vgg19", "resnet152"};
+    model = pool[rng->UniformInt(0, 4)];
+    const auto& m = models::GetModel(model);
+    if (!train_cache->count(model)) {
+      (*train_cache)[model] = profiler::TrainingProfiler().Profile(m);
+    }
+    def.request.type = TaskType::kTraining;
+    def.request.quota = (*train_cache)[model].quota;
+    def.request.mem_gb = m.mem_gb_training;
+  } else {
+    const bool llm = roll < 0.4;
+    if (llm) {
+      const char* pool[] = {"llama2-7b", "chatglm3-6b"};
+      model = pool[rng->UniformInt(0, 1)];
+    } else {
+      const char* pool[] = {"bert-base", "roberta-large", "gpt2-large",
+                            "vgg19", "resnet152"};
+      model = pool[rng->UniformInt(0, 4)];
+    }
+    const auto& m = models::GetModel(model);
+    if (!inf_cache->count(model)) {
+      (*inf_cache)[model] = profiler::InferenceProfiler().Profile(m);
+    }
+    def.request.type = TaskType::kInference;
+    def.request.quota = (*inf_cache)[model].quota;
+    def.request.mem_gb = m.mem_gb_inference;
+    def.request.large_model = llm;
+    if (llm && rng->Uniform() < 0.5) {
+      def.shards = 2;  // half the LLM instances span two fragments
+      def.request.quota.request /= 2;
+      def.request.quota.limit /= 2;
+      def.request.mem_gb /= 2;
+    }
+  }
+  def.request.gpus_needed = def.shards;
+  def.request.function = static_cast<FunctionId>(rng->UniformInt(0, 199));
+  def.request.affinity = {def.request.function};
+  if (quota_mode == "limit") {
+    def.request.quota.request = def.request.quota.limit;
+  } else if (quota_mode == "full") {
+    def.request.quota = {1.0, 1.0};
+  }
+  return def;
+}
+
+std::unique_ptr<scheduler::Scheduler>
+MakeSched(const std::string& kind)
+{
+  if (kind == "exclusive") {
+    return std::make_unique<scheduler::ExclusiveScheduler>();
+  }
+  if (kind == "infless+-l") {
+    return std::make_unique<scheduler::StaticQuotaScheduler>("infless+-l",
+                                                             1.0);
+  }
+  return std::make_unique<scheduler::DiluScheduler>();
+}
+
+std::string QuotaModeFor(const std::string& kind)
+{
+  if (kind == "exclusive") return "full";
+  if (kind == "infless+-l") return "limit";
+  return "dilu";
+}
+
+}  // namespace
+
+int
+main()
+{
+  const char* systems[] = {"exclusive", "infless+-l", "dilu"};
+  std::printf("=== Fig 17: 1000-node / 4000-GPU simulation, 2:2:6 "
+              "train:LLM-inf:inf mix ===\n\n");
+  std::printf("%-12s %10s %12s %12s %12s\n", "system", "instances",
+              "GPUs used", "SM frag", "mem frag");
+
+  int gpus_at_3200[3] = {0, 0, 0};
+  int idx = 0;
+  for (const char* sys : systems) {
+    Rng rng(42);  // identical instance stream per system
+    scheduler::ClusterState state;
+    for (int n = 0; n < 1000; ++n) {
+      for (int g = 0; g < 4; ++g) state.AddGpu(n, 40.0);
+    }
+    auto sched = MakeSched(sys);
+    const std::string quota_mode = QuotaModeFor(sys);
+    int placed = 0;
+    int failed = 0;
+    for (InstanceId id = 0; id < 3200; ++id) {
+      InstanceDef def = DrawInstance(&rng, quota_mode);
+      const auto placement = sched->Place(def.request, state);
+      if (!placement.ok) {
+        ++failed;
+        continue;
+      }
+      std::vector<scheduler::ShardCommit> commits;
+      for (GpuId g : placement.gpus) {
+        commits.push_back({g, def.request.quota, def.request.mem_gb});
+      }
+      state.Commit(id, def.request.function, commits);
+      ++placed;
+      if (placed % 800 == 0) {
+        std::printf("%-12s %10d %12d %12.2f %12.2f\n", sys, placed,
+                    state.ActiveGpuCount(), state.SmFragmentation(),
+                    state.MemoryFragmentation());
+      }
+    }
+    gpus_at_3200[idx++] = state.ActiveGpuCount();
+    if (failed > 0) {
+      std::printf("%-12s (%d placements failed: cluster exhausted)\n",
+                  sys, failed);
+    }
+    std::printf("\n");
+  }
+  std::printf("cost reduction at 3200 instances: Dilu vs Exclusive "
+              "%.0f%%, vs INFless+-l %.0f%%\n",
+              100.0 * (1.0 - static_cast<double>(gpus_at_3200[2])
+                                 / gpus_at_3200[0]),
+              100.0 * (1.0 - static_cast<double>(gpus_at_3200[2])
+                                 / gpus_at_3200[1]));
+  std::printf("(paper: 30%% vs Exclusive and 23%% vs INFless+-l)\n\n");
+
+  // Churn phase: instances arrive and depart; GPU count over time.
+  std::printf("=== Fig 17 (bottom): GPU count over time under churn "
+              "===\n");
+  std::printf("%8s %12s %12s %12s\n", "step", "exclusive", "infless+-l",
+              "dilu");
+  struct Churn {
+    scheduler::ClusterState state;
+    std::unique_ptr<scheduler::Scheduler> sched;
+    Rng rng{7};
+    std::vector<InstanceId> live;
+    InstanceId next = 0;
+  };
+  Churn churn[3];
+  for (int s = 0; s < 3; ++s) {
+    for (int n = 0; n < 1000; ++n) {
+      for (int g = 0; g < 4; ++g) churn[s].state.AddGpu(n, 40.0);
+    }
+    churn[s].sched = MakeSched(systems[s]);
+  }
+  for (int step = 0; step <= 20; ++step) {
+    std::printf("%8d", step);
+    for (int s = 0; s < 3; ++s) {
+      Churn& c = churn[s];
+      // Ramp up for 10 steps, then churn (arrivals ~ departures).
+      const int arrivals = step < 10 ? 200 : 120;
+      const int departures =
+          step < 10 ? 40 : 120 + (step % 3 == 0 ? 30 : -10);
+      for (int a = 0; a < arrivals; ++a) {
+        InstanceDef def = DrawInstance(&c.rng, QuotaModeFor(systems[s]));
+        const auto placement = c.sched->Place(def.request, c.state);
+        if (!placement.ok) continue;
+        std::vector<scheduler::ShardCommit> commits;
+        for (GpuId g : placement.gpus) {
+          commits.push_back({g, def.request.quota, def.request.mem_gb});
+        }
+        c.state.Commit(c.next, def.request.function, commits);
+        c.live.push_back(c.next++);
+      }
+      for (int d = 0; d < departures && !c.live.empty(); ++d) {
+        const std::size_t victim = static_cast<std::size_t>(
+            c.rng.UniformInt(0, static_cast<std::int64_t>(
+                                    c.live.size() - 1)));
+        c.state.Release(c.live[victim]);
+        c.live.erase(c.live.begin() + static_cast<std::ptrdiff_t>(victim));
+      }
+      std::printf(" %12d", c.state.ActiveGpuCount());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Fig 11 reproduction: vertical scaling overhead.
+ *
+ * (a) Training throughput with and without Dilu's RCKM managing the
+ *     GPU (solo instance, so the token control path is exercised but
+ *     no contention exists) — the paper reports <1% loss.
+ * (b) Inference latency with 1/2/4/8 RCKM-managed collocated instances
+ *     at light load, normalized to the unmanaged single-instance run.
+ */
+#include <cstdio>
+
+#include "bench_util.h"
+
+namespace {
+
+using namespace dilu;
+
+double TrainingTput(const std::string& preset, const char* model)
+{
+  core::SystemConfig cfg = core::SystemConfig::Preset(preset);
+  core::System system(cfg);
+  const FunctionId t = system.DeployTraining(model, 1);
+  system.StartTrainingOn(t, {0});
+  system.RunFor(Sec(60));
+  return system.runtime().TrainingThroughputUnits(t);
+}
+
+double InferenceP50(const std::string& preset, int collocated)
+{
+  core::SystemConfig cfg = core::SystemConfig::Preset(preset);
+  core::System system(cfg);
+  std::vector<FunctionId> fns;
+  for (int i = 0; i < collocated; ++i) {
+    core::FunctionSpec s;
+    s.model = "bert-base";
+    s.type = TaskType::kInference;
+    // Keep every instance under its request so no real contention:
+    // what remains is pure management overhead.
+    const FunctionId fn = system.Deploy(s);
+    system.ProvisionOn(fn, {0});
+    system.DrivePoisson(fn, 3.0, Sec(60));
+    fns.push_back(fn);
+  }
+  system.RunFor(Sec(62));
+  return system.MakeInferenceReport(fns[0]).p50_ms;
+}
+
+}  // namespace
+
+int
+main()
+{
+  std::printf("=== Fig 11(a): training overhead (normalized throughput "
+              "with Dilu vs without) ===\n");
+  for (const char* m : {"bert-base", "roberta-large", "gpt2-large",
+                        "llama2-7b"}) {
+    const double without = TrainingTput("exclusive", m);
+    const double with_dilu = TrainingTput("dilu", m);
+    std::printf("  %-14s %.3f\n", m, with_dilu / without);
+  }
+
+  std::printf("\n=== Fig 11(b): inference overhead (normalized p50 vs "
+              "unmanaged) ===\n");
+  const double base = InferenceP50("exclusive", 1);
+  for (int n : {1, 2, 4, 8}) {
+    const double with_dilu = InferenceP50("dilu", n);
+    std::printf("  %d collocated instance(s): %.3f\n", n,
+                with_dilu / base);
+  }
+  std::printf("\n(paper: both overheads < 1%%; in the simulator the "
+              "token path is zero-cost by construction, so ~1.00 here "
+              "verifies the control logic itself never throttles "
+              "uncontended instances)\n");
+  return 0;
+}

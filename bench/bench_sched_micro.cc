@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Section 5.3 micro-benchmarks (google-benchmark): the paper reports
+ * scheduling 3,200 concurrent instances in 1.12 s and per-instance
+ * vertical-scaling overhead below 1 ms. These benchmarks time our
+ * Algorithm 1 implementation and the RCKM token path directly.
+ */
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "models/cost_model.h"
+#include "rckm/token_manager.h"
+#include "scheduler/scheduler.h"
+#include "sim/event_queue.h"
+
+namespace {
+
+using namespace dilu;
+
+/** Place 3,200 instances on a 4,000-GPU cluster (Fig 17 scale). */
+void BM_Schedule3200Instances(benchmark::State& state)
+{
+  Rng seed_rng(1);
+  for (auto _ : state) {
+    state.PauseTiming();
+    scheduler::ClusterState cs;
+    for (int n = 0; n < 1000; ++n) {
+      for (int g = 0; g < 4; ++g) cs.AddGpu(n, 40.0);
+    }
+    scheduler::DiluScheduler sched;
+    Rng rng(9);
+    state.ResumeTiming();
+    for (InstanceId id = 0; id < 3200; ++id) {
+      scheduler::PlacementRequest req;
+      req.function = id % 200;
+      req.quota.request = rng.Uniform(0.1, 0.5);
+      req.quota.limit = std::min(1.0, req.quota.request * 2.0);
+      req.mem_gb = rng.Uniform(2.0, 20.0);
+      req.affinity = {req.function};
+      const auto placement = sched.Place(req, cs);
+      if (placement.ok) {
+        cs.Commit(id, req.function,
+                  {{placement.gpus[0], req.quota, req.mem_gb}});
+      }
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 3200);
+}
+BENCHMARK(BM_Schedule3200Instances)->Unit(benchmark::kMillisecond);
+
+/** One RCKM token period for a GPU hosting 8 instances. */
+void BM_TokenManagerTick8(benchmark::State& state)
+{
+  rckm::TokenManager tm;
+  std::vector<rckm::InstanceSample> samples;
+  for (InstanceId id = 1; id <= 8; ++id) {
+    rckm::InstanceSample s;
+    s.id = id;
+    s.slo_sensitive = (id % 2 == 0);
+    s.quota = {0.1, 0.2};
+    s.blocks_launched = 50.0 * id;
+    s.klc_inflation = id == 2 ? 0.5 : 0.0;
+    samples.push_back(s);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tm.Tick(samples));
+  }
+}
+BENCHMARK(BM_TokenManagerTick8);
+
+/** Event queue schedule+fire throughput. */
+void BM_EventQueueScheduleRun(benchmark::State& state)
+{
+  for (auto _ : state) {
+    sim::EventQueue q;
+    int sink = 0;
+    for (int i = 0; i < 1000; ++i) {
+      q.ScheduleAt(i, [&sink] { ++sink; });
+    }
+    while (q.RunOne()) {
+    }
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+/** Cost-model evaluation (the profiler's inner loop). */
+void BM_CostModelIteration(benchmark::State& state)
+{
+  const auto& m = models::GetModel("roberta-large");
+  double s = 0.1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(models::InferenceIteration(m, 4, s));
+    s += 0.001;
+    if (s > 1.0) s = 0.1;
+  }
+}
+BENCHMARK(BM_CostModelIteration);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Shared helpers for the reproduction benches: canonical collocation
+ * runners and table formatting. Each bench binary reproduces one table
+ * or figure (see DESIGN.md experiment index) and prints paper-style
+ * rows; absolute values are simulator outputs, the *shapes* are the
+ * reproduction target (EXPERIMENTS.md).
+ */
+#ifndef DILU_BENCH_BENCH_UTIL_H_
+#define DILU_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/system.h"
+#include "workload/azure_traces.h"
+
+namespace dilu::bench {
+
+/** The GPU-level baselines compared in Figures 7-10. */
+inline const std::vector<std::string>& GpuLevelBaselines()
+{
+  static const std::vector<std::string>* v = new std::vector<std::string>{
+      "exclusive", "dilu", "mps-l", "mps-r", "tgs", "fastgs"};
+  return *v;
+}
+
+/** Result of one collocated serving run. */
+struct CollocationOutcome {
+  core::InferenceReport inference;
+  double training_tput = 0.0;  ///< natural units (0 if no training fn)
+  int gpus_used = 0;
+};
+
+/** One training + one inference function collocated on shared GPUs. */
+struct TiCase {
+  std::string inference_model;
+  std::string training_model;
+  int training_workers = 1;
+  int inference_shards = 1;  ///< >1: LLM over fragmented GPUs
+  double rps = 10.0;
+  double cv = -1.0;          ///< <0: Poisson; >=0: Gamma(cv)
+  TimeUs duration = Sec(60);
+};
+
+/**
+ * Run a training-inference collocation under `preset`.
+ *
+ * Placement mirrors the paper's GPU-level experiments: under Exclusive
+ * every worker/instance gets its own GPU; under sharing presets each
+ * training worker's GPU also hosts one inference shard.
+ */
+inline CollocationOutcome
+RunTrainingInference(const std::string& preset, const TiCase& c)
+{
+  core::SystemConfig cfg = core::SystemConfig::Preset(preset);
+  cfg.cluster.nodes = 2;  // 8 GPUs: room for the exclusive layout
+  core::System system(cfg);
+
+  core::FunctionSpec ts;
+  ts.model = c.training_model;
+  ts.type = TaskType::kTraining;
+  ts.workers = c.training_workers;
+  const FunctionId train = system.Deploy(ts);
+
+  core::FunctionSpec is;
+  is.model = c.inference_model;
+  is.type = TaskType::kInference;
+  is.shards = c.inference_shards;
+  const FunctionId inf = system.Deploy(is);
+
+  std::vector<GpuId> train_gpus;
+  for (int w = 0; w < c.training_workers; ++w) train_gpus.push_back(w);
+  if (!system.StartTrainingOn(train, train_gpus)) {
+    std::fprintf(stderr, "training placement failed\n");
+  }
+  std::vector<GpuId> inf_gpus;
+  if (preset == "exclusive") {
+    for (int s = 0; s < c.inference_shards; ++s) {
+      inf_gpus.push_back(c.training_workers + s);
+    }
+  } else {
+    for (int s = 0; s < c.inference_shards; ++s) {
+      inf_gpus.push_back(s % c.training_workers);
+    }
+  }
+  system.ProvisionOn(inf, inf_gpus);
+
+  if (c.cv < 0.0) {
+    system.DrivePoisson(inf, c.rps, c.duration);
+  } else {
+    system.DriveGamma(inf, c.rps, c.cv, c.duration);
+  }
+  system.RunFor(c.duration + Sec(2));
+
+  CollocationOutcome out;
+  out.inference = system.MakeInferenceReport(inf);
+  out.training_tput = system.runtime().TrainingThroughputUnits(train);
+  out.gpus_used = system.runtime().state().ActiveGpuCount();
+  return out;
+}
+
+/** Two inference functions sharing one GPU. */
+struct IiCase {
+  std::string model_a;
+  std::string model_b;
+  double rps_a = 10.0;
+  double rps_b = 10.0;
+  /** Optional bursty envelope replacing Poisson for both. */
+  double burst_scale = -1.0;
+  TimeUs duration = Sec(60);
+};
+
+struct IiOutcome {
+  core::InferenceReport a;
+  core::InferenceReport b;
+};
+
+inline IiOutcome
+RunInferenceInference(const std::string& preset, const IiCase& c)
+{
+  core::SystemConfig cfg = core::SystemConfig::Preset(preset);
+  cfg.cluster.nodes = 2;
+  core::System system(cfg);
+  const FunctionId fa = system.DeployInference(c.model_a);
+  core::FunctionSpec sb;
+  sb.model = c.model_b;
+  sb.type = TaskType::kInference;
+  sb.priority = 0;  // TGS treats the co-runner as opportunistic
+  const FunctionId fb = system.Deploy(sb);
+  if (preset == "exclusive") {
+    system.ProvisionOn(fa, {0});
+    system.ProvisionOn(fb, {1});
+  } else {
+    system.ProvisionOn(fa, {0});
+    system.ProvisionOn(fb, {0});
+  }
+  if (c.burst_scale > 0.0) {
+    workload::BurstySpec spec;
+    spec.duration_s = static_cast<int>(ToSec(c.duration));
+    spec.base_rps = c.rps_a;
+    spec.burst_scale = c.burst_scale;
+    system.DriveEnvelope(fa, workload::BuildBurstyTrace(spec), c.duration);
+    spec.base_rps = c.rps_b;
+    spec.seed = 11;
+    system.DriveEnvelope(fb, workload::BuildBurstyTrace(spec), c.duration);
+  } else {
+    system.DrivePoisson(fa, c.rps_a, c.duration);
+    system.DrivePoisson(fb, c.rps_b, c.duration);
+  }
+  system.RunFor(c.duration + Sec(2));
+  IiOutcome out;
+  out.a = system.MakeInferenceReport(fa);
+  out.b = system.MakeInferenceReport(fb);
+  return out;
+}
+
+/** Print a rule line for readability. */
+inline void Rule() { std::printf("%s\n", std::string(78, '-').c_str()); }
+
+}  // namespace dilu::bench
+
+#endif  // DILU_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,79 @@
+#include "baselines/arbiters.h"
+
+#include <algorithm>
+
+namespace dilu::baselines {
+
+TgsArbiter::TgsArbiter(TgsConfig config) : config_(config) {}
+
+void
+TgsArbiter::Resolve(gpusim::Gpu& gpu, TimeUs now)
+{
+  (void)now;
+  auto& atts = gpu.attachments();
+  bool high_active = false;
+  for (const gpusim::Attachment& a : atts) {
+    if (a.priority > 0 && a.demand > 0.0) high_active = true;
+  }
+  double high_total = 0.0;
+  for (gpusim::Attachment& a : atts) {
+    if (a.priority > 0) {
+      // Productive jobs run unthrottled.
+      a.granted = a.demand;
+      high_total += a.granted;
+    }
+  }
+  const double leftover = std::max(0.0, 1.0 - high_total);
+  for (gpusim::Attachment& a : atts) {
+    if (a.priority > 0) continue;
+    double& opp = opportunistic_share_[a.id];
+    if (opp <= 0.0) opp = config_.opportunistic_floor;
+    if (high_active) {
+      // Productive job active: collapse to the probing floor.
+      opp = config_.opportunistic_floor;
+    } else {
+      // Trial-and-increase while the productive job is idle.
+      opp = std::min({opp * config_.growth, config_.ceiling, leftover});
+    }
+    a.granted = std::min(a.demand, opp);
+  }
+  gpusim::SqueezeToCapacity(atts);
+}
+
+void
+TgsArbiter::OnDetach(gpusim::Gpu& gpu, InstanceId id)
+{
+  (void)gpu;
+  opportunistic_share_.erase(id);
+}
+
+FastGsArbiter::FastGsArbiter(FastGsConfig config) : config_(config) {}
+
+void
+FastGsArbiter::Resolve(gpusim::Gpu& gpu, TimeUs now)
+{
+  (void)now;
+  auto& atts = gpu.attachments();
+  // Spatial phase: static MPS partitions.
+  double used = 0.0;
+  double unmet = 0.0;
+  for (gpusim::Attachment& a : atts) {
+    a.granted = std::min(a.demand, a.static_share);
+    used += a.granted;
+    unmet += std::max(0.0, a.demand - a.granted);
+  }
+  // Temporal phase: redistribute idle partition capacity, discounted by
+  // the dequeue/bookkeeping overhead.
+  const double idle = std::max(0.0, 1.0 - used);
+  if (idle > 1e-9 && unmet > 1e-9) {
+    const double budget = idle * config_.redistribution_efficiency;
+    for (gpusim::Attachment& a : atts) {
+      const double want = std::max(0.0, a.demand - a.granted);
+      if (want <= 0.0) continue;
+      a.granted += budget * (want / unmet);
+    }
+  }
+  gpusim::SqueezeToCapacity(atts);
+}
+
+}  // namespace dilu::baselines

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * GPU-level sharing baselines (Section 5.1): TGS and FaST-GS.
+ *
+ * - TGS (NSDI'23): transparent temporal sharing that prioritizes
+ *   "productive" (high-priority) jobs. Opportunistic jobs receive a
+ *   tiny probing share that grows multiplicatively only while the
+ *   productive job is idle and collapses as soon as it becomes active.
+ *   This protects the productive job but nearly starves co-runners
+ *   under sustained load — the behaviour Figures 7-9 report.
+ *
+ * - FaST-GS (ICPP'23): spatio-temporal sharing built on static MPS
+ *   partitions. Spatially identical to MPS-l; idle partition capacity
+ *   is temporally redistributed, but the frequent CUDA-event statistics
+ *   collection and prioritized dequeuing add per-iteration overhead
+ *   (modeled as a redistribution efficiency < 1 plus a fixed latency
+ *   adder configured on the inference instance).
+ */
+#ifndef DILU_BASELINES_ARBITERS_H_
+#define DILU_BASELINES_ARBITERS_H_
+
+#include <map>
+#include <string>
+
+#include "gpusim/gpu.h"
+
+namespace dilu::baselines {
+
+/** TGS configuration. */
+struct TgsConfig {
+  double opportunistic_floor = 0.02;  ///< probe share after preemption
+  /** Conservative multiplicative growth per 5 ms quantum: TGS raises
+   *  opportunistic allocation over seconds, so sub-second idle gaps of
+   *  the productive job yield almost nothing. */
+  double growth = 1.01;
+  double ceiling = 1.0;               ///< max opportunistic share
+};
+
+/** Priority-based temporal sharing (TGS). */
+class TgsArbiter : public gpusim::ShareArbiter {
+ public:
+  explicit TgsArbiter(TgsConfig config = {});
+
+  void Resolve(gpusim::Gpu& gpu, TimeUs now) override;
+  void OnDetach(gpusim::Gpu& gpu, InstanceId id) override;
+  std::string name() const override { return "tgs"; }
+
+ private:
+  TgsConfig config_;
+  std::map<InstanceId, double> opportunistic_share_;
+};
+
+/** FaST-GS configuration. */
+struct FastGsConfig {
+  /** Fraction of idle partition capacity actually reusable after the
+   *  prioritized-dequeue bookkeeping. */
+  double redistribution_efficiency = 0.7;
+};
+
+/** Spatio-temporal static-partition sharing (FaST-GS). */
+class FastGsArbiter : public gpusim::ShareArbiter {
+ public:
+  explicit FastGsArbiter(FastGsConfig config = {});
+
+  void Resolve(gpusim::Gpu& gpu, TimeUs now) override;
+  std::string name() const override { return "fast-gs"; }
+
+ private:
+  FastGsConfig config_;
+};
+
+}  // namespace dilu::baselines
+
+#endif  // DILU_BASELINES_ARBITERS_H_

@@ -1,0 +1,515 @@
+#include "cluster/cluster.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "baselines/arbiters.h"
+#include "common/logging.h"
+#include "models/cost_model.h"
+#include "profiler/inference_profiler.h"
+#include "profiler/training_profiler.h"
+#include "scheduler/baseline_schedulers.h"
+
+namespace dilu::cluster {
+namespace {
+
+gpusim::ArbiterFactory
+MakeArbiterFactory(const ClusterConfig& config)
+{
+  const std::string& kind = config.sharing;
+  if (kind == "dilu") {
+    rckm::TokenManagerConfig tokens = config.tokens;
+    return [tokens](GpuId) {
+      return std::make_unique<rckm::DiluArbiter>(tokens);
+    };
+  }
+  if (kind == "static") {
+    return [](GpuId) { return std::make_unique<gpusim::StaticArbiter>(); };
+  }
+  if (kind == "tgs") {
+    return [](GpuId) { return std::make_unique<baselines::TgsArbiter>(); };
+  }
+  if (kind == "fastgs") {
+    return [](GpuId) {
+      return std::make_unique<baselines::FastGsArbiter>();
+    };
+  }
+  Fatal("unknown sharing mode: " + kind);
+}
+
+std::unique_ptr<scheduler::Scheduler>
+MakeScheduler(const ClusterConfig& config)
+{
+  if (config.scheduler == "dilu") {
+    return std::make_unique<scheduler::DiluScheduler>(config.sched);
+  }
+  if (config.scheduler == "exclusive") {
+    return std::make_unique<scheduler::ExclusiveScheduler>();
+  }
+  if (config.scheduler == "static") {
+    return std::make_unique<scheduler::StaticQuotaScheduler>(
+        "static-" + config.quota_mode);
+  }
+  Fatal("unknown scheduler mode: " + config.scheduler);
+}
+
+}  // namespace
+
+ClusterRuntime::ClusterRuntime(ClusterConfig config)
+    : config_(std::move(config)), rng_(config_.seed)
+{
+  gpu_group_ = std::make_unique<gpusim::GpuGroup>(
+      &sim_, MakeArbiterFactory(config_));
+  scheduler_ = MakeScheduler(config_);
+  for (int n = 0; n < config_.nodes; ++n) {
+    Node node;
+    node.id = n;
+    for (int g = 0; g < config_.gpus_per_node; ++g) {
+      const GpuId gpu = gpu_group_->AddGpu(config_.gpu_memory_gb);
+      const GpuId mirrored = state_.AddGpu(n, config_.gpu_memory_gb);
+      DILU_CHECK(gpu == mirrored);
+      node.gpus.push_back(gpu);
+    }
+    nodes_.push_back(node);
+  }
+  gpu_group_->Start();
+  // 1 Hz cluster snapshots (fragmentation / occupancy time series).
+  sim_.SchedulePeriodic(Sec(1), Sec(1), [this] { SampleCluster(); });
+}
+
+ClusterRuntime::~ClusterRuntime()
+{
+  // Flush GPU-time accounting for still-live instances.
+  for (auto& [id, rec] : instances_) {
+    if (!rec.released) {
+      metrics_.AddGpuTime(rec.gpu_time_rate
+                          * ToSec(sim_.now() - rec.launched_at));
+      rec.released = true;
+    }
+  }
+}
+
+void
+ClusterRuntime::ProfileSpec(core::FunctionSpec* spec) const
+{
+  const models::ModelProfile& m = models::GetModel(spec->model);
+  if (spec->type == TaskType::kInference) {
+    if (spec->ibs <= 0 || spec->quota.request <= 0.0) {
+      profiler::InferenceProfiler prof;
+      const profiler::InferenceProfile p = prof.Profile(m);
+      if (spec->ibs <= 0) spec->ibs = p.ibs;
+      if (spec->quota.request <= 0.0) spec->quota = p.quota;
+    }
+    if (spec->per_instance_rps <= 0.0) {
+      spec->per_instance_rps = models::InferenceThroughput(
+          m, spec->ibs, spec->quota.request);
+    }
+  } else {
+    if (spec->quota.request <= 0.0) {
+      profiler::TrainingProfiler prof;
+      spec->quota = prof.Profile(m).quota;
+    }
+  }
+}
+
+FunctionId
+ClusterRuntime::Deploy(const core::FunctionSpec& spec)
+{
+  DILU_CHECK(models::HasModel(spec.model));
+  DeployedFunction f;
+  f.id = next_function_id_++;
+  f.spec = spec;
+  f.model = &models::GetModel(spec.model);
+  f.submitted_at = sim_.now();
+  ProfileSpec(&f.spec);
+  metrics_.RegisterFunction(f.id, f.spec.display_name(), f.model->slo_ms);
+  if (spec.type == TaskType::kInference) gateway_.RegisterFunction(f.id);
+  const FunctionId id = f.id;
+  functions_[id] = std::move(f);
+  return id;
+}
+
+SmQuota
+ClusterRuntime::QuotaForMode(const SmQuota& profiled) const
+{
+  if (config_.quota_mode == "dilu") return profiled;
+  if (config_.quota_mode == "limit") {
+    return {profiled.limit, profiled.limit};
+  }
+  if (config_.quota_mode == "request") {
+    return {profiled.request, profiled.request};
+  }
+  if (config_.quota_mode == "full") return {1.0, 1.0};
+  Fatal("unknown quota mode: " + config_.quota_mode);
+}
+
+SmRate
+ClusterRuntime::StaticShareForMode(const SmQuota& profiled) const
+{
+  return QuotaForMode(profiled).limit;
+}
+
+scheduler::PlacementRequest
+ClusterRuntime::MakePlacement(const DeployedFunction& f,
+                              const SmQuota& shard_quota, double shard_mem,
+                              int shards) const
+{
+  scheduler::PlacementRequest req;
+  req.function = f.id;
+  req.type = f.spec.type;
+  req.quota = shard_quota;
+  req.mem_gb = shard_mem;
+  req.gpus_needed = shards;
+  req.large_model = f.model->family == models::ModelFamily::kLlm;
+  req.affinity = f.spec.affinity;
+  req.affinity.push_back(f.id);  // instances of the same function
+  return req;
+}
+
+void
+ClusterRuntime::AttachShards(runtime::Instance* inst,
+                             const DeployedFunction& f,
+                             const std::vector<GpuId>& gpus,
+                             const SmQuota& shard_quota,
+                             SmRate shard_static, double shard_mem,
+                             int priority)
+{
+  std::vector<scheduler::ShardCommit> commits;
+  for (std::size_t slot = 0; slot < gpus.size(); ++slot) {
+    gpusim::Attachment att;
+    att.client = inst;
+    att.id = inst->client_id();
+    att.slot = static_cast<int>(slot);
+    att.type = f.spec.type;
+    att.quota = shard_quota;
+    att.static_share = shard_static;
+    att.memory_gb = shard_mem;
+    att.priority = priority;
+    gpu_group_->Attach(gpus[slot], att);
+    commits.push_back({gpus[slot], shard_quota, shard_mem});
+  }
+  state_.Commit(inst->client_id(), f.id, commits);
+  max_active_gpus_ = std::max(max_active_gpus_, state_.ActiveGpuCount());
+}
+
+InstanceId
+ClusterRuntime::LaunchInference(FunctionId fn, bool cold)
+{
+  DeployedFunction& f = function(fn);
+  DILU_CHECK(f.spec.type == TaskType::kInference);
+  const int shards = std::max(1, f.spec.shards);
+  const SmQuota mode_quota = QuotaForMode(f.spec.quota);
+  const SmQuota shard_quota{mode_quota.request / shards,
+                            mode_quota.limit / shards};
+  const double shard_mem = f.model->mem_gb_inference / shards;
+  const auto placement =
+      scheduler_->Place(MakePlacement(f, shard_quota, shard_mem, shards),
+                        state_);
+  if (!placement.ok) {
+    DILU_WARN << "placement failed for function " << fn;
+    return kInvalidInstance;
+  }
+  return LaunchInferenceOn(fn, placement.gpus, cold);
+}
+
+InstanceId
+ClusterRuntime::LaunchInferenceOn(FunctionId fn,
+                                  const std::vector<GpuId>& gpus,
+                                  bool cold)
+{
+  DeployedFunction& f = function(fn);
+  DILU_CHECK(f.spec.type == TaskType::kInference);
+  const int shards = static_cast<int>(gpus.size());
+  const SmQuota mode_quota = QuotaForMode(f.spec.quota);
+  const SmQuota shard_quota{mode_quota.request / shards,
+                            mode_quota.limit / shards};
+  const SmRate shard_static = StaticShareForMode(f.spec.quota) / shards;
+  const double shard_mem = f.model->mem_gb_inference / shards;
+
+  const InstanceId id = NextInstanceId();
+  const TimeUs cold_duration = !cold
+      ? 0
+      : (config_.warm_starts ? config_.coldstart.WarmDuration(*f.model)
+                             : config_.coldstart.Duration(*f.model));
+  const TimeUs overhead =
+      config_.sharing == "fastgs" ? config_.fastgs_overhead : 0;
+
+  auto inst = std::make_unique<runtime::InferenceInstance>(
+      id, fn, f.model, f.spec.ibs, &sim_, overhead);
+  inst->set_shard_count(shards);
+  inst->set_quota(shard_quota);
+  inst->set_request_sink([this, fn](const workload::Request& r) {
+    metrics_.RecordRequest(fn, r);
+  });
+
+  const int inf_priority = f.spec.priority < 0 ? 1 : f.spec.priority;
+  AttachShards(inst.get(), f, gpus, shard_quota, shard_static, shard_mem,
+               inf_priority);
+  gateway_.AddInstance(fn, inst.get());
+  inst->BeginColdStart(cold_duration);
+  if (cold) metrics_.RecordColdStart(fn);
+
+  InstanceRecord rec;
+  rec.function = fn;
+  rec.launched_at = sim_.now();
+  // Reserved GPU time: static modes hold their static partition; Dilu
+  // only guarantees (and bills) the request quota.
+  rec.gpu_time_rate = config_.quota_mode == "dilu"
+      ? mode_quota.request
+      : shard_static * shards;
+  rec.instance = std::move(inst);
+  instances_[id] = std::move(rec);
+  f.live_instances.push_back(id);
+  return id;
+}
+
+bool
+ClusterRuntime::ScaleInOne(FunctionId fn)
+{
+  DeployedFunction& f = function(fn);
+  if (f.live_instances.size() <= 1) return false;
+  // Terminate the least-loaded running instance.
+  InstanceId victim = kInvalidInstance;
+  std::size_t best_depth = std::numeric_limits<std::size_t>::max();
+  for (InstanceId id : f.live_instances) {
+    auto* inst = dynamic_cast<runtime::InferenceInstance*>(
+        instances_.at(id).instance.get());
+    DILU_CHECK(inst != nullptr);
+    const std::size_t depth =
+        inst->queue_depth() + (inst->batch_in_flight() ? 1 : 0);
+    if (depth < best_depth) {
+      best_depth = depth;
+      victim = id;
+    }
+  }
+  if (victim == kInvalidInstance) return false;
+  gateway_.RemoveInstance(fn, victim);
+  ReleaseInstance(victim);
+  f.live_instances.erase(std::remove(f.live_instances.begin(),
+                                     f.live_instances.end(), victim),
+                         f.live_instances.end());
+  return true;
+}
+
+bool
+ClusterRuntime::StartTraining(FunctionId fn, bool cold)
+{
+  DeployedFunction& f = function(fn);
+  DILU_CHECK(f.spec.type == TaskType::kTraining);
+  const int workers = std::max(1, f.spec.workers);
+  const SmQuota mode_quota = QuotaForMode(f.spec.quota);
+  const double mem = f.model->mem_gb_training;
+
+  // Place the workers one by one so each placement sees the residency
+  // the previous one committed (workload affinity builds up).
+  std::vector<GpuId> gpus;
+  for (int w = 0; w < workers; ++w) {
+    auto placement =
+        scheduler_->Place(MakePlacement(f, mode_quota, mem, 1), state_);
+    if (!placement.ok) {
+      DILU_WARN << "training placement failed for function " << fn;
+      return false;
+    }
+    gpus.push_back(placement.gpus[0]);
+    // Temporarily commit a hold so the next worker sees it; released
+    // and replaced by the real commit in StartTrainingOn.
+    state_.Commit(-1000 - w, fn, {{placement.gpus[0], mode_quota, mem}});
+  }
+  for (int w = 0; w < workers; ++w) state_.Release(-1000 - w);
+  return StartTrainingOn(fn, gpus, cold);
+}
+
+bool
+ClusterRuntime::StartTrainingOn(FunctionId fn,
+                                const std::vector<GpuId>& gpus, bool cold)
+{
+  DeployedFunction& f = function(fn);
+  DILU_CHECK(f.spec.type == TaskType::kTraining);
+  const int workers = std::max(1, f.spec.workers);
+  DILU_CHECK(static_cast<int>(gpus.size()) == workers);
+  const SmQuota mode_quota = QuotaForMode(f.spec.quota);
+  const SmRate static_share = StaticShareForMode(f.spec.quota);
+  const double mem = f.model->mem_gb_training;
+
+  f.job = std::make_unique<runtime::TrainingJob>(
+      fn, f.model, workers, &sim_, f.spec.target_iterations);
+  f.job->set_on_finished([this, fn] {
+    DeployedFunction& fd = function(fn);
+    fd.job_completed_at = sim_.now();
+    for (InstanceId id : fd.live_instances) ReleaseInstance(id);
+    fd.live_instances.clear();
+  });
+
+  const TimeUs cold_duration =
+      cold ? config_.coldstart.Duration(*f.model) : 0;
+  for (int w = 0; w < workers; ++w) {
+    const InstanceId id = NextInstanceId();
+    auto worker = f.job->MakeWorker(id, w);
+    worker->set_quota(mode_quota);
+    const int train_priority = f.spec.priority < 0 ? 0 : f.spec.priority;
+    AttachShards(worker.get(), f, {gpus[static_cast<std::size_t>(w)]},
+                 mode_quota, static_share, mem, train_priority);
+    worker->BeginColdStart(cold_duration);
+    if (cold) metrics_.RecordColdStart(fn);
+
+    InstanceRecord rec;
+    rec.function = fn;
+    rec.launched_at = sim_.now();
+    rec.gpu_time_rate = config_.quota_mode == "dilu"
+        ? mode_quota.request
+        : static_share;
+    rec.instance = std::move(worker);
+    instances_[id] = std::move(rec);
+    f.live_instances.push_back(id);
+  }
+  return true;
+}
+
+void
+ClusterRuntime::ReleaseInstance(InstanceId id)
+{
+  auto it = instances_.find(id);
+  if (it == instances_.end()) return;
+  InstanceRecord& rec = it->second;
+  if (rec.released) return;
+  rec.instance->Terminate();
+  gpu_group_->DetachEverywhere(id);
+  state_.Release(id);
+  metrics_.AddGpuTime(rec.gpu_time_rate
+                      * ToSec(sim_.now() - rec.launched_at));
+  rec.released = true;
+}
+
+void
+ClusterRuntime::ScheduleNextArrival(
+    FunctionId fn, std::shared_ptr<workload::ArrivalProcess> proc,
+    TimeUs until)
+{
+  const TimeUs gap = proc->NextGap();
+  const TimeUs when = sim_.now() + std::max<TimeUs>(1, gap);
+  if (when > until) return;
+  sim_.queue().ScheduleAt(when, [this, fn, proc, until] {
+    auto req = std::make_unique<workload::Request>();
+    req->id = next_request_id_++;
+    req->function = fn;
+    req->arrival = sim_.now();
+    if (!gateway_.Dispatch(req.get())) {
+      DILU_DEBUG << "dropping request for function " << fn
+                 << " (no instances)";
+    }
+    requests_.push_back(std::move(req));
+    ScheduleNextArrival(fn, proc, until);
+  });
+}
+
+void
+ClusterRuntime::AttachArrivals(
+    FunctionId fn, std::unique_ptr<workload::ArrivalProcess> process,
+    TimeUs until)
+{
+  std::shared_ptr<workload::ArrivalProcess> proc(std::move(process));
+  ScheduleNextArrival(fn, proc, until);
+}
+
+void
+ClusterRuntime::EnableAutoscaler(
+    FunctionId fn, std::unique_ptr<scaling::HorizontalPolicy> policy)
+{
+  DeployedFunction& f = function(fn);
+  f.policy = std::move(policy);
+  sim_.SchedulePeriodic(sim_.now() + Sec(1), Sec(1),
+                        [this, fn] { AutoscaleTick(fn); });
+}
+
+void
+ClusterRuntime::AutoscaleTick(FunctionId fn)
+{
+  DeployedFunction& f = function(fn);
+  if (!f.policy) return;
+  const double rps = gateway_.PollArrivals(fn);
+  const int current = static_cast<int>(f.live_instances.size());
+  f.instance_count_series.emplace_back(sim_.now(), current);
+  if (current == 0) return;
+  const int desired =
+      f.policy->Decide(rps, current, f.spec.per_instance_rps);
+  if (desired > current) {
+    LaunchInference(fn, /*cold=*/true);
+  } else if (desired < current) {
+    ScaleInOne(fn);
+  }
+}
+
+void
+ClusterRuntime::SampleCluster()
+{
+  ClusterSample s;
+  s.time = sim_.now();
+  s.active_gpus = state_.ActiveGpuCount();
+  s.sm_fragmentation = state_.SmFragmentation();
+  s.mem_fragmentation = state_.MemoryFragmentation();
+  double util = 0.0;
+  int active = 0;
+  for (std::size_t g = 0; g < gpu_group_->gpu_count(); ++g) {
+    const gpusim::Gpu& gpu = gpu_group_->gpu(static_cast<GpuId>(g));
+    if (gpu.occupied()) {
+      ++active;
+      util += gpu.used_share();
+    }
+  }
+  s.avg_utilization = active == 0 ? 0.0 : util / active;
+  metrics_.AddSample(s);
+  max_active_gpus_ = std::max(max_active_gpus_, s.active_gpus);
+}
+
+void
+ClusterRuntime::RunFor(TimeUs duration)
+{
+  sim_.RunFor(duration);
+}
+
+DeployedFunction&
+ClusterRuntime::function(FunctionId fn)
+{
+  auto it = functions_.find(fn);
+  DILU_CHECK(it != functions_.end());
+  return it->second;
+}
+
+const DeployedFunction&
+ClusterRuntime::function(FunctionId fn) const
+{
+  auto it = functions_.find(fn);
+  DILU_CHECK(it != functions_.end());
+  return it->second;
+}
+
+runtime::Instance*
+ClusterRuntime::instance(InstanceId id)
+{
+  auto it = instances_.find(id);
+  return it == instances_.end() ? nullptr : it->second.instance.get();
+}
+
+int
+ClusterRuntime::DeployedInstanceCount(FunctionId fn) const
+{
+  return static_cast<int>(function(fn).live_instances.size());
+}
+
+double
+ClusterRuntime::TrainingThroughputUnits(FunctionId fn) const
+{
+  const DeployedFunction& f = function(fn);
+  if (!f.job) return 0.0;
+  return f.job->ThroughputUnits(sim_.now());
+}
+
+TimeUs
+ClusterRuntime::TrainingJct(FunctionId fn) const
+{
+  const DeployedFunction& f = function(fn);
+  if (f.job_completed_at < 0) return -1;
+  return f.job_completed_at - f.submitted_at;
+}
+
+}  // namespace dilu::cluster

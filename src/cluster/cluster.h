@@ -1,0 +1,210 @@
+/**
+ * @file
+ * ClusterRuntime: the assembled serverless DL cluster.
+ *
+ * Glues every substrate together — the simulated GPU fleet, the sharing
+ * arbiters, the scheduler, the gateway, horizontal scaling and metrics —
+ * behind one object. The sharing / scheduling / scaling policies are
+ * selected by name so every baseline in Section 5 runs on the exact same
+ * substrate and differs only in policy logic.
+ */
+#ifndef DILU_CLUSTER_CLUSTER_H_
+#define DILU_CLUSTER_CLUSTER_H_
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/gateway.h"
+#include "cluster/metrics.h"
+#include "cluster/node.h"
+#include "core/function_spec.h"
+#include "gpusim/gpu_group.h"
+#include "rckm/token_manager.h"
+#include "runtime/inference_instance.h"
+#include "runtime/training_instance.h"
+#include "scaling/coldstart.h"
+#include "scaling/global_scaler.h"
+#include "scheduler/scheduler.h"
+#include "sim/simulation.h"
+#include "workload/arrival.h"
+
+namespace dilu::cluster {
+
+/** Whole-cluster configuration. */
+struct ClusterConfig {
+  int nodes = 1;
+  int gpus_per_node = 4;
+  double gpu_memory_gb = 40.0;
+
+  /** Sharing arbiter: "dilu" | "static" | "tgs" | "fastgs". */
+  std::string sharing = "dilu";
+  /** Scheduler: "dilu" | "exclusive" | "static". */
+  std::string scheduler = "dilu";
+  /**
+   * Quota interpretation: "dilu" keeps <request, limit> as profiled;
+   * "limit" / "request" pin both to one value (MPS-l / MPS-r and the
+   * INFless+-l / INFless+-r variants); "full" pins both to 1.0
+   * (Exclusive).
+   */
+  std::string quota_mode = "dilu";
+
+  rckm::TokenManagerConfig tokens;
+  scheduler::DiluSchedulerConfig sched;
+  scaling::ColdStartModel coldstart;
+
+  /** Use warm (cached) starts for scale-out launches. */
+  bool warm_starts = false;
+
+  /** FaST-GS per-iteration bookkeeping overhead on inference. */
+  TimeUs fastgs_overhead = Ms(4);
+
+  std::uint64_t seed = 1;
+};
+
+/** Runtime record of one deployed function. */
+struct DeployedFunction {
+  FunctionId id = kInvalidFunction;
+  core::FunctionSpec spec;
+  const models::ModelProfile* model = nullptr;
+  std::vector<InstanceId> live_instances;  ///< inference (incl. cold)
+  std::unique_ptr<runtime::TrainingJob> job;
+  std::unique_ptr<scaling::HorizontalPolicy> policy;
+  TimeUs submitted_at = 0;
+  TimeUs job_completed_at = -1;  ///< training JCT end
+  /** (time, deployed instance count) samples from the scaler loop. */
+  std::vector<std::pair<TimeUs, int>> instance_count_series;
+};
+
+/** The assembled serverless DL cluster. */
+class ClusterRuntime {
+ public:
+  explicit ClusterRuntime(ClusterConfig config);
+  ~ClusterRuntime();
+
+  ClusterRuntime(const ClusterRuntime&) = delete;
+  ClusterRuntime& operator=(const ClusterRuntime&) = delete;
+
+  // --- accessors -------------------------------------------------------
+  sim::Simulation& simulation() { return sim_; }
+  gpusim::GpuGroup& gpus() { return *gpu_group_; }
+  scheduler::ClusterState& state() { return state_; }
+  MetricsHub& metrics() { return metrics_; }
+  const MetricsHub& metrics() const { return metrics_; }
+  Gateway& gateway() { return gateway_; }
+  const ClusterConfig& config() const { return config_; }
+  TimeUs now() const { return sim_.now(); }
+
+  // --- deployment ------------------------------------------------------
+
+  /**
+   * Register a function. Profiles resourcing metadata (HGS for
+   * inference, binary search for training) when the spec leaves it
+   * empty. Does not launch instances.
+   */
+  FunctionId Deploy(const core::FunctionSpec& spec);
+
+  /**
+   * Launch one inference instance via the configured scheduler.
+   * @param cold  pay the cold start (false for pre-provisioned setup)
+   * @return instance id, or kInvalidInstance when placement failed.
+   */
+  InstanceId LaunchInference(FunctionId fn, bool cold = true);
+
+  /** Launch an inference instance on explicit GPUs (GPU-level benches). */
+  InstanceId LaunchInferenceOn(FunctionId fn,
+                               const std::vector<GpuId>& gpus,
+                               bool cold = true);
+
+  /** Terminate the least-loaded instance of `fn`; false if at one. */
+  bool ScaleInOne(FunctionId fn);
+
+  /** Place + start all workers of a training function. */
+  bool StartTraining(FunctionId fn, bool cold = true);
+
+  /** Start training with explicit per-worker GPUs. */
+  bool StartTrainingOn(FunctionId fn, const std::vector<GpuId>& gpus,
+                       bool cold = true);
+
+  // --- workload & scaling ---------------------------------------------
+
+  /** Drive `fn` with an arrival process until simulated time `until`. */
+  void AttachArrivals(FunctionId fn,
+                      std::unique_ptr<workload::ArrivalProcess> process,
+                      TimeUs until);
+
+  /** Enable the per-function horizontal scaler (1 Hz loop). */
+  void EnableAutoscaler(FunctionId fn,
+                        std::unique_ptr<scaling::HorizontalPolicy> policy);
+
+  /** Advance the simulation. */
+  void RunFor(TimeUs duration);
+
+  // --- inspection ------------------------------------------------------
+  DeployedFunction& function(FunctionId fn);
+  const DeployedFunction& function(FunctionId fn) const;
+  runtime::Instance* instance(InstanceId id);
+  int DeployedInstanceCount(FunctionId fn) const;
+
+  /** Training throughput in natural units (0 for inference). */
+  double TrainingThroughputUnits(FunctionId fn) const;
+
+  /** JCT of a finished training function (-1 if unfinished). */
+  TimeUs TrainingJct(FunctionId fn) const;
+
+  /** Maximum concurrently occupied GPU count observed so far. */
+  int max_active_gpus() const { return max_active_gpus_; }
+
+ private:
+  struct InstanceRecord {
+    std::unique_ptr<runtime::Instance> instance;
+    FunctionId function = kInvalidFunction;
+    TimeUs launched_at = 0;
+    double gpu_time_rate = 0.0;  ///< reserved GPU share (sum over shards)
+    bool released = false;
+  };
+
+  InstanceId NextInstanceId() { return next_instance_id_++; }
+  SmQuota QuotaForMode(const SmQuota& profiled) const;
+  SmRate StaticShareForMode(const SmQuota& profiled) const;
+  void ProfileSpec(core::FunctionSpec* spec) const;
+  scheduler::PlacementRequest MakePlacement(const DeployedFunction& f,
+                                            const SmQuota& shard_quota,
+                                            double shard_mem,
+                                            int shards) const;
+  void AttachShards(runtime::Instance* inst, const DeployedFunction& f,
+                    const std::vector<GpuId>& gpus,
+                    const SmQuota& shard_quota, SmRate shard_static,
+                    double shard_mem, int priority);
+  void ReleaseInstance(InstanceId id);
+  void AutoscaleTick(FunctionId fn);
+  void SampleCluster();
+  void ScheduleNextArrival(FunctionId fn,
+                           std::shared_ptr<workload::ArrivalProcess> proc,
+                           TimeUs until);
+
+  ClusterConfig config_;
+  sim::Simulation sim_;
+  std::unique_ptr<gpusim::GpuGroup> gpu_group_;
+  scheduler::ClusterState state_;
+  std::unique_ptr<scheduler::Scheduler> scheduler_;
+  Gateway gateway_;
+  MetricsHub metrics_;
+  std::vector<Node> nodes_;
+
+  std::map<FunctionId, DeployedFunction> functions_;
+  std::map<InstanceId, InstanceRecord> instances_;
+  std::deque<std::unique_ptr<workload::Request>> requests_;
+
+  Rng rng_;
+  FunctionId next_function_id_ = 0;
+  InstanceId next_instance_id_ = 0;
+  std::int64_t next_request_id_ = 0;
+  int max_active_gpus_ = 0;
+};
+
+}  // namespace dilu::cluster
+
+#endif  // DILU_CLUSTER_CLUSTER_H_

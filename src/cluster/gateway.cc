@@ -1,0 +1,91 @@
+#include "cluster/gateway.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace dilu::cluster {
+
+void
+Gateway::RegisterFunction(FunctionId id)
+{
+  functions_[id];
+}
+
+void
+Gateway::AddInstance(FunctionId id, runtime::InferenceInstance* instance)
+{
+  DILU_CHECK(instance != nullptr);
+  functions_[id].instances.push_back(instance);
+}
+
+void
+Gateway::RemoveInstance(FunctionId id, InstanceId instance)
+{
+  auto it = functions_.find(id);
+  if (it == functions_.end()) return;
+  auto& v = it->second.instances;
+  v.erase(std::remove_if(v.begin(), v.end(),
+                         [instance](runtime::InferenceInstance* i) {
+                           return i->client_id() == instance;
+                         }),
+          v.end());
+}
+
+bool
+Gateway::Dispatch(workload::Request* req)
+{
+  DILU_CHECK(req != nullptr);
+  auto it = functions_.find(req->function);
+  if (it == functions_.end() || it->second.instances.empty()) return false;
+  it->second.arrivals_since_poll += 1.0;
+
+  runtime::InferenceInstance* best = nullptr;
+  std::size_t best_depth = std::numeric_limits<std::size_t>::max();
+  // Prefer running instances; fall back to cold ones.
+  for (int pass = 0; pass < 2 && best == nullptr; ++pass) {
+    for (runtime::InferenceInstance* inst : it->second.instances) {
+      if (pass == 0 && !inst->running()) continue;
+      const std::size_t depth =
+          inst->queue_depth() + (inst->batch_in_flight() ? 1 : 0);
+      if (depth < best_depth) {
+        best_depth = depth;
+        best = inst;
+      }
+    }
+  }
+  if (best == nullptr) return false;
+  best->Enqueue(req);
+  return true;
+}
+
+double
+Gateway::PollArrivals(FunctionId id)
+{
+  auto it = functions_.find(id);
+  if (it == functions_.end()) return 0.0;
+  const double n = it->second.arrivals_since_poll;
+  it->second.arrivals_since_poll = 0.0;
+  return n;
+}
+
+const std::vector<runtime::InferenceInstance*>&
+Gateway::instances(FunctionId id) const
+{
+  static const std::vector<runtime::InferenceInstance*> empty;
+  auto it = functions_.find(id);
+  return it == functions_.end() ? empty : it->second.instances;
+}
+
+int
+Gateway::RunningCount(FunctionId id) const
+{
+  int n = 0;
+  for (const runtime::InferenceInstance* i : instances(id)) {
+    if (i->running()) ++n;
+  }
+  return n;
+}
+
+}  // namespace dilu::cluster

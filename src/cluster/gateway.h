@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Application-layer gateway: dispatches requests to the least-loaded
+ * instance of a function and exposes per-second arrival counts to the
+ * global scaler (Section 3.1's gateway + load balancer).
+ */
+#ifndef DILU_CLUSTER_GATEWAY_H_
+#define DILU_CLUSTER_GATEWAY_H_
+
+#include <map>
+#include <vector>
+
+#include "runtime/inference_instance.h"
+#include "workload/request.h"
+
+namespace dilu::cluster {
+
+/** Request router + workload monitor. */
+class Gateway {
+ public:
+  /** Register a function (idempotent). */
+  void RegisterFunction(FunctionId id);
+
+  /** Add / remove serving instances. */
+  void AddInstance(FunctionId id, runtime::InferenceInstance* instance);
+  void RemoveInstance(FunctionId id, InstanceId instance);
+
+  /**
+   * Dispatch `req` to the least-loaded *running* instance; if every
+   * instance is still cold-starting, pick the least-loaded one anyway
+   * (requests queue behind the cold start, paying its latency).
+   * Returns false when the function has no instances at all.
+   */
+  bool Dispatch(workload::Request* req);
+
+  /** Arrivals since the previous Poll (the scaler's 1 Hz sample). */
+  double PollArrivals(FunctionId id);
+
+  const std::vector<runtime::InferenceInstance*>& instances(
+      FunctionId id) const;
+
+  /** Count of instances in the running state. */
+  int RunningCount(FunctionId id) const;
+
+ private:
+  struct Entry {
+    std::vector<runtime::InferenceInstance*> instances;
+    double arrivals_since_poll = 0.0;
+  };
+
+  std::map<FunctionId, Entry> functions_;
+};
+
+}  // namespace dilu::cluster
+
+#endif  // DILU_CLUSTER_GATEWAY_H_

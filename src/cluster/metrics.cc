@@ -1,0 +1,92 @@
+#include "cluster/metrics.h"
+
+#include "common/logging.h"
+
+namespace dilu::cluster {
+
+double
+FunctionMetrics::SvrPercent() const
+{
+  if (completed == 0) return 0.0;
+  return 100.0 * static_cast<double>(violations)
+      / static_cast<double>(completed);
+}
+
+void
+MetricsHub::RegisterFunction(FunctionId id, const std::string& name,
+                             double slo_ms)
+{
+  FunctionMetrics& m = functions_[id];
+  m.name = name;
+  m.slo_ms = slo_ms;
+}
+
+void
+MetricsHub::RecordRequest(FunctionId id, const workload::Request& req)
+{
+  auto it = functions_.find(id);
+  DILU_CHECK(it != functions_.end());
+  FunctionMetrics& m = it->second;
+  const double latency_ms = ToMs(req.Latency());
+  m.latency_ms.Add(latency_ms);
+  ++m.completed;
+  if (m.slo_ms > 0.0 && latency_ms > m.slo_ms) ++m.violations;
+}
+
+void
+MetricsHub::RecordColdStart(FunctionId id)
+{
+  ++functions_[id].cold_starts;
+}
+
+void
+MetricsHub::AddGpuTime(double gpu_seconds)
+{
+  gpu_seconds_ += gpu_seconds;
+}
+
+void
+MetricsHub::AddSample(const ClusterSample& s)
+{
+  samples_.push_back(s);
+}
+
+const FunctionMetrics&
+MetricsHub::function(FunctionId id) const
+{
+  auto it = functions_.find(id);
+  DILU_CHECK(it != functions_.end());
+  return it->second;
+}
+
+FunctionMetrics&
+MetricsHub::function(FunctionId id)
+{
+  auto it = functions_.find(id);
+  DILU_CHECK(it != functions_.end());
+  return it->second;
+}
+
+double
+MetricsHub::OverallSvrPercent() const
+{
+  std::int64_t completed = 0;
+  std::int64_t violations = 0;
+  for (const auto& [id, m] : functions_) {
+    completed += m.completed;
+    violations += m.violations;
+  }
+  if (completed == 0) return 0.0;
+  return 100.0 * static_cast<double>(violations)
+      / static_cast<double>(completed);
+}
+
+int
+MetricsHub::TotalColdStarts() const
+{
+  int n = 0;
+  for (const auto& [id, m] : functions_) n += m.cold_starts;
+  return n;
+}
+
+}  // namespace dilu::cluster

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Metrics hub: every quantity the paper's evaluation reports.
+ *
+ * Per function: latency percentiles (p50/p95), SLO violation rate (SVR),
+ * cold start counts (CSC), completed request counts. Per cluster:
+ * GPU-time accounting (for saved-GPU-time, SGT), fragmentation and
+ * occupancy time series (Fig 12 / Fig 17 style traces).
+ */
+#ifndef DILU_CLUSTER_METRICS_H_
+#define DILU_CLUSTER_METRICS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "workload/request.h"
+
+namespace dilu::cluster {
+
+/** Serving metrics for one function. */
+struct FunctionMetrics {
+  std::string name;
+  double slo_ms = 0.0;
+  Percentiles latency_ms;
+  std::int64_t completed = 0;
+  std::int64_t violations = 0;
+  int cold_starts = 0;
+
+  /** SLO violation rate in percent. */
+  double SvrPercent() const;
+};
+
+/** One periodic cluster snapshot (1 Hz by default). */
+struct ClusterSample {
+  TimeUs time = 0;
+  int active_gpus = 0;
+  double sm_fragmentation = 0.0;   ///< avg unreserved SM share on active GPUs
+  double mem_fragmentation = 0.0;  ///< avg free memory fraction on active GPUs
+  double avg_utilization = 0.0;    ///< mean granted share across active GPUs
+};
+
+/** Collects metrics across the whole simulated cluster. */
+class MetricsHub {
+ public:
+  /** Declare a function (idempotent). */
+  void RegisterFunction(FunctionId id, const std::string& name,
+                        double slo_ms);
+
+  /** Record a completed request against its function's SLO. */
+  void RecordRequest(FunctionId id, const workload::Request& req);
+
+  /** Count one cold start for `id`. */
+  void RecordColdStart(FunctionId id);
+
+  /** Accumulate reserved GPU time (gpu-seconds) for SGT accounting. */
+  void AddGpuTime(double gpu_seconds);
+
+  /** Append a cluster snapshot. */
+  void AddSample(const ClusterSample& s);
+
+  const FunctionMetrics& function(FunctionId id) const;
+  FunctionMetrics& function(FunctionId id);
+  const std::map<FunctionId, FunctionMetrics>& functions() const {
+    return functions_;
+  }
+
+  double total_gpu_seconds() const { return gpu_seconds_; }
+  const std::vector<ClusterSample>& samples() const { return samples_; }
+
+  /** Aggregate SVR (%) over every function. */
+  double OverallSvrPercent() const;
+
+  /** Total cold starts over every function. */
+  int TotalColdStarts() const;
+
+ private:
+  std::map<FunctionId, FunctionMetrics> functions_;
+  double gpu_seconds_ = 0.0;
+  std::vector<ClusterSample> samples_;
+};
+
+}  // namespace dilu::cluster
+
+#endif  // DILU_CLUSTER_METRICS_H_

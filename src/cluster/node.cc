@@ -1,0 +1,3 @@
+#include "cluster/node.h"
+
+// Node is a passive aggregate; kept as a translation unit for symmetry.

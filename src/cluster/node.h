@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Cluster node: a server hosting several GPUs (the testbed uses 5
+ * workers x 4 A100s; the large-scale simulation 1000 nodes x 4 GPUs).
+ */
+#ifndef DILU_CLUSTER_NODE_H_
+#define DILU_CLUSTER_NODE_H_
+
+#include <vector>
+
+#include "common/types.h"
+
+namespace dilu::cluster {
+
+/** Static description of one node. */
+struct Node {
+  NodeId id = 0;
+  std::vector<GpuId> gpus;
+};
+
+}  // namespace dilu::cluster
+
+#endif  // DILU_CLUSTER_NODE_H_

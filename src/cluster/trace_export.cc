@@ -1,0 +1,56 @@
+#include "cluster/trace_export.h"
+
+namespace dilu::cluster {
+
+CsvWriter
+ExportClusterSamples(const MetricsHub& hub)
+{
+  CsvWriter csv({"time_s", "active_gpus", "sm_fragmentation",
+                 "mem_fragmentation", "avg_utilization"});
+  for (const ClusterSample& s : hub.samples()) {
+    csv.AddRow({ToSec(s.time), static_cast<double>(s.active_gpus),
+                s.sm_fragmentation, s.mem_fragmentation,
+                s.avg_utilization});
+  }
+  return csv;
+}
+
+CsvWriter
+ExportFunctionMetrics(const MetricsHub& hub)
+{
+  CsvWriter csv({"function", "slo_ms", "completed", "p50_ms", "p95_ms",
+                 "svr_percent", "cold_starts"});
+  for (const auto& [id, m] : hub.functions()) {
+    (void)id;
+    csv.AddTextRow({m.name, std::to_string(m.slo_ms),
+                    std::to_string(m.completed),
+                    std::to_string(m.latency_ms.P50()),
+                    std::to_string(m.latency_ms.P95()),
+                    std::to_string(m.SvrPercent()),
+                    std::to_string(m.cold_starts)});
+  }
+  return csv;
+}
+
+CsvWriter
+ExportInstanceSeries(const DeployedFunction& function)
+{
+  CsvWriter csv({"time_s", "instances"});
+  for (const auto& [t, n] : function.instance_count_series) {
+    csv.AddRow({ToSec(t), static_cast<double>(n)});
+  }
+  return csv;
+}
+
+bool
+ExportAll(const ClusterRuntime& runtime, const std::string& prefix)
+{
+  bool ok = true;
+  ok &= ExportClusterSamples(runtime.metrics())
+            .WriteFile(prefix + "_samples.csv");
+  ok &= ExportFunctionMetrics(runtime.metrics())
+            .WriteFile(prefix + "_functions.csv");
+  return ok;
+}
+
+}  // namespace dilu::cluster

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Export cluster time series and per-function metrics as CSV so the
+ * reproduced figures can be re-plotted outside the harness (every bench
+ * that prints a time series can also persist it).
+ */
+#ifndef DILU_CLUSTER_TRACE_EXPORT_H_
+#define DILU_CLUSTER_TRACE_EXPORT_H_
+
+#include <string>
+
+#include "cluster/cluster.h"
+#include "common/csv.h"
+
+namespace dilu::cluster {
+
+/**
+ * Cluster snapshots (1 Hz occupancy / fragmentation / utilization) as
+ * CSV: time_s, active_gpus, sm_frag, mem_frag, avg_util.
+ */
+CsvWriter ExportClusterSamples(const MetricsHub& hub);
+
+/**
+ * Per-function serving summary as CSV: function, slo_ms, completed,
+ * p50_ms, p95_ms, svr_percent, cold_starts.
+ */
+CsvWriter ExportFunctionMetrics(const MetricsHub& hub);
+
+/**
+ * A function's autoscaler instance-count series as CSV:
+ * time_s, instances.
+ */
+CsvWriter ExportInstanceSeries(const DeployedFunction& function);
+
+/**
+ * Convenience: write all three exports next to each other using
+ * `prefix` ("/tmp/run" -> /tmp/run_samples.csv, _functions.csv, ...).
+ * Instance series are written per function that has one.
+ * @return true when every file was written.
+ */
+bool ExportAll(const ClusterRuntime& runtime, const std::string& prefix);
+
+}  // namespace dilu::cluster
+
+#endif  // DILU_CLUSTER_TRACE_EXPORT_H_

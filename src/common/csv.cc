@@ -1,0 +1,88 @@
+#include "common/csv.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace dilu {
+namespace {
+
+/** Escape a cell per RFC 4180 (quotes around commas/quotes/newlines). */
+std::string Escape(const std::string& cell)
+{
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string FormatNumber(double v)
+{
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(std::vector<std::string> columns)
+    : columns_(std::move(columns))
+{
+  DILU_CHECK(!columns_.empty());
+}
+
+void
+CsvWriter::AddRow(const std::vector<double>& values)
+{
+  DILU_CHECK(values.size() == columns_.size());
+  std::vector<std::string> cells;
+  cells.reserve(values.size());
+  for (double v : values) cells.push_back(FormatNumber(v));
+  rows_.push_back(std::move(cells));
+}
+
+void
+CsvWriter::AddTextRow(const std::vector<std::string>& cells)
+{
+  DILU_CHECK(cells.size() == columns_.size());
+  rows_.push_back(cells);
+}
+
+std::string
+CsvWriter::ToString() const
+{
+  std::ostringstream out;
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    if (c) out << ',';
+    out << Escape(columns_[c]);
+  }
+  out << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) out << ',';
+      out << Escape(row[c]);
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+bool
+CsvWriter::WriteFile(const std::string& path) const
+{
+  std::ofstream f(path);
+  if (!f) {
+    DILU_WARN << "cannot open " << path << " for writing";
+    return false;
+  }
+  f << ToString();
+  return static_cast<bool>(f);
+}
+
+}  // namespace dilu

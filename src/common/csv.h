@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Minimal CSV writer for exporting bench time series (Fig 12/13/17
+ * style traces) so results can be re-plotted outside the harness.
+ */
+#ifndef DILU_COMMON_CSV_H_
+#define DILU_COMMON_CSV_H_
+
+#include <string>
+#include <vector>
+
+namespace dilu {
+
+/** Column-ordered CSV document builder. */
+class CsvWriter {
+ public:
+  /** Define the header; must be called before AddRow. */
+  explicit CsvWriter(std::vector<std::string> columns);
+
+  /** Append one row; the size must match the column count. */
+  void AddRow(const std::vector<double>& values);
+
+  /** Append one row of preformatted cells. */
+  void AddTextRow(const std::vector<std::string>& cells);
+
+  /** Serialized document. */
+  std::string ToString() const;
+
+  /** Write to `path`; returns false (and warns) on I/O failure. */
+  bool WriteFile(const std::string& path) const;
+
+  std::size_t row_count() const { return rows_.size(); }
+  std::size_t column_count() const { return columns_.size(); }
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dilu
+
+#endif  // DILU_COMMON_CSV_H_

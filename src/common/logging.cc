@@ -1,0 +1,49 @@
+#include "common/logging.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dilu {
+namespace {
+
+LogLevel g_level = LogLevel::kWarn;
+
+const char* Tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+    case LogLevel::kOff: return "off";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel Logger::level() { return g_level; }
+
+void Logger::set_level(LogLevel level) { g_level = level; }
+
+void
+Logger::Write(LogLevel level, const std::string& msg)
+{
+  if (level < g_level) return;
+  std::fprintf(stderr, "[dilu:%s] %s\n", Tag(level), msg.c_str());
+}
+
+void
+Fatal(const std::string& msg)
+{
+  std::fprintf(stderr, "[dilu:fatal] %s\n", msg.c_str());
+  std::exit(1);
+}
+
+void
+Panic(const std::string& msg)
+{
+  std::fprintf(stderr, "[dilu:panic] %s\n", msg.c_str());
+  std::abort();
+}
+
+}  // namespace dilu

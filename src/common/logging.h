@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Minimal leveled logging used throughout the library.
+ *
+ * Follows the gem5 convention of separating user-facing severities:
+ * `inform` for status, `warn` for recoverable oddities, `fatal` for user
+ * errors that abort the run, and `panic` for internal invariant
+ * violations (bugs).
+ */
+#ifndef DILU_COMMON_LOGGING_H_
+#define DILU_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace dilu {
+
+/** Log severity, ordered from least to most severe. */
+enum class LogLevel {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+/**
+ * Process-wide log configuration. Defaults to kWarn so simulations stay
+ * quiet; benches and examples raise it when narrating.
+ */
+class Logger {
+ public:
+  static LogLevel level();
+  static void set_level(LogLevel level);
+
+  /** Emit one line at `level`, prefixed with the severity tag. */
+  static void Write(LogLevel level, const std::string& msg);
+};
+
+namespace log_internal {
+
+/** Stream-style accumulator that writes on destruction. */
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { Logger::Write(level_, stream_.str()); }
+
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace log_internal
+
+/**
+ * `fatal`: the run cannot continue due to a user/configuration error.
+ * Prints the message and exits with status 1 (gem5 semantics).
+ */
+[[noreturn]] void Fatal(const std::string& msg);
+
+/**
+ * `panic`: an internal invariant was violated (a Dilu bug, not a user
+ * error). Prints the message and aborts.
+ */
+[[noreturn]] void Panic(const std::string& msg);
+
+}  // namespace dilu
+
+#define DILU_LOG(lvl)                                        \
+  if (::dilu::Logger::level() <= ::dilu::LogLevel::lvl)        \
+  ::dilu::log_internal::LogLine(::dilu::LogLevel::lvl)
+
+#define DILU_DEBUG DILU_LOG(kDebug)
+#define DILU_INFO DILU_LOG(kInfo)
+#define DILU_WARN DILU_LOG(kWarn)
+#define DILU_ERROR DILU_LOG(kError)
+
+/** Check an internal invariant; panics with location info on failure. */
+#define DILU_CHECK(cond)                                                  \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::dilu::Panic(std::string("check failed: " #cond " at ") + __FILE__ \
+                    + ":" + std::to_string(__LINE__));                    \
+    }                                                                     \
+  } while (0)
+
+#endif  // DILU_COMMON_LOGGING_H_

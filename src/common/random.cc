@@ -1,0 +1,69 @@
+#include "common/random.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dilu {
+
+Rng::Rng(std::uint64_t seed) : engine_(seed) {}
+
+double
+Rng::Uniform()
+{
+  return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+}
+
+double
+Rng::Uniform(double lo, double hi)
+{
+  return std::uniform_real_distribution<double>(lo, hi)(engine_);
+}
+
+std::int64_t
+Rng::UniformInt(std::int64_t lo, std::int64_t hi)
+{
+  return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+}
+
+double
+Rng::Exponential(double mean)
+{
+  if (mean <= 0.0) return 0.0;
+  return std::exponential_distribution<double>(1.0 / mean)(engine_);
+}
+
+double
+Rng::GammaInterarrival(double mean, double cv)
+{
+  if (mean <= 0.0) return 0.0;
+  // A gamma distribution with shape k and scale theta has mean k*theta
+  // and CV 1/sqrt(k). Solving for the requested CV:
+  if (cv <= 1e-6) return mean;  // effectively deterministic
+  const double shape = 1.0 / (cv * cv);
+  const double scale = mean / shape;
+  return std::gamma_distribution<double>(shape, scale)(engine_);
+}
+
+double
+Rng::Normal(double mean, double stddev)
+{
+  return std::normal_distribution<double>(mean, stddev)(engine_);
+}
+
+std::int64_t
+Rng::Poisson(double mean)
+{
+  if (mean <= 0.0) return 0;
+  return std::poisson_distribution<std::int64_t>(mean)(engine_);
+}
+
+Rng
+Rng::Fork()
+{
+  // Mix the fork index into a fresh seed so children are independent but
+  // stable across runs.
+  const std::uint64_t salt = 0x9E3779B97F4A7C15ull * (++fork_counter_);
+  return Rng(engine_() ^ salt);
+}
+
+}  // namespace dilu

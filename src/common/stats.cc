@@ -1,0 +1,110 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dilu {
+
+void
+Accumulator::Add(double x)
+{
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double
+Accumulator::mean() const
+{
+  return count_ == 0 ? 0.0 : mean_;
+}
+
+double
+Accumulator::variance() const
+{
+  return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+}
+
+double
+Accumulator::stddev() const
+{
+  return std::sqrt(variance());
+}
+
+void
+Percentiles::Add(double x)
+{
+  samples_.push_back(x);
+  sorted_ = false;
+}
+
+double
+Percentiles::Quantile(double q) const
+{
+  if (samples_.empty()) return 0.0;
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(samples_.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, samples_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+double
+Percentiles::mean() const
+{
+  if (samples_.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : samples_) s += x;
+  return s / static_cast<double>(samples_.size());
+}
+
+double
+Percentiles::FractionAbove(double threshold) const
+{
+  if (samples_.empty()) return 0.0;
+  std::size_t n = 0;
+  for (double x : samples_) {
+    if (x > threshold) ++n;
+  }
+  return static_cast<double>(n) / static_cast<double>(samples_.size());
+}
+
+void
+TimeWeighted::Update(TimeUs now, double value)
+{
+  if (!started_) {
+    started_ = true;
+    start_time_ = now;
+  } else if (now > last_time_) {
+    integral_ += last_value_ * static_cast<double>(now - last_time_);
+  }
+  last_time_ = now;
+  last_value_ = value;
+}
+
+double
+TimeWeighted::Average(TimeUs now) const
+{
+  if (!started_ || now <= start_time_) return 0.0;
+  const double total = integral_
+      + last_value_ * static_cast<double>(now - last_time_);
+  return total / static_cast<double>(now - start_time_);
+}
+
+double
+TimeWeighted::Integral(TimeUs now) const
+{
+  if (!started_) return 0.0;
+  return integral_ + last_value_ * static_cast<double>(now - last_time_);
+}
+
+}  // namespace dilu

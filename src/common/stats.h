@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Statistics accumulators used by the metrics layer and the benches.
+ *
+ * `Accumulator` keeps streaming mean/variance/min/max; `Percentiles`
+ * stores samples to answer p50/p95/p99 queries (the paper's inference
+ * latency metrics); `TimeWeighted` integrates a piecewise-constant signal
+ * over simulated time (used for utilization and fragmentation).
+ */
+#ifndef DILU_COMMON_STATS_H_
+#define DILU_COMMON_STATS_H_
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "common/types.h"
+
+namespace dilu {
+
+/** Streaming mean / variance / extrema (Welford's algorithm). */
+class Accumulator {
+ public:
+  void Add(double x);
+
+  std::size_t count() const { return count_; }
+  double mean() const;
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/**
+ * Sample-storing percentile tracker.
+ *
+ * Stores every sample (simulations here produce at most a few hundred
+ * thousand), sorting lazily on query.
+ */
+class Percentiles {
+ public:
+  void Add(double x);
+
+  /** Value at quantile q in [0, 1] via linear interpolation. */
+  double Quantile(double q) const;
+
+  double P50() const { return Quantile(0.50); }
+  double P95() const { return Quantile(0.95); }
+  double P99() const { return Quantile(0.99); }
+
+  std::size_t count() const { return samples_.size(); }
+  double mean() const;
+
+  /** Fraction of samples strictly above `threshold` (SLO violations). */
+  double FractionAbove(double threshold) const;
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+/**
+ * Time-weighted average of a piecewise-constant signal.
+ *
+ * Call `Update(now, value)` whenever the signal changes; the value is
+ * assumed to hold from the previous update until `now`.
+ */
+class TimeWeighted {
+ public:
+  void Update(TimeUs now, double value);
+
+  /** Close the interval at `now` and return the time-weighted mean. */
+  double Average(TimeUs now) const;
+
+  /** Integrated value * time (in value-microseconds). */
+  double Integral(TimeUs now) const;
+
+ private:
+  TimeUs last_time_ = 0;
+  double last_value_ = 0.0;
+  double integral_ = 0.0;
+  bool started_ = false;
+  TimeUs start_time_ = 0;
+};
+
+}  // namespace dilu
+
+#endif  // DILU_COMMON_STATS_H_

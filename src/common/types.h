@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Core value types shared across all Dilu subsystems.
+ *
+ * Time is simulated and measured in integer microseconds (`TimeUs`).
+ * GPU compute shares ("SM rates" in the paper) are fractions in [0, 1]
+ * of a whole device, matching the paper's shift from discrete GPU counts
+ * to continuous decimals (Section 3.4).
+ */
+#ifndef DILU_COMMON_TYPES_H_
+#define DILU_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <string>
+
+namespace dilu {
+
+/** Simulated time in microseconds since simulation start. */
+using TimeUs = std::int64_t;
+
+/** Convenience constructors for readable durations. */
+constexpr TimeUs Us(std::int64_t v) { return v; }
+constexpr TimeUs Ms(std::int64_t v) { return v * 1000; }
+constexpr TimeUs Sec(std::int64_t v) { return v * 1000 * 1000; }
+
+/** Convert simulated time to floating-point milliseconds / seconds. */
+constexpr double ToMs(TimeUs t) { return static_cast<double>(t) / 1e3; }
+constexpr double ToSec(TimeUs t) { return static_cast<double>(t) / 1e6; }
+
+/**
+ * The RCKM token-issuing period (Section 3.4.1: the Interception Library
+ * asks for tokens from the RCKM server periodically, e.g. 5 ms).
+ * The GPU simulator also advances contention accounting at this quantum.
+ */
+constexpr TimeUs kTokenPeriodUs = Ms(5);
+
+/**
+ * A GPU compute share: fraction of a device's SMs in [0, 1].
+ * The paper expresses these as SM rates (SMR), e.g. 30% = 0.30.
+ */
+using SmRate = double;
+
+/** Unique id of a deployed function (a model + task-type + QoS bundle). */
+using FunctionId = std::int32_t;
+
+/** Unique id of a running function instance (container analogue). */
+using InstanceId = std::int32_t;
+
+/** Unique id of a physical GPU in the cluster. */
+using GpuId = std::int32_t;
+
+/** Unique id of a cluster node (server hosting several GPUs). */
+using NodeId = std::int32_t;
+
+constexpr FunctionId kInvalidFunction = -1;
+constexpr InstanceId kInvalidInstance = -1;
+constexpr GpuId kInvalidGpu = -1;
+
+/** Task type of a DL function. Inference tasks are SLO-sensitive. */
+enum class TaskType {
+  kInference,
+  kTraining,
+};
+
+/** Human-readable task type name. */
+inline const char* ToString(TaskType t) {
+  return t == TaskType::kInference ? "inference" : "training";
+}
+
+/**
+ * The paper's <request, limit> SM quota pair (Table 1).
+ *
+ * `request` is the minimum compute share that still meets QoS (80% of
+ * exclusive training throughput, or the inference SLO); `limit` is the
+ * cost-effective ceiling used to absorb bursts. Dilu is distinguished
+ * from MPS by allowing request != limit and by adjusting the actually
+ * issued share between the two at runtime.
+ */
+struct SmQuota {
+  SmRate request = 0.0;
+  SmRate limit = 0.0;
+};
+
+}  // namespace dilu
+
+#endif  // DILU_COMMON_TYPES_H_

@@ -1,0 +1,4 @@
+#include "core/function_spec.h"
+
+// FunctionSpec is a passive aggregate; this translation unit exists so
+// the header has a home in the library and stays cheap to include.

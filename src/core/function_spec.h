@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Developer-facing DL function specification (Section 3.1 step 1):
+ * model + task type + QoS description, optionally pre-profiled. This is
+ * what a user "submits" to Dilu; the profiler fills the resourcing
+ * metadata (<request, limit>, IBS) when it is absent.
+ */
+#ifndef DILU_CORE_FUNCTION_SPEC_H_
+#define DILU_CORE_FUNCTION_SPEC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace dilu::core {
+
+/** A serverless DL function definition. */
+struct FunctionSpec {
+  /** Display name; defaults to the model name when empty. */
+  std::string name;
+
+  /** Catalog model name (see models::AllModels). */
+  std::string model;
+
+  TaskType type = TaskType::kInference;
+
+  /**
+   * Inference: number of GPU shards per instance (LLMs deployed over
+   * several fragmented GPUs use > 1; Section 3.3 Principle 2).
+   */
+  int shards = 1;
+
+  /** Training: number of lockstep workers (DDP / pipeline stages). */
+  int workers = 1;
+
+  /** Training: stop after this many iterations (0 = run forever). */
+  std::int64_t target_iterations = 0;
+
+  /**
+   * Functions whose instances exhibit high workload affinity with this
+   * one (Principle 1); the scheduler prefers collocating with them.
+   */
+  std::vector<FunctionId> affinity;
+
+  /**
+   * Sharing priority: >0 marks the function "productive"/high-priority
+   * for priority-based arbiters (TGS). -1 = auto: inference resolves
+   * to 1, training to 0 (opportunistic).
+   */
+  int priority = -1;
+
+  // --- resourcing metadata; 0/empty means "profile on deploy" ---
+  int ibs = 0;               ///< inference batch size
+  SmQuota quota{0.0, 0.0};   ///< <request, limit> SM quotas (per instance)
+  double per_instance_rps = 0.0;  ///< profiled serving throughput
+
+  /** Effective display name. */
+  const std::string& display_name() const {
+    return name.empty() ? model : name;
+  }
+};
+
+}  // namespace dilu::core
+
+#endif  // DILU_CORE_FUNCTION_SPEC_H_

@@ -1,0 +1,183 @@
+#include "core/system.h"
+
+#include "common/logging.h"
+
+namespace dilu::core {
+
+SystemConfig
+SystemConfig::Preset(const std::string& name)
+{
+  SystemConfig cfg;
+  cluster::ClusterConfig& c = cfg.cluster;
+  if (name == "dilu") {
+    // defaults already encode the full system
+  } else if (name == "exclusive") {
+    c.sharing = "static";
+    c.scheduler = "exclusive";
+    c.quota_mode = "full";
+  } else if (name == "mps-l") {
+    c.sharing = "static";
+    c.scheduler = "static";
+    c.quota_mode = "limit";
+  } else if (name == "mps-r") {
+    c.sharing = "static";
+    c.scheduler = "static";
+    c.quota_mode = "request";
+  } else if (name == "tgs") {
+    c.sharing = "tgs";
+    c.scheduler = "static";
+    c.quota_mode = "limit";
+  } else if (name == "fastgs") {
+    c.sharing = "fastgs";
+    c.scheduler = "static";
+    c.quota_mode = "limit";
+  } else if (name == "infless-l") {
+    c.sharing = "static";
+    c.scheduler = "static";
+    c.quota_mode = "limit";
+    c.warm_starts = true;  // layered caches / pre-warming
+  } else if (name == "infless-r") {
+    c.sharing = "static";
+    c.scheduler = "static";
+    c.quota_mode = "request";
+    c.warm_starts = true;
+  } else {
+    Fatal("unknown system preset: " + name);
+  }
+  return cfg;
+}
+
+System::System(SystemConfig config)
+    : runtime_(std::make_unique<cluster::ClusterRuntime>(config.cluster))
+{
+}
+
+System::~System() = default;
+
+FunctionId
+System::DeployInference(const std::string& model)
+{
+  FunctionSpec spec;
+  spec.model = model;
+  spec.type = TaskType::kInference;
+  return runtime_->Deploy(spec);
+}
+
+FunctionId
+System::Deploy(const FunctionSpec& spec)
+{
+  return runtime_->Deploy(spec);
+}
+
+FunctionId
+System::DeployTraining(const std::string& model, int workers,
+                       std::int64_t target_iterations)
+{
+  FunctionSpec spec;
+  spec.model = model;
+  spec.type = TaskType::kTraining;
+  spec.workers = workers;
+  spec.target_iterations = target_iterations;
+  return runtime_->Deploy(spec);
+}
+
+void
+System::Provision(FunctionId fn, int count)
+{
+  for (int i = 0; i < count; ++i) {
+    runtime_->LaunchInference(fn, /*cold=*/false);
+  }
+}
+
+InstanceId
+System::ProvisionOn(FunctionId fn, const std::vector<GpuId>& gpus)
+{
+  return runtime_->LaunchInferenceOn(fn, gpus, /*cold=*/false);
+}
+
+bool
+System::StartTraining(FunctionId fn, bool cold)
+{
+  return runtime_->StartTraining(fn, cold);
+}
+
+bool
+System::StartTrainingOn(FunctionId fn, const std::vector<GpuId>& gpus,
+                        bool cold)
+{
+  return runtime_->StartTrainingOn(fn, gpus, cold);
+}
+
+void
+System::DrivePoisson(FunctionId fn, double rps, TimeUs duration)
+{
+  runtime_->AttachArrivals(
+      fn,
+      std::make_unique<workload::PoissonArrivals>(rps,
+                                                  Rng(workload_seed_++)),
+      runtime_->now() + duration);
+}
+
+void
+System::DriveGamma(FunctionId fn, double rps, double cv, TimeUs duration)
+{
+  runtime_->AttachArrivals(
+      fn,
+      std::make_unique<workload::GammaArrivals>(rps, cv,
+                                                Rng(workload_seed_++)),
+      runtime_->now() + duration);
+}
+
+void
+System::DriveEnvelope(FunctionId fn, std::vector<double> rps_per_second,
+                      TimeUs duration)
+{
+  runtime_->AttachArrivals(
+      fn,
+      std::make_unique<workload::EnvelopeArrivals>(
+          std::move(rps_per_second), Rng(workload_seed_++)),
+      runtime_->now() + duration);
+}
+
+void
+System::EnableCoScaling(FunctionId fn, const std::string& policy)
+{
+  runtime_->EnableAutoscaler(fn, scaling::MakeHorizontalPolicy(policy));
+}
+
+void
+System::RunFor(TimeUs duration)
+{
+  runtime_->RunFor(duration);
+}
+
+InferenceReport
+System::MakeInferenceReport(FunctionId fn) const
+{
+  const cluster::FunctionMetrics& m = runtime_->metrics().function(fn);
+  InferenceReport r;
+  r.name = m.name;
+  r.p50_ms = m.latency_ms.P50();
+  r.p95_ms = m.latency_ms.P95();
+  r.mean_ms = m.latency_ms.mean();
+  r.svr_percent = m.SvrPercent();
+  r.completed = m.completed;
+  r.cold_starts = m.cold_starts;
+  return r;
+}
+
+TrainingReport
+System::MakeTrainingReport(FunctionId fn) const
+{
+  const cluster::DeployedFunction& f = runtime_->function(fn);
+  TrainingReport r;
+  r.name = f.spec.display_name();
+  r.unit = f.model->throughput_unit;
+  r.throughput_units = runtime_->TrainingThroughputUnits(fn);
+  if (f.job) r.iterations = f.job->stats().iterations_completed;
+  const TimeUs jct = runtime_->TrainingJct(fn);
+  r.jct_s = jct < 0 ? -1.0 : ToSec(jct);
+  return r;
+}
+
+}  // namespace dilu::core

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * dilu::core::System — the public API of the library.
+ *
+ * A System is one serverless DL deployment: a GPU cluster plus the Dilu
+ * control/scaling planes (or a named baseline configuration). Typical
+ * use (see examples/quickstart.cc):
+ *
+ *   dilu::core::SystemConfig cfg;           // defaults = Dilu policies
+ *   dilu::core::System system(cfg);
+ *   auto fn = system.DeployInference("roberta-large");
+ *   system.Provision(fn, 2);                // two warm instances
+ *   system.DrivePoisson(fn, 30.0, dilu::Sec(120));
+ *   system.EnableCoScaling(fn);
+ *   system.RunFor(dilu::Sec(120));
+ *   auto report = system.InferenceReport(fn);
+ *
+ * Baselines are one knob away: SystemConfig::Preset("mps-l") etc., so
+ * every evaluation experiment is a handful of lines.
+ */
+#ifndef DILU_CORE_SYSTEM_H_
+#define DILU_CORE_SYSTEM_H_
+
+#include <memory>
+#include <string>
+
+#include "cluster/cluster.h"
+#include "core/function_spec.h"
+
+namespace dilu::core {
+
+/** Top-level configuration; wraps ClusterConfig with presets. */
+struct SystemConfig {
+  cluster::ClusterConfig cluster;
+
+  /**
+   * Named preset configurations matching the paper's baselines:
+   *   "dilu"       — full system (default)
+   *   "exclusive"  — whole-GPU allocation
+   *   "mps-l"      — static MPS with limit quotas
+   *   "mps-r"      — static MPS with request quotas
+   *   "tgs"        — TGS priority temporal sharing
+   *   "fastgs"     — FaST-GS spatio-temporal sharing (+overhead)
+   *   "infless-l"  — INFless+ scheduling/keep-alive with limit quotas
+   *   "infless-r"  — same with request quotas
+   */
+  static SystemConfig Preset(const std::string& name);
+};
+
+/** Per-function serving report (inference). */
+struct InferenceReport {
+  std::string name;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double mean_ms = 0.0;
+  double svr_percent = 0.0;
+  std::int64_t completed = 0;
+  int cold_starts = 0;
+};
+
+/** Per-function training report. */
+struct TrainingReport {
+  std::string name;
+  double throughput_units = 0.0;  ///< images/s or tokens/s
+  std::string unit;
+  std::int64_t iterations = 0;
+  double jct_s = -1.0;  ///< job completion time (-1 if unfinished)
+};
+
+/** The assembled Dilu system (or a baseline configuration of it). */
+class System {
+ public:
+  explicit System(SystemConfig config = {});
+  ~System();
+
+  System(const System&) = delete;
+  System& operator=(const System&) = delete;
+
+  /** Deploy an inference function for `model` (profiles on deploy). */
+  FunctionId DeployInference(const std::string& model);
+
+  /** Deploy with a fully specified spec (shards, affinity, quotas...). */
+  FunctionId Deploy(const FunctionSpec& spec);
+
+  /** Deploy a training function. */
+  FunctionId DeployTraining(const std::string& model, int workers,
+                            std::int64_t target_iterations = 0);
+
+  /** Launch `count` warm inference instances (no cold-start charge). */
+  void Provision(FunctionId fn, int count);
+
+  /** Launch one instance on explicit GPUs (collocation experiments). */
+  InstanceId ProvisionOn(FunctionId fn, const std::vector<GpuId>& gpus);
+
+  /** Place + start a training job (scheduler placement). */
+  bool StartTraining(FunctionId fn, bool cold = false);
+
+  /** Start training on explicit per-worker GPUs. */
+  bool StartTrainingOn(FunctionId fn, const std::vector<GpuId>& gpus,
+                       bool cold = false);
+
+  // --- workload drivers -------------------------------------------------
+  void DrivePoisson(FunctionId fn, double rps, TimeUs duration);
+  void DriveGamma(FunctionId fn, double rps, double cv, TimeUs duration);
+  void DriveEnvelope(FunctionId fn, std::vector<double> rps_per_second,
+                     TimeUs duration);
+
+  /** Enable Dilu's lazy co-scaling loop (or another policy by name). */
+  void EnableCoScaling(FunctionId fn,
+                       const std::string& policy = "dilu-lazy");
+
+  /** Advance simulated time. */
+  void RunFor(TimeUs duration);
+
+  // --- results -----------------------------------------------------------
+  InferenceReport MakeInferenceReport(FunctionId fn) const;
+  TrainingReport MakeTrainingReport(FunctionId fn) const;
+
+  /** Underlying runtime for advanced inspection (benches). */
+  cluster::ClusterRuntime& runtime() { return *runtime_; }
+  const cluster::ClusterRuntime& runtime() const { return *runtime_; }
+
+  TimeUs now() const { return runtime_->now(); }
+
+ private:
+  std::unique_ptr<cluster::ClusterRuntime> runtime_;
+  std::uint64_t workload_seed_ = 0x57F00D;
+};
+
+}  // namespace dilu::core
+
+#endif  // DILU_CORE_SYSTEM_H_

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Discrete-event GPU device model.
+ *
+ * This is the hardware substitution for the paper's A100s (DESIGN.md §1):
+ * GPU time advances in 5 ms token quanta; within each quantum, attached
+ * instances declare a compute *demand* (the SM share their currently
+ * queued kernel blocks could productively use) and a per-GPU
+ * ShareArbiter — the pluggable sharing policy (Dilu RCKM tokens, static
+ * MPS, TGS, FaST-GS, exclusive) — grants shares. Oversubscribed grants
+ * are squeezed proportionally, which stretches kernel-launch cycles
+ * exactly as SM contention does on real hardware; that inflation is the
+ * signal Algorithm 2 reacts to.
+ */
+#ifndef DILU_GPUSIM_GPU_H_
+#define DILU_GPUSIM_GPU_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace dilu::gpusim {
+
+/**
+ * The execution-side interface a running function instance exposes to
+ * the GPU engine (the simulator analogue of the CUDA stream + the
+ * Interception Library's kernel queue).
+ *
+ * A multi-GPU instance (e.g. pipeline-parallel LLaMA2) attaches to
+ * several GPUs with distinct `slot` indices.
+ */
+class GpuClient {
+ public:
+  virtual ~GpuClient() = default;
+
+  /** Owning instance id (for arbiter bookkeeping). */
+  virtual InstanceId client_id() const = 0;
+
+  /**
+   * SM share in [0, 1] the client could productively consume on `slot`
+   * during the next quantum: 0 when idle or in a communication phase,
+   * up to the model's saturation share while kernels are queued.
+   */
+  virtual double ComputeDemand(int slot) = 0;
+
+  /** Deliver the granted share for `slot` this quantum. */
+  virtual void OnGrant(int slot, double share) = 0;
+
+  /**
+   * Called once per quantum (after all slots received grants): advance
+   * in-flight work by `quantum` at the granted shares.
+   */
+  virtual void FinishQuantum(TimeUs quantum) = 0;
+
+  /**
+   * Introspection for token-based arbiters (the RCKM): kernel blocks
+   * launched during the previous quantum on `slot`. The simulator
+   * equates executed and launched blocks (granted share * capacity).
+   */
+  virtual double BlocksLaunchedLastQuantum(int slot) const;
+
+  /**
+   * Relative kernel-launching-cycle inflation dT = (T_cur - T_min)/T_min
+   * (Algorithm 2 line 13). Instances compute it from their KlcMonitor;
+   * non-SLO-sensitive clients may return 0.
+   */
+  virtual double KlcInflation() const;
+};
+
+/** One instance's attachment to one GPU. */
+struct Attachment {
+  GpuClient* client = nullptr;
+  InstanceId id = kInvalidInstance;
+  int slot = 0;                ///< client's shard index for this GPU
+  TaskType type = TaskType::kInference;
+  SmQuota quota;               ///< profiled <request, limit>
+  SmRate static_share = 1.0;   ///< quota for static (MPS-style) arbiters
+  double memory_gb = 0.0;
+  int priority = 0;            ///< TGS: >0 means productive/high priority
+
+  // Per-quantum scratch written by the engine/arbiter:
+  double demand = 0.0;
+  double granted = 0.0;
+};
+
+class ShareArbiter;
+
+/**
+ * One simulated GPU device: memory capacity plus a set of attachments.
+ * Compute capacity is normalized to share 1.0 (= all SMs).
+ */
+class Gpu {
+ public:
+  Gpu(GpuId id, double memory_gb);
+
+  GpuId id() const { return id_; }
+  double memory_capacity_gb() const { return memory_capacity_gb_; }
+  double memory_used_gb() const;
+  bool occupied() const { return !attachments_.empty(); }
+
+  /** Attach an instance shard; fails (Fatal) on memory overflow. */
+  void Attach(const Attachment& att);
+
+  /** Detach every shard of instance `id` from this GPU. */
+  void Detach(InstanceId id);
+
+  /** True iff instance `id` has a shard here. */
+  bool Has(InstanceId id) const;
+
+  std::vector<Attachment>& attachments() { return attachments_; }
+  const std::vector<Attachment>& attachments() const { return attachments_; }
+
+  /** Sum of granted shares last quantum (current compute utilization). */
+  double used_share() const { return used_share_; }
+
+  /** Sum of static shares (what MPS-style allocation reserved). */
+  double reserved_static_share() const;
+
+  /** Sum of request quotas (what Dilu reserved). */
+  double reserved_request_share() const;
+
+  /** Sum of limit quotas. */
+  double reserved_limit_share() const;
+
+  /** Record the post-arbitration utilization for this quantum. */
+  void RecordQuantum(TimeUs now);
+
+  /** Time-weighted average compute utilization since attach. */
+  double AverageUtilization(TimeUs now) const;
+
+  /**
+   * Integral of granted share over time (share-microseconds),
+   * convertible to executed kernel blocks:
+   * blocks = integral / kTokenPeriodUs * kBlocksPerQuantum.
+   */
+  double UtilizationIntegral(TimeUs now) const;
+
+ private:
+  GpuId id_;
+  double memory_capacity_gb_;
+  std::vector<Attachment> attachments_;
+  double used_share_ = 0.0;
+  TimeWeighted utilization_;
+};
+
+/**
+ * Pluggable per-GPU sharing policy: given the quantum's demands, decide
+ * each attachment's granted share. Implementations: rckm::DiluArbiter,
+ * gpusim::StaticArbiter (MPS / Exclusive), baselines::TgsArbiter,
+ * baselines::FastGsArbiter.
+ */
+class ShareArbiter {
+ public:
+  virtual ~ShareArbiter() = default;
+
+  /** Resolve grants for one quantum; writes Attachment::granted. */
+  virtual void Resolve(Gpu& gpu, TimeUs now) = 0;
+
+  /** Notification hooks for stateful arbiters. */
+  virtual void OnAttach(Gpu& gpu, const Attachment& att);
+  virtual void OnDetach(Gpu& gpu, InstanceId id);
+
+  /** Policy name, for logs and bench tables. */
+  virtual std::string name() const = 0;
+};
+
+/**
+ * Static spatial partitioning: the MPS analogue. Each instance executes
+ * at `min(demand, static_share)`; idle co-runner quota is *not*
+ * reusable (the core inefficiency Dilu removes). If the sum of grants
+ * exceeds device capacity (MPS-l with gamma > 1), grants are squeezed
+ * proportionally, modelling SM contention.
+ *
+ * With a single attachment whose static_share is 1.0 this doubles as
+ * the Exclusive baseline.
+ */
+class StaticArbiter : public ShareArbiter {
+ public:
+  void Resolve(Gpu& gpu, TimeUs now) override;
+  std::string name() const override { return "static-mps"; }
+};
+
+/** Squeeze grants proportionally so their sum fits device capacity. */
+void SqueezeToCapacity(std::vector<Attachment>& atts);
+
+}  // namespace dilu::gpusim
+
+#endif  // DILU_GPUSIM_GPU_H_

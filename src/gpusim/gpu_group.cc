@@ -1,0 +1,120 @@
+#include "gpusim/gpu_group.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace dilu::gpusim {
+
+GpuGroup::GpuGroup(sim::Simulation* sim, ArbiterFactory factory,
+                   TimeUs quantum)
+    : sim_(sim), factory_(std::move(factory)), quantum_(quantum)
+{
+  DILU_CHECK(sim_ != nullptr);
+  DILU_CHECK(quantum_ > 0);
+}
+
+GpuId
+GpuGroup::AddGpu(double memory_gb)
+{
+  const GpuId id = static_cast<GpuId>(gpus_.size());
+  gpus_.push_back(std::make_unique<Gpu>(id, memory_gb));
+  arbiters_.push_back(factory_(id));
+  return id;
+}
+
+Gpu&
+GpuGroup::gpu(GpuId id)
+{
+  DILU_CHECK(id >= 0 && static_cast<std::size_t>(id) < gpus_.size());
+  return *gpus_[id];
+}
+
+const Gpu&
+GpuGroup::gpu(GpuId id) const
+{
+  DILU_CHECK(id >= 0 && static_cast<std::size_t>(id) < gpus_.size());
+  return *gpus_[id];
+}
+
+ShareArbiter&
+GpuGroup::arbiter(GpuId id)
+{
+  DILU_CHECK(id >= 0 && static_cast<std::size_t>(id) < arbiters_.size());
+  return *arbiters_[id];
+}
+
+void
+GpuGroup::Attach(GpuId id, const Attachment& att)
+{
+  Gpu& g = gpu(id);
+  g.Attach(att);
+  arbiters_[id]->OnAttach(g, att);
+}
+
+void
+GpuGroup::DetachEverywhere(InstanceId instance)
+{
+  for (std::size_t i = 0; i < gpus_.size(); ++i) {
+    if (gpus_[i]->Has(instance)) {
+      arbiters_[i]->OnDetach(*gpus_[i], instance);
+      gpus_[i]->Detach(instance);
+    }
+  }
+}
+
+void
+GpuGroup::Start()
+{
+  if (started_) return;
+  started_ = true;
+  sim_->SchedulePeriodic(sim_->now() + quantum_, quantum_,
+                         [this] { Tick(); });
+}
+
+void
+GpuGroup::TickOnce()
+{
+  Tick();
+}
+
+void
+GpuGroup::Tick()
+{
+  // Phase 1: demands.
+  for (auto& g : gpus_) {
+    for (Attachment& a : g->attachments()) {
+      a.demand = std::clamp(a.client->ComputeDemand(a.slot), 0.0, 1.0);
+      a.granted = 0.0;
+    }
+  }
+  // Phase 2: per-GPU arbitration.
+  const TimeUs now = sim_->now();
+  for (std::size_t i = 0; i < gpus_.size(); ++i) {
+    if (!gpus_[i]->attachments().empty()) {
+      arbiters_[i]->Resolve(*gpus_[i], now);
+    }
+  }
+  // Phase 3: deliver grants.
+  for (auto& g : gpus_) {
+    for (Attachment& a : g->attachments()) {
+      a.client->OnGrant(a.slot, a.granted);
+    }
+  }
+  // Phase 4: advance each distinct client exactly once.
+  std::vector<GpuClient*> clients;
+  for (auto& g : gpus_) {
+    for (Attachment& a : g->attachments()) {
+      if (std::find(clients.begin(), clients.end(), a.client)
+          == clients.end()) {
+        clients.push_back(a.client);
+      }
+    }
+  }
+  for (GpuClient* c : clients) c->FinishQuantum(quantum_);
+
+  // Phase 5: utilization accounting.
+  for (auto& g : gpus_) g->RecordQuantum(now);
+}
+
+}  // namespace dilu::gpusim

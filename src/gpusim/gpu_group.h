@@ -1,0 +1,79 @@
+/**
+ * @file
+ * GpuGroup: the fleet of simulated GPUs plus the global 5 ms quantum
+ * engine that drives them in lockstep.
+ *
+ * Ticking every GPU at the same instant lets multi-GPU (pipeline
+ * parallel) instances aggregate per-shard grants consistently, and it
+ * mirrors the paper's implementation where each GPU device is managed by
+ * a dedicated RCKM thread on a common period.
+ */
+#ifndef DILU_GPUSIM_GPU_GROUP_H_
+#define DILU_GPUSIM_GPU_GROUP_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "gpusim/gpu.h"
+#include "sim/simulation.h"
+
+namespace dilu::gpusim {
+
+/** Creates the sharing policy for a newly added GPU. */
+using ArbiterFactory = std::function<std::unique_ptr<ShareArbiter>(GpuId)>;
+
+/**
+ * Owns all GPUs in the simulated cluster and the quantum loop.
+ *
+ * Per quantum: (1) collect demands from every attachment, (2) run each
+ * GPU's arbiter, (3) deliver grants, (4) let each distinct client
+ * advance its in-flight work once, (5) record utilization.
+ */
+class GpuGroup {
+ public:
+  /**
+   * @param sim        simulation driver providing the periodic tick
+   * @param factory    builds one arbiter per GPU
+   * @param quantum    token period (defaults to the paper's 5 ms)
+   */
+  GpuGroup(sim::Simulation* sim, ArbiterFactory factory,
+           TimeUs quantum = kTokenPeriodUs);
+
+  /** Add a GPU; returns its id (dense, starting at 0). */
+  GpuId AddGpu(double memory_gb);
+
+  Gpu& gpu(GpuId id);
+  const Gpu& gpu(GpuId id) const;
+  std::size_t gpu_count() const { return gpus_.size(); }
+
+  ShareArbiter& arbiter(GpuId id);
+
+  /** Attach an instance shard to a GPU (notifies the arbiter). */
+  void Attach(GpuId id, const Attachment& att);
+
+  /** Detach an instance from every GPU it occupies. */
+  void DetachEverywhere(InstanceId instance);
+
+  TimeUs quantum() const { return quantum_; }
+
+  /** Begin ticking (idempotent). Call after the first attachment. */
+  void Start();
+
+  /** Run one quantum synchronously (used by unit tests). */
+  void TickOnce();
+
+ private:
+  void Tick();
+
+  sim::Simulation* sim_;
+  ArbiterFactory factory_;
+  TimeUs quantum_;
+  std::vector<std::unique_ptr<Gpu>> gpus_;
+  std::vector<std::unique_ptr<ShareArbiter>> arbiters_;
+  bool started_ = false;
+};
+
+}  // namespace dilu::gpusim
+
+#endif  // DILU_GPUSIM_GPU_GROUP_H_

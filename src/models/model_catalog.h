@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Catalog of the DL models used throughout the paper's evaluation
+ * (Section 5.1): ResNet152, VGG19, BERT-base, RoBERTa-large, GPT2-large,
+ * LLaMA2-7B and ChatGLM3-6B.
+ *
+ * Because this reproduction has no physical A100s, each model carries an
+ * analytic cost model (see cost_model.h) calibrated so that the *shapes*
+ * the paper depends on hold: saturating SMR->throughput curves with
+ * marginal effects (Fig 4), sub-linear batch scaling, communication
+ * idle phases in distributed training (Observation-2), and model-size
+ * dependent cold starts.
+ */
+#ifndef DILU_MODELS_MODEL_CATALOG_H_
+#define DILU_MODELS_MODEL_CATALOG_H_
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace dilu::models {
+
+/** Broad family; LLMs get pipeline-parallel deployment treatment. */
+enum class ModelFamily {
+  kVision,
+  kNlp,
+  kLlm,
+};
+
+/**
+ * Static description + analytic cost model of one DL model.
+ *
+ * Inference latency at batch B and SM share s:
+ *   t(B, s) = t0 * B^batch_exp / speed(B, s)
+ * where speed saturates at s_sat(B) = clamp(sat_base * B^sat_exp, .., 1):
+ * below saturation speed is linear in s; above it only a small residual
+ * `post_sat_slope` remains (the paper's "marginal effect", e.g. the 2%
+ * RoBERTa-large gain from 50% -> 100% SMR at IBS=4).
+ *
+ * Training: each iteration is a compute phase (full-GPU duration
+ * `train_iter_ms`, saturating at `train_sat`) followed by a
+ * communication/bubble phase `train_comm_ms` during which the GPU idles
+ * (gradient sync for DDP, pipeline bubbles for LLM fine-tuning).
+ */
+struct ModelProfile {
+  std::string name;
+  ModelFamily family = ModelFamily::kNlp;
+
+  /** Parameter size (GB); drives cold-start weight loading. */
+  double param_gb = 0.0;
+  /** Resident GPU memory for an inference instance (GB). */
+  double mem_gb_inference = 0.0;
+  /** Resident GPU memory per training worker (GB). */
+  double mem_gb_training = 0.0;
+
+  /** Inference SLO (ms). For LLMs this bounds time-per-output-token. */
+  double slo_ms = 0.0;
+
+  // --- inference cost model ---
+  double infer_t0_ms = 0.0;     ///< batch-1 latency at full GPU
+  double batch_exp = 0.65;      ///< B^batch_exp work growth (sub-linear)
+  double sat_base = 0.25;       ///< s_sat(1)
+  double sat_exp = 0.5;         ///< saturation growth with batch
+  double post_sat_slope = 0.04; ///< residual speedup above saturation
+  int max_batch = 32;           ///< largest batch the runtime will form
+
+  // --- training cost model ---
+  double train_iter_ms = 0.0;   ///< full-GPU compute per iteration
+  double train_sat = 0.85;      ///< compute-phase saturation share
+  double train_comm_ms = 0.0;   ///< comm / bubble (GPU idle) per iter
+  int train_batch = 32;         ///< per-worker batch size
+  double samples_per_unit = 1.0;///< images or tokens per sample
+  std::string throughput_unit = "samples/s";
+};
+
+/** Returns the profile for `name`; calls Fatal() on unknown names. */
+const ModelProfile& GetModel(const std::string& name);
+
+/** True iff `name` is in the catalog. */
+bool HasModel(const std::string& name);
+
+/** All catalog entries (stable order, as listed in the paper). */
+const std::vector<ModelProfile>& AllModels();
+
+}  // namespace dilu::models
+
+#endif  // DILU_MODELS_MODEL_CATALOG_H_

@@ -1,0 +1,75 @@
+#include "profiler/training_profiler.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "models/cost_model.h"
+
+namespace dilu::profiler {
+namespace {
+
+/** Snap a rate onto the measurement grid (rounded up). */
+SmRate SnapUp(SmRate s, SmRate grid)
+{
+  return std::min(1.0, std::ceil(s / grid - 1e-9) * grid);
+}
+
+}  // namespace
+
+TrainingProfiler::TrainingProfiler(TrainingProfilerConfig config)
+    : config_(config)
+{
+  DILU_CHECK(config_.tolerance > 0.0);
+  DILU_CHECK(config_.grid > 0.0);
+}
+
+SmRate
+TrainingProfiler::SearchRate(const models::ModelProfile& model,
+                             double fraction, int* trials) const
+{
+  DILU_CHECK(trials != nullptr);
+  // Trial 1: exclusive throughput at high = 100% SMR.
+  const double t1 = models::TrainingThroughput(model, 1.0, 1);
+  ++*trials;
+  const double target = t1 * fraction;
+  const double band = t1 * config_.tolerance;
+
+  SmRate low = 0.0;
+  SmRate high = 1.0;
+  SmRate best = 1.0;
+  for (int i = 0; i < config_.max_iterations; ++i) {
+    const SmRate mid = SnapUp((low + high) / 2.0, config_.grid);
+    const double t = models::TrainingThroughput(model, mid, 1);
+    ++*trials;
+    if (std::abs(t - target) <= band) {
+      best = mid;
+      break;
+    }
+    if (t < target) {
+      low = mid;  // underprovisioned
+      best = std::min(1.0, mid + config_.grid);
+    } else {
+      high = mid;
+      best = mid;
+    }
+    if (high - low <= config_.grid + 1e-9) break;
+  }
+  return best;
+}
+
+TrainingProfile
+TrainingProfiler::Profile(const models::ModelProfile& model) const
+{
+  TrainingProfile result;
+  result.quota.request =
+      SearchRate(model, config_.request_fraction, &result.trials);
+  result.quota.limit =
+      SearchRate(model, config_.limit_fraction, &result.trials);
+  if (result.quota.limit < result.quota.request) {
+    result.quota.limit = result.quota.request;
+  }
+  return result;
+}
+
+}  // namespace dilu::profiler

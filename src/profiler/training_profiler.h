@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Binary-search training profiler (Section 3.2).
+ *
+ * Records exclusive throughput T1 at 100% SMR, then binary-searches the
+ * SM rate whose throughput reaches T1 * p (within +-2%). p = 0.8 yields
+ * the `request` quota, p = 1.0 the `limit` quota.
+ *
+ * Trials "pre-run" the workload; in this reproduction a trial evaluates
+ * the analytic cost model, but the trial *count* — the paper's
+ * profiling-efficiency metric (Table 2) — is faithfully accounted.
+ */
+#ifndef DILU_PROFILER_TRAINING_PROFILER_H_
+#define DILU_PROFILER_TRAINING_PROFILER_H_
+
+#include "common/types.h"
+#include "models/model_catalog.h"
+
+namespace dilu::profiler {
+
+/** Outcome of profiling one training function. */
+struct TrainingProfile {
+  SmQuota quota;        ///< <request, limit>
+  int trials = 0;       ///< pre-running iterations consumed
+};
+
+/** Configuration for the binary search. */
+struct TrainingProfilerConfig {
+  double request_fraction = 0.8;  ///< p for the request quota
+  double limit_fraction = 1.0;    ///< p for the limit quota
+  double tolerance = 0.02;        ///< +-2% acceptance band
+  int max_iterations = 12;        ///< search safety bound
+  SmRate grid = 0.05;             ///< SMR measurement granularity
+};
+
+/** Profiles training functions via binary search over the SM rate. */
+class TrainingProfiler {
+ public:
+  explicit TrainingProfiler(TrainingProfilerConfig config = {});
+
+  /** Profile `model` (single-worker pre-run, as in the paper). */
+  TrainingProfile Profile(const models::ModelProfile& model) const;
+
+  /**
+   * One binary search for the SMR reaching `fraction` of exclusive
+   * throughput; `trials` accumulates pre-run count.
+   */
+  SmRate SearchRate(const models::ModelProfile& model, double fraction,
+                    int* trials) const;
+
+ private:
+  TrainingProfilerConfig config_;
+};
+
+}  // namespace dilu::profiler
+
+#endif  // DILU_PROFILER_TRAINING_PROFILER_H_

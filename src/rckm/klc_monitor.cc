@@ -1,0 +1,44 @@
+#include "rckm/klc_monitor.h"
+
+#include <algorithm>
+
+namespace dilu::rckm {
+
+void
+KlcMonitor::Record(int bucket, TimeUs klc)
+{
+  if (klc <= 0) return;
+  current_ = klc;
+  current_bucket_ = bucket;
+  auto it = min_by_bucket_.find(bucket);
+  if (it == min_by_bucket_.end()) {
+    min_by_bucket_[bucket] = klc;
+  } else {
+    it->second = std::min(it->second, klc);
+  }
+}
+
+TimeUs
+KlcMonitor::minimum() const
+{
+  auto it = min_by_bucket_.find(current_bucket_);
+  return it == min_by_bucket_.end() ? 0 : it->second;
+}
+
+double
+KlcMonitor::Inflation() const
+{
+  const TimeUs t_min = minimum();
+  if (t_min <= 0 || current_ <= 0) return 0.0;
+  return static_cast<double>(current_ - t_min) / static_cast<double>(t_min);
+}
+
+void
+KlcMonitor::Reset()
+{
+  min_by_bucket_.clear();
+  current_ = 0;
+  current_bucket_ = -1;
+}
+
+}  // namespace dilu::rckm

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Kernel-Launching-Cycle (KLC) monitor.
+ *
+ * Section 3.4.1: the RCKM detects SM contention from the inflation of an
+ * instance's per-iteration kernel-launching cycle (e.g. RoBERTa-large
+ * inference growing from 25 ms to 50 ms). This monitor records iteration
+ * durations and answers the relative change dT = (T_cur - T_min) / T_min
+ * consumed by Algorithm 2.
+ *
+ * Engineering note (deviation documented in DESIGN.md): dynamic batching
+ * changes the kernel count per iteration, so minima are tracked *per
+ * batch-size bucket* — otherwise a batch-8 iteration would look like
+ * contention relative to a batch-1 minimum.
+ */
+#ifndef DILU_RCKM_KLC_MONITOR_H_
+#define DILU_RCKM_KLC_MONITOR_H_
+
+#include <map>
+
+#include "common/types.h"
+
+namespace dilu::rckm {
+
+/** Tracks per-iteration KLC durations and their per-bucket minima. */
+class KlcMonitor {
+ public:
+  /**
+   * Record a completed iteration of duration `klc` executed with batch
+   * size `bucket` (use bucket = 0 for training iterations).
+   */
+  void Record(int bucket, TimeUs klc);
+
+  /**
+   * Relative inflation of the most recent iteration versus the bucket
+   * minimum: (T_cur - T_min) / T_min. Returns 0 before any data.
+   */
+  double Inflation() const;
+
+  /** Most recent iteration duration (0 before any data). */
+  TimeUs current() const { return current_; }
+
+  /** Minimum recorded duration for the current bucket (0 before data). */
+  TimeUs minimum() const;
+
+  /** Forget history (e.g. after migration or a long idle gap). */
+  void Reset();
+
+ private:
+  std::map<int, TimeUs> min_by_bucket_;
+  TimeUs current_ = 0;
+  int current_bucket_ = -1;
+};
+
+}  // namespace dilu::rckm
+
+#endif  // DILU_RCKM_KLC_MONITOR_H_

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Real-time CUDA Kernel Manager (RCKM): the paper's fast vertical
+ * scaling mechanism (Section 3.4.1, Algorithm 2).
+ *
+ * Every token period (5 ms) the manager issues each collocated instance
+ * a token budget — the number of CUDA kernel blocks it may launch this
+ * period — based on its profiled <request, limit> quota, its task type
+ * (SLO-sensitive or not), recent kernel-launch rate windows, and the
+ * KLC inflation signal. The DiluArbiter then converts token budgets into
+ * SM-share caps for the GPU engine, yielding introspective vertical
+ * elasticity: fast scale-up under bursts (EMERGENCY), gradual recovery
+ * toward limits when co-runners idle (RECOVERY), and fallback to
+ * requests under steady contention (CONTENTION).
+ */
+#ifndef DILU_RCKM_TOKEN_MANAGER_H_
+#define DILU_RCKM_TOKEN_MANAGER_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "gpusim/gpu.h"
+#include "models/cost_model.h"
+
+namespace dilu::rckm {
+
+/** Global per-GPU scaling state (Algorithm 2). */
+enum class ScalingState {
+  kNone,        ///< no collocation pressure
+  kEmergency,   ///< an SLO-sensitive instance saw KLC inflation
+  kRecovery,    ///< pressure released; co-runners regrow toward limits
+  kContention,  ///< steady multi-tenant load; hold at requests
+};
+
+const char* ToString(ScalingState s);
+
+/** Tunables for Algorithm 2 (paper defaults in parentheses). */
+struct TokenManagerConfig {
+  /** Max tokens issuable per period; the device executes
+   *  models::kBlocksPerQuantum blocks per period at full rate. The
+   *  Fig 18(b) sensitivity knob. */
+  double max_tokens = models::kBlocksPerQuantum;
+  /** KLC inflation threshold that triggers EMERGENCY (eta_violation). */
+  double eta_violation = 0.15;
+  /** Multiplicative regrowth factor in RECOVERY (eta_increase). */
+  double eta_increase = 1.25;
+  /** Rate-window length in token periods (8 * 5 ms = 40 ms). */
+  int rate_window = 8;
+  /** Cushion over the request for SLO-sensitive instances under steady
+   *  contention: the profiled request sits exactly at the exec budget,
+   *  so a small margin absorbs arbitration jitter without giving up
+   *  the <request, limit> band. */
+  double slo_cushion = 1.15;
+};
+
+/** Per-instance inputs sampled each period. */
+struct InstanceSample {
+  InstanceId id = kInvalidInstance;
+  bool slo_sensitive = false;
+  SmQuota quota;
+  double blocks_launched = 0.0;  ///< kernel blocks launched last period
+  double klc_inflation = 0.0;    ///< dT from the instance's KlcMonitor
+};
+
+/** Per-instance output: the issued token budget for this period. */
+struct TokenGrant {
+  double tokens = 0.0;
+};
+
+/**
+ * Algorithm 2 state machine for one GPU.
+ *
+ * Deviation note: line 27 of the paper divides the scale-down budget by
+ * dT, which *increases* it whenever dT < 1; we divide by
+ * max(1 + dT, 1) so the collocated instance always shrinks
+ * proportionally to the observed inflation (documented in DESIGN.md).
+ */
+class TokenManager {
+ public:
+  explicit TokenManager(TokenManagerConfig config = {});
+
+  /**
+   * Issue token budgets for all instances on the GPU for this period.
+   * `samples` must contain every currently attached instance.
+   */
+  std::map<InstanceId, TokenGrant> Tick(
+      const std::vector<InstanceSample>& samples);
+
+  /** Drop per-instance state (on instance termination). */
+  void Forget(InstanceId id);
+
+  ScalingState state() const { return state_; }
+  const TokenManagerConfig& config() const { return config_; }
+
+  /** Total tokens issued since construction (Fig 14 accounting). */
+  double total_tokens_issued() const { return total_issued_; }
+
+ private:
+  struct PerInstance {
+    std::deque<double> rate_window;
+    double last_issue = 0.0;
+    bool seen = false;
+    /** Resized down by an EMERGENCY; decays back toward the request
+     *  under CONTENTION (the paper's scale-down is "temporary"). */
+    bool suppressed = false;
+  };
+
+  double WindowSum(const PerInstance& s) const;
+  double OthersWindowSum(InstanceId self) const;
+
+  TokenManagerConfig config_;
+  ScalingState state_ = ScalingState::kNone;
+  InstanceId emergency_owner_ = kInvalidInstance;
+  double emergency_inflation_ = 0.0;
+  std::map<InstanceId, PerInstance> per_instance_;
+  double total_issued_ = 0.0;
+};
+
+/**
+ * The Dilu sharing policy for one GPU: runs the TokenManager each
+ * quantum, converts token budgets to SM-share caps
+ * (tokens / kBlocksPerQuantum), grants min(demand, cap) and squeezes
+ * proportionally if the device is oversubscribed — the squeeze is what
+ * produces KLC inflation and closes Algorithm 2's feedback loop.
+ */
+class DiluArbiter : public gpusim::ShareArbiter {
+ public:
+  explicit DiluArbiter(TokenManagerConfig config = {});
+
+  void Resolve(gpusim::Gpu& gpu, TimeUs now) override;
+  void OnDetach(gpusim::Gpu& gpu, InstanceId id) override;
+  std::string name() const override { return "dilu-rckm"; }
+
+  TokenManager& manager() { return manager_; }
+
+ private:
+  TokenManager manager_;
+};
+
+}  // namespace dilu::rckm
+
+#endif  // DILU_RCKM_TOKEN_MANAGER_H_

@@ -1,0 +1,31 @@
+#include "runtime/batcher.h"
+
+#include "common/logging.h"
+
+namespace dilu::runtime {
+
+void
+Batcher::Push(workload::Request* req)
+{
+  DILU_CHECK(req != nullptr);
+  queue_.push_back(req);
+}
+
+std::vector<workload::Request*>
+Batcher::PopBatch(int max_batch)
+{
+  std::vector<workload::Request*> batch;
+  while (!queue_.empty() && static_cast<int>(batch.size()) < max_batch) {
+    batch.push_back(queue_.front());
+    queue_.pop_front();
+  }
+  return batch;
+}
+
+TimeUs
+Batcher::OldestArrival() const
+{
+  return queue_.empty() ? -1 : queue_.front()->arrival;
+}
+
+}  // namespace dilu::runtime

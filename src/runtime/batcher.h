@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Request batching queue for inference instances.
+ *
+ * Dilu (like INFless and BATCH) executes inference in batches; the
+ * profiler picks the inference batch size (IBS) and the runtime greedily
+ * forms batches up to IBS from the pending queue whenever the GPU is
+ * free. Greedy formation keeps latency low at light load (batch of 1)
+ * and reaches IBS under pressure.
+ */
+#ifndef DILU_RUNTIME_BATCHER_H_
+#define DILU_RUNTIME_BATCHER_H_
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+#include "workload/request.h"
+
+namespace dilu::runtime {
+
+/** FIFO queue of pending requests with batch extraction. */
+class Batcher {
+ public:
+  /** Append a request (called at dispatch time). */
+  void Push(workload::Request* req);
+
+  /** Extract up to `max_batch` requests in arrival order. */
+  std::vector<workload::Request*> PopBatch(int max_batch);
+
+  std::size_t size() const { return queue_.size(); }
+  bool empty() const { return queue_.empty(); }
+
+  /** Oldest queued arrival time, or -1 when empty. */
+  TimeUs OldestArrival() const;
+
+ private:
+  std::deque<workload::Request*> queue_;
+};
+
+}  // namespace dilu::runtime
+
+#endif  // DILU_RUNTIME_BATCHER_H_

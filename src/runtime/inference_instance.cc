@@ -1,0 +1,206 @@
+#include "runtime/inference_instance.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "models/cost_model.h"
+
+namespace dilu::runtime {
+
+InferenceInstance::InferenceInstance(InstanceId id, FunctionId function,
+                                     const models::ModelProfile* model,
+                                     int ibs, sim::Simulation* sim,
+                                     TimeUs extra_latency_per_iter)
+    : Instance(id, function, model, TaskType::kInference, sim),
+      ibs_(ibs),
+      extra_latency_per_iter_(extra_latency_per_iter)
+{
+  DILU_CHECK(ibs >= 1);
+  granted_.assign(1, 0.0);
+  blocks_last_.assign(1, 0.0);
+}
+
+void
+InferenceInstance::Enqueue(workload::Request* req)
+{
+  DILU_CHECK(req != nullptr);
+  req->dispatched = sim_->now();
+  batcher_.Push(req);
+}
+
+TimeUs
+InferenceInstance::BatchWaitBudget() const
+{
+  // SLO-aware batching wait (INFless/BATCH style): a request may wait
+  // for co-batching as long as wait + 1.2x the full-batch execution
+  // time still fits the SLO. Keeps instances idle between batches at
+  // light load, which is what lets collocated tasks reclaim the SMs.
+  const TimeUs slo = static_cast<TimeUs>(model_->slo_ms * 1000.0);
+  const TimeUs exec =
+      models::InferenceIterationFull(*model_, ibs_) * 12 / 10;
+  return std::max<TimeUs>(0, slo - exec);
+}
+
+void
+InferenceInstance::MaybeStartBatch()
+{
+  if (in_flight_ || !running() || batcher_.empty()) return;
+  if (static_cast<int>(batcher_.size()) < ibs_) {
+    const TimeUs deadline = batcher_.OldestArrival() + BatchWaitBudget();
+    if (sim_->now() < deadline) return;  // keep collecting the batch
+  }
+  // Adaptive burst batching: the profiled IBS is the steady-state
+  // target, but when the queue piles up (a burst the vertical scaler is
+  // absorbing) larger batches convert the extra SM share granted by
+  // EMERGENCY tokens into real throughput headroom — the saturation
+  // share grows with the batch, so the extra SMs are not wasted.
+  int limit = ibs_;
+  if (static_cast<int>(batcher_.size()) >= 2 * ibs_) {
+    limit = std::min(2 * ibs_, model_->max_batch);
+  }
+  batch_ = batcher_.PopBatch(limit);
+  DILU_CHECK(!batch_.empty());
+  for (workload::Request* r : batch_) r->started = sim_->now();
+  in_flight_ = true;
+  progress_ = 0.0;
+  batch_started_ = sim_->now();
+  // Seed the KLC floor with the model's contention-free iteration time
+  // so inflation is measured against the ideal, not the first (possibly
+  // already contended) observation.
+  klc_.Record(static_cast<int>(batch_.size()),
+              models::InferenceIterationFull(
+                  *model_, static_cast<int>(batch_.size())));
+}
+
+double
+InferenceInstance::ComputeDemand(int slot)
+{
+  if (static_cast<std::size_t>(shard_count_) != granted_.size()) {
+    granted_.assign(static_cast<std::size_t>(shard_count_), 0.0);
+    blocks_last_.assign(static_cast<std::size_t>(shard_count_), 0.0);
+  }
+  if (slot == 0) MaybeStartBatch();
+  if (!in_flight_ || !running()) return 0.0;
+  // Each pipeline shard hosts 1/shard_count of the model; demand is the
+  // batch's saturation share spread across shards.
+  const double sat = models::SaturationShare(
+      *model_, static_cast<int>(batch_.size()));
+  return sat / static_cast<double>(shard_count_);
+}
+
+void
+InferenceInstance::OnGrant(int slot, double share)
+{
+  DILU_CHECK(slot >= 0
+             && static_cast<std::size_t>(slot) < granted_.size());
+  granted_[static_cast<std::size_t>(slot)] = share;
+}
+
+void
+InferenceInstance::FinishQuantum(TimeUs quantum)
+{
+  std::fill(blocks_last_.begin(), blocks_last_.end(), 0.0);
+  if (!in_flight_) {
+    std::fill(granted_.begin(), granted_.end(), 0.0);
+    return;
+  }
+  const int batch = static_cast<int>(batch_.size());
+  // Pipeline lockstep: the aggregate effective share is bounded by the
+  // slowest shard.
+  const double min_grant =
+      *std::min_element(granted_.begin(), granted_.end());
+  const double aggregate =
+      min_grant * static_cast<double>(shard_count_);
+  const double speed = models::InferenceSpeed(*model_, batch, aggregate);
+  if (speed <= 0.0) {
+    std::fill(granted_.begin(), granted_.end(), 0.0);
+    return;
+  }
+  const double t_full =
+      static_cast<double>(models::InferenceIterationFull(*model_, batch));
+  const double rate = speed / t_full;  // progress per microsecond
+  const double needed = 1.0 - progress_;
+  const double dt_to_done = needed / rate;
+
+  const double sat = models::SaturationShare(*model_, batch);
+  const double used_share = std::min(min_grant * shard_count_, sat);
+  if (dt_to_done <= static_cast<double>(quantum)) {
+    // Completes within this quantum: interpolate the exact moment.
+    for (std::size_t s = 0; s < blocks_last_.size(); ++s) {
+      blocks_last_[s] = used_share / shard_count_
+          * models::kBlocksPerQuantum
+          * (dt_to_done / static_cast<double>(kTokenPeriodUs));
+    }
+    const TimeUs done_at = sim_->now() + static_cast<TimeUs>(dt_to_done)
+        + extra_latency_per_iter_;
+    CompleteBatch(done_at);
+  } else {
+    progress_ += rate * static_cast<double>(quantum);
+    for (std::size_t s = 0; s < blocks_last_.size(); ++s) {
+      blocks_last_[s] = used_share / shard_count_
+          * models::kBlocksPerQuantum
+          * (static_cast<double>(quantum)
+             / static_cast<double>(kTokenPeriodUs));
+    }
+  }
+  for (double b : blocks_last_) stats_.blocks_launched_total += b;
+  std::fill(granted_.begin(), granted_.end(), 0.0);
+}
+
+void
+InferenceInstance::CompleteBatch(TimeUs completion_time)
+{
+  const TimeUs klc_duration = completion_time - batch_started_;
+  klc_.Record(static_cast<int>(batch_.size()), klc_duration);
+  for (workload::Request* r : batch_) {
+    r->completed = completion_time;
+    r->done = true;
+    if (sink_) sink_(*r);
+  }
+  ++stats_.batches_executed;
+  stats_.requests_completed += static_cast<std::int64_t>(batch_.size());
+  batch_.clear();
+  in_flight_ = false;
+  progress_ = 0.0;
+}
+
+double
+InferenceInstance::BlocksLaunchedLastQuantum(int slot) const
+{
+  if (slot < 0 || static_cast<std::size_t>(slot) >= blocks_last_.size()) {
+    return 0.0;
+  }
+  return blocks_last_[static_cast<std::size_t>(slot)];
+}
+
+double
+InferenceInstance::KlcInflation() const
+{
+  // Continuous monitoring: project the in-flight batch's KLC from its
+  // progress so the RCKM reacts within a couple of token periods
+  // instead of waiting for the slow iteration to finish.
+  double projected = 0.0;
+  if (in_flight_ && progress_ > 0.1) {
+    const double elapsed =
+        static_cast<double>(sim_->now() - batch_started_);
+    const double ideal = static_cast<double>(
+        models::InferenceIterationFull(*model_,
+                                       static_cast<int>(batch_.size())));
+    if (ideal > 0.0) {
+      projected = std::max(0.0, elapsed / progress_ / ideal - 1.0);
+    }
+  }
+  return std::max(projected, klc_.Inflation());
+}
+
+void
+InferenceInstance::Terminate()
+{
+  // Flush any in-flight batch as completed at termination time so
+  // requests are not leaked (the serverless restart strategy re-runs
+  // them in practice; metrics treat these as normal completions).
+  if (in_flight_) CompleteBatch(sim_->now());
+  Instance::Terminate();
+}
+
+}  // namespace dilu::runtime

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Inference function instance: batching, execution, KLC reporting.
+ *
+ * Each quantum the instance demands up to its model's saturation share
+ * while a batch is in flight. The arbiter (Dilu tokens / static MPS /
+ * TGS / FaST-GS) decides the granted share; the batch's progress
+ * advances accordingly, so SLO attainment is an emergent property of
+ * the sharing policy — the quantity Figures 7, 8 and 10 compare.
+ */
+#ifndef DILU_RUNTIME_INFERENCE_INSTANCE_H_
+#define DILU_RUNTIME_INFERENCE_INSTANCE_H_
+
+#include <functional>
+#include <vector>
+
+#include "rckm/klc_monitor.h"
+#include "runtime/batcher.h"
+#include "runtime/instance.h"
+
+namespace dilu::runtime {
+
+/** Callback fired when a request finishes (for metrics). */
+using RequestSink = std::function<void(const workload::Request&)>;
+
+/** Serving statistics an instance accumulates locally. */
+struct InferenceStats {
+  std::int64_t requests_completed = 0;
+  std::int64_t batches_executed = 0;
+  double blocks_launched_total = 0.0;
+};
+
+/** One inference serving instance. */
+class InferenceInstance : public Instance {
+ public:
+  /**
+   * @param ibs  profiled inference batch size (upper bound for batching)
+   * @param extra_latency_per_iter  fixed per-iteration overhead added by
+   *        the sharing runtime (used to model FaST-GS's CUDA-event
+   *        bookkeeping; 0 for everything else)
+   */
+  InferenceInstance(InstanceId id, FunctionId function,
+                    const models::ModelProfile* model, int ibs,
+                    sim::Simulation* sim,
+                    TimeUs extra_latency_per_iter = 0);
+
+  /** Route a request into this instance's batching queue. */
+  void Enqueue(workload::Request* req);
+
+  /** Register the metrics sink invoked on each completion. */
+  void set_request_sink(RequestSink sink) { sink_ = std::move(sink); }
+
+  int ibs() const { return ibs_; }
+  std::size_t queue_depth() const { return batcher_.size(); }
+  bool batch_in_flight() const { return in_flight_; }
+  const InferenceStats& stats() const { return stats_; }
+  const rckm::KlcMonitor& klc() const { return klc_; }
+
+  // GpuClient:
+  double ComputeDemand(int slot) override;
+  void OnGrant(int slot, double share) override;
+  void FinishQuantum(TimeUs quantum) override;
+  double BlocksLaunchedLastQuantum(int slot) const override;
+  double KlcInflation() const override;
+
+  void Terminate() override;
+
+ private:
+  void MaybeStartBatch();
+  void CompleteBatch(TimeUs completion_time);
+
+  /** Max time the oldest request may wait for co-batching. */
+  TimeUs BatchWaitBudget() const;
+
+  int ibs_;
+  TimeUs extra_latency_per_iter_;
+  Batcher batcher_;
+  RequestSink sink_;
+  rckm::KlcMonitor klc_;
+  InferenceStats stats_;
+
+  // In-flight batch state.
+  bool in_flight_ = false;
+  std::vector<workload::Request*> batch_;
+  double progress_ = 0.0;
+  TimeUs batch_started_ = 0;
+
+  // Per-quantum shard grants / accounting.
+  std::vector<double> granted_;
+  std::vector<double> blocks_last_;
+};
+
+}  // namespace dilu::runtime
+
+#endif  // DILU_RUNTIME_INFERENCE_INSTANCE_H_

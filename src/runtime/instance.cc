@@ -1,0 +1,51 @@
+#include "runtime/instance.h"
+
+#include "common/logging.h"
+
+namespace dilu::runtime {
+
+const char*
+ToString(InstanceState s)
+{
+  switch (s) {
+    case InstanceState::kColdStarting: return "cold-starting";
+    case InstanceState::kRunning: return "running";
+    case InstanceState::kTerminated: return "terminated";
+  }
+  return "?";
+}
+
+Instance::Instance(InstanceId id, FunctionId function,
+                   const models::ModelProfile* model, TaskType type,
+                   sim::Simulation* sim)
+    : sim_(sim), id_(id), function_(function), model_(model), type_(type)
+{
+  DILU_CHECK(sim != nullptr);
+  DILU_CHECK(model != nullptr);
+}
+
+void
+Instance::BeginColdStart(TimeUs duration)
+{
+  DILU_CHECK(state_ == InstanceState::kColdStarting);
+  if (duration <= 0) {
+    state_ = InstanceState::kRunning;
+    ready_time_ = sim_->now();
+    OnReady();
+    return;
+  }
+  sim_->queue().ScheduleAfter(duration, [this] {
+    if (state_ != InstanceState::kColdStarting) return;  // terminated early
+    state_ = InstanceState::kRunning;
+    ready_time_ = sim_->now();
+    OnReady();
+  });
+}
+
+void
+Instance::Terminate()
+{
+  state_ = InstanceState::kTerminated;
+}
+
+}  // namespace dilu::runtime

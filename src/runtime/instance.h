@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Base class for running function instances (the container analogue).
+ *
+ * An instance owns its lifecycle (cold-starting -> running ->
+ * terminated) and implements the GpuClient execution interface. The
+ * cold-start duration models container launch plus weight loading — the
+ * cost that makes horizontal scaling "bulky" and motivates the paper's
+ * fast-vertical + lazy-horizontal co-scaling.
+ */
+#ifndef DILU_RUNTIME_INSTANCE_H_
+#define DILU_RUNTIME_INSTANCE_H_
+
+#include <vector>
+
+#include "gpusim/gpu.h"
+#include "models/model_catalog.h"
+#include "sim/simulation.h"
+
+namespace dilu::runtime {
+
+/** Instance lifecycle states. */
+enum class InstanceState {
+  kColdStarting,  ///< container launching / weights loading
+  kRunning,       ///< serving
+  kTerminated,    ///< scaled in
+};
+
+const char* ToString(InstanceState s);
+
+/**
+ * Common instance behaviour; subclasses implement the demand/advance
+ * logic for inference and training.
+ */
+class Instance : public gpusim::GpuClient {
+ public:
+  Instance(InstanceId id, FunctionId function,
+           const models::ModelProfile* model, TaskType type,
+           sim::Simulation* sim);
+  ~Instance() override = default;
+
+  Instance(const Instance&) = delete;
+  Instance& operator=(const Instance&) = delete;
+
+  InstanceId client_id() const override { return id_; }
+  FunctionId function() const { return function_; }
+  const models::ModelProfile& model() const { return *model_; }
+  TaskType type() const { return type_; }
+  InstanceState state() const { return state_; }
+  bool running() const { return state_ == InstanceState::kRunning; }
+
+  /** Number of GPU shards this instance spans. */
+  int shard_count() const { return shard_count_; }
+  void set_shard_count(int n) { shard_count_ = n; }
+
+  /** Profiled <request, limit> quota (per shard). */
+  const SmQuota& quota() const { return quota_; }
+  void set_quota(const SmQuota& q) { quota_ = q; }
+
+  /**
+   * Enter the cold-start phase for `duration`; OnReady() fires when it
+   * elapses. Pass 0 for an instantly warm instance (tests).
+   */
+  void BeginColdStart(TimeUs duration);
+
+  /** Mark terminated; the instance stops demanding compute. */
+  virtual void Terminate();
+
+  /** Time the instance became ready (-1 while cold). */
+  TimeUs ready_time() const { return ready_time_; }
+
+ protected:
+  /** Hook invoked when the cold start completes. */
+  virtual void OnReady() {}
+
+  sim::Simulation* sim_;
+  InstanceId id_;
+  FunctionId function_;
+  const models::ModelProfile* model_;
+  TaskType type_;
+  InstanceState state_ = InstanceState::kColdStarting;
+  int shard_count_ = 1;
+  SmQuota quota_;
+  TimeUs ready_time_ = -1;
+};
+
+}  // namespace dilu::runtime
+
+#endif  // DILU_RUNTIME_INSTANCE_H_

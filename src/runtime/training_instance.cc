@@ -1,0 +1,187 @@
+#include "runtime/training_instance.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "models/cost_model.h"
+
+namespace dilu::runtime {
+
+double
+TrainingStats::Throughput(TimeUs now, int batch, int workers) const
+{
+  if (started_at < 0) return 0.0;
+  const TimeUs end = finished_at >= 0 ? finished_at : now;
+  if (end <= started_at) return 0.0;
+  return static_cast<double>(iterations_completed) * batch * workers
+      / ToSec(end - started_at);
+}
+
+TrainingInstance::TrainingInstance(InstanceId id, FunctionId function,
+                                   const models::ModelProfile* model,
+                                   sim::Simulation* sim, TrainingJob* job,
+                                   int worker_index)
+    : Instance(id, function, model, TaskType::kTraining, sim),
+      job_(job),
+      worker_index_(worker_index)
+{
+  DILU_CHECK(job != nullptr);
+}
+
+void
+TrainingInstance::OnReady()
+{
+  job_->WorkerReady(worker_index_);
+}
+
+void
+TrainingInstance::StartComputePhase()
+{
+  computing_ = true;
+  compute_done_ = false;
+  progress_ = 0.0;
+}
+
+double
+TrainingInstance::ComputeDemand(int slot)
+{
+  (void)slot;
+  if (!running() || !computing_ || compute_done_) return 0.0;
+  return model_->train_sat;
+}
+
+void
+TrainingInstance::OnGrant(int slot, double share)
+{
+  (void)slot;
+  granted_ = share;
+}
+
+void
+TrainingInstance::FinishQuantum(TimeUs quantum)
+{
+  blocks_last_ = 0.0;
+  if (!running() || !computing_ || compute_done_) {
+    granted_ = 0.0;
+    return;
+  }
+  const double speed = models::TrainingSpeed(*model_, granted_);
+  if (speed <= 0.0) {
+    granted_ = 0.0;
+    return;
+  }
+  const double t_full = model_->train_iter_ms * 1000.0;
+  const double rate = speed / t_full;
+  const double needed = 1.0 - progress_;
+  const double dt_to_done = needed / rate;
+  const double used = std::min(granted_, model_->train_sat);
+  if (dt_to_done <= static_cast<double>(quantum)) {
+    blocks_last_ = used * models::kBlocksPerQuantum
+        * (dt_to_done / static_cast<double>(kTokenPeriodUs));
+    compute_done_ = true;
+    computing_ = false;
+    compute_finished_at_ = sim_->now() + static_cast<TimeUs>(dt_to_done);
+    job_->WorkerComputeDone(worker_index_, compute_finished_at_);
+  } else {
+    progress_ += rate * static_cast<double>(quantum);
+    blocks_last_ = used * models::kBlocksPerQuantum
+        * (static_cast<double>(quantum)
+           / static_cast<double>(kTokenPeriodUs));
+  }
+  granted_ = 0.0;
+}
+
+double
+TrainingInstance::BlocksLaunchedLastQuantum(int slot) const
+{
+  (void)slot;
+  return blocks_last_;
+}
+
+TrainingJob::TrainingJob(FunctionId function,
+                         const models::ModelProfile* model, int workers,
+                         sim::Simulation* sim,
+                         std::int64_t target_iterations)
+    : function_(function),
+      model_(model),
+      workers_(workers),
+      sim_(sim),
+      target_iterations_(target_iterations)
+{
+  DILU_CHECK(model != nullptr);
+  DILU_CHECK(workers >= 1);
+  worker_ptrs_.assign(static_cast<std::size_t>(workers), nullptr);
+}
+
+std::unique_ptr<TrainingInstance>
+TrainingJob::MakeWorker(InstanceId id, int index)
+{
+  DILU_CHECK(index >= 0 && index < workers_);
+  auto w = std::make_unique<TrainingInstance>(id, function_, model_, sim_,
+                                              this, index);
+  worker_ptrs_[static_cast<std::size_t>(index)] = w.get();
+  return w;
+}
+
+void
+TrainingJob::WorkerReady(int index)
+{
+  (void)index;
+  ++ready_count_;
+  BeginIterationIfReady();
+}
+
+void
+TrainingJob::BeginIterationIfReady()
+{
+  if (ready_count_ < workers_ || in_compute_ || finished_) return;
+  if (stats_.started_at < 0) stats_.started_at = sim_->now();
+  in_compute_ = true;
+  compute_done_count_ = 0;
+  for (TrainingInstance* w : worker_ptrs_) {
+    DILU_CHECK(w != nullptr);
+    w->StartComputePhase();
+  }
+}
+
+void
+TrainingJob::WorkerComputeDone(int index, TimeUs at)
+{
+  (void)index;
+  ++compute_done_count_;
+  if (compute_done_count_ == workers_) OnAllComputeDone(at);
+}
+
+void
+TrainingJob::OnAllComputeDone(TimeUs latest)
+{
+  in_compute_ = false;
+  // Gradient synchronization / pipeline-flush phase: GPUs idle.
+  const TimeUs comm_end = std::max(latest, sim_->now())
+      + models::TrainingCommPhase(*model_);
+  sim_->queue().ScheduleAt(comm_end, [this] {
+    ++stats_.iterations_completed;
+    if (target_iterations_ > 0
+        && stats_.iterations_completed >= target_iterations_) {
+      finished_ = true;
+      stats_.finished_at = sim_->now();
+      for (TrainingInstance* w : worker_ptrs_) {
+        if (w != nullptr) w->Terminate();
+      }
+      if (on_finished_) on_finished_();
+      return;
+    }
+    in_compute_ = true;
+    compute_done_count_ = 0;
+    for (TrainingInstance* w : worker_ptrs_) w->StartComputePhase();
+  });
+}
+
+double
+TrainingJob::ThroughputUnits(TimeUs now) const
+{
+  return stats_.Throughput(now, model_->train_batch, workers_)
+      * model_->samples_per_unit;
+}
+
+}  // namespace dilu::runtime

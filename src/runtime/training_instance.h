@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Training workers and lockstep training jobs.
+ *
+ * A TrainingJob owns `n` TrainingInstance workers executing iterations
+ * in lockstep (PyTorch DDP / DeepSpeed pipeline analogue): a compute
+ * phase whose duration depends on each worker's granted SM share,
+ * followed by a communication / bubble phase during which the GPU idles
+ * (Observation-2's fragmentation source). The job-level barrier makes
+ * the paper's barrel effect emerge naturally: the iteration ends only
+ * when the *slowest* worker finishes — which is what the scheduler's
+ * workload-affinity principle (Fig 5) mitigates.
+ */
+#ifndef DILU_RUNTIME_TRAINING_INSTANCE_H_
+#define DILU_RUNTIME_TRAINING_INSTANCE_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "runtime/instance.h"
+
+namespace dilu::runtime {
+
+class TrainingJob;
+
+/** One training worker (one GPU shard of a job). */
+class TrainingInstance : public Instance {
+ public:
+  TrainingInstance(InstanceId id, FunctionId function,
+                   const models::ModelProfile* model,
+                   sim::Simulation* sim, TrainingJob* job,
+                   int worker_index);
+
+  int worker_index() const { return worker_index_; }
+
+  // GpuClient:
+  double ComputeDemand(int slot) override;
+  void OnGrant(int slot, double share) override;
+  void FinishQuantum(TimeUs quantum) override;
+  double BlocksLaunchedLastQuantum(int slot) const override;
+
+  /** Reset per-iteration progress (called by the job barrier). */
+  void StartComputePhase();
+
+  bool compute_done() const { return compute_done_; }
+  TimeUs compute_finished_at() const { return compute_finished_at_; }
+
+ protected:
+  /** Report readiness to the job barrier once the cold start ends. */
+  void OnReady() override;
+
+ private:
+  TrainingJob* job_;
+  int worker_index_;
+  bool computing_ = false;
+  bool compute_done_ = true;
+  double progress_ = 0.0;
+  double granted_ = 0.0;
+  double blocks_last_ = 0.0;
+  TimeUs compute_finished_at_ = 0;
+};
+
+/** Aggregate statistics for a training job. */
+struct TrainingStats {
+  std::int64_t iterations_completed = 0;
+  TimeUs started_at = -1;
+  TimeUs finished_at = -1;
+
+  /** Mean samples/s between start and `now` (or completion). */
+  double Throughput(TimeUs now, int batch, int workers) const;
+};
+
+/**
+ * Lockstep distributed training job; owns its workers' phase barrier.
+ *
+ * If `target_iterations` > 0 the job terminates after that many
+ * iterations (for JCT experiments); otherwise it runs until the
+ * simulation ends.
+ */
+class TrainingJob {
+ public:
+  TrainingJob(FunctionId function, const models::ModelProfile* model,
+              int workers, sim::Simulation* sim,
+              std::int64_t target_iterations = 0);
+
+  /** Create worker `index` (ownership shared with caller/cluster). */
+  std::unique_ptr<TrainingInstance> MakeWorker(InstanceId id, int index);
+
+  /** Workers report readiness; compute starts once all are ready. */
+  void WorkerReady(int index);
+
+  /** Workers report compute-phase completion. */
+  void WorkerComputeDone(int index, TimeUs at);
+
+  bool in_compute_phase() const { return in_compute_; }
+  const TrainingStats& stats() const { return stats_; }
+  const models::ModelProfile& model() const { return *model_; }
+  int worker_count() const { return workers_; }
+  FunctionId function() const { return function_; }
+  bool finished() const { return finished_; }
+
+  /** Job-completion callback (JCT recording). */
+  void set_on_finished(std::function<void()> cb) { on_finished_ = std::move(cb); }
+
+  /** Mean throughput in the model's natural unit up to `now`. */
+  double ThroughputUnits(TimeUs now) const;
+
+ private:
+  void BeginIterationIfReady();
+  void OnAllComputeDone(TimeUs latest);
+
+  FunctionId function_;
+  const models::ModelProfile* model_;
+  int workers_;
+  sim::Simulation* sim_;
+  std::int64_t target_iterations_;
+  std::vector<TrainingInstance*> worker_ptrs_;
+  int ready_count_ = 0;
+  int compute_done_count_ = 0;
+  bool in_compute_ = false;
+  bool finished_ = false;
+  TrainingStats stats_;
+  std::function<void()> on_finished_;
+};
+
+}  // namespace dilu::runtime
+
+#endif  // DILU_RUNTIME_TRAINING_INSTANCE_H_

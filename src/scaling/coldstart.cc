@@ -1,0 +1,22 @@
+#include "scaling/coldstart.h"
+
+#include "models/cost_model.h"
+
+namespace dilu::scaling {
+
+TimeUs
+ColdStartModel::Duration(const models::ModelProfile& model) const
+{
+  return models::ColdStartDuration(model, container_base, load_gbps);
+}
+
+TimeUs
+ColdStartModel::WarmDuration(const models::ModelProfile& model) const
+{
+  // Host-memory cache: ~4x faster weight staging, half the container
+  // bring-up (runtime image already resident).
+  return models::ColdStartDuration(model, container_base / 2,
+                                   load_gbps * 4.0);
+}
+
+}  // namespace dilu::scaling

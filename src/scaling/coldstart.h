@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Cold-start cost model: launching a DL function instance pays a
+ * container-startup base plus model-weight loading time. Large models
+ * (LLaMA2-7B: ~12.6 GB) therefore take ~10 s+ to appear — the "slow and
+ * bulky deployment" that makes eager horizontal-only scaling violate
+ * SLOs and that Dilu's fast vertical scaling bridges.
+ */
+#ifndef DILU_SCALING_COLDSTART_H_
+#define DILU_SCALING_COLDSTART_H_
+
+#include "common/types.h"
+#include "models/model_catalog.h"
+
+namespace dilu::scaling {
+
+/** Cold-start environment parameters. */
+struct ColdStartModel {
+  /** DL function containers bundle PyTorch/transformers runtimes; the
+   *  paper calls their deployment "slow and bulky" — several seconds
+   *  of bring-up before weight loading even starts. */
+  TimeUs container_base = Ms(6000);
+  double load_gbps = 0.8;            ///< weight loading bandwidth
+
+  /** Total cold-start duration for `model`. */
+  TimeUs Duration(const models::ModelProfile& model) const;
+
+  /**
+   * Duration for a pre-warmed launch (weights cached in host memory):
+   * INFless-style layered caches cut the load phase substantially.
+   */
+  TimeUs WarmDuration(const models::ModelProfile& model) const;
+};
+
+}  // namespace dilu::scaling
+
+#endif  // DILU_SCALING_COLDSTART_H_

@@ -1,0 +1,110 @@
+#include "scaling/global_scaler.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace dilu::scaling {
+
+DiluLazyScaler::DiluLazyScaler() : DiluLazyScaler(Config()) {}
+
+DiluLazyScaler::DiluLazyScaler(Config config)
+    : config_(config), window_(config.window)
+{
+}
+
+int
+DiluLazyScaler::Decide(double rps_sample, int current,
+                       double per_instance_rps)
+{
+  window_.Push(rps_sample);
+  DILU_CHECK(per_instance_rps > 0.0);
+  const double capacity = current * per_instance_rps;
+  if (window_.CountAbove(capacity) >= config_.phi_out) {
+    // Reset the window after a decision so one sustained surge scales
+    // one step at a time rather than cascading on stale samples.
+    window_.Clear();
+    return current + 1;
+  }
+  if (current > config_.min_instances) {
+    const double reduced = (current - 1) * per_instance_rps;
+    if (window_.CountBelow(reduced) >= config_.phi_in) {
+      window_.Clear();
+      return current - 1;
+    }
+  }
+  return current;
+}
+
+EagerScaler::EagerScaler() : EagerScaler(Config()) {}
+
+EagerScaler::EagerScaler(Config config)
+    : config_(config), window_(config.window)
+{
+}
+
+int
+EagerScaler::Decide(double rps_sample, int current,
+                    double per_instance_rps)
+{
+  window_.Push(rps_sample);
+  DILU_CHECK(per_instance_rps > 0.0);
+  const double capacity = current * per_instance_rps;
+  if (window_.CountAbove(capacity) >= config_.out_votes) {
+    // Reactive burst response: jump straight to the rate the latest
+    // sample implies (FaST-GS launches instances eagerly).
+    const int needed = static_cast<int>(
+        std::max(1.0, std::ceil(window_.latest() / per_instance_rps)));
+    return std::max(current + 1, needed);
+  }
+  if (current > config_.min_instances) {
+    const double reduced = (current - 1) * per_instance_rps;
+    if (window_.CountBelow(reduced) >= config_.in_votes) {
+      return current - 1;
+    }
+  }
+  return current;
+}
+
+KeepAliveScaler::KeepAliveScaler() : KeepAliveScaler(Config()) {}
+
+KeepAliveScaler::KeepAliveScaler(Config config)
+    : config_(config), window_(config.window)
+{
+}
+
+int
+KeepAliveScaler::Decide(double rps_sample, int current,
+                        double per_instance_rps)
+{
+  window_.Push(rps_sample);
+  DILU_CHECK(per_instance_rps > 0.0);
+  const double capacity = current * per_instance_rps;
+  if (window_.CountAbove(capacity) >= config_.out_votes) {
+    idle_seconds_ = 0;
+    return current + 1;
+  }
+  const double reduced = (current - 1) * per_instance_rps;
+  if (current > config_.min_instances && rps_sample < reduced) {
+    ++idle_seconds_;
+    if (idle_seconds_ >= config_.keep_alive_s) {
+      idle_seconds_ = 0;
+      return current - 1;
+    }
+  } else {
+    idle_seconds_ = 0;
+  }
+  return current;
+}
+
+std::unique_ptr<HorizontalPolicy>
+MakeHorizontalPolicy(const std::string& name)
+{
+  if (name == "dilu-lazy") return std::make_unique<DiluLazyScaler>();
+  if (name == "eager") return std::make_unique<EagerScaler>();
+  if (name == "keep-alive") return std::make_unique<KeepAliveScaler>();
+  Fatal("unknown horizontal policy: " + name);
+}
+
+}  // namespace dilu::scaling

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Horizontal scaling policies (Section 3.4.2).
+ *
+ * Each policy observes one per-second RPS sample per tick and answers
+ * the desired instance count. Three policies reproduce the Table 3
+ * comparison:
+ *
+ * - DiluLazyScaler: the paper's lazy scaling. A 40 s sliding window;
+ *   scale out only when >= phi_out (20) samples exceed the deployed
+ *   serving capacity (fast vertical scaling absorbs shorter bursts);
+ *   scale in only when >= phi_in (30) samples fall below the capacity
+ *   of (n - 1) instances.
+ * - EagerScaler: FaST-GS+-style reactive scaling on a short window —
+ *   many cold starts, eager terminations.
+ * - KeepAliveScaler: INFless+-style prediction with keep-alive: scales
+ *   out moderately fast but holds idle instances for a keep-alive
+ *   period, trading GPU time for fewer cold starts.
+ */
+#ifndef DILU_SCALING_GLOBAL_SCALER_H_
+#define DILU_SCALING_GLOBAL_SCALER_H_
+
+#include <memory>
+#include <string>
+
+#include "scaling/sliding_window.h"
+
+namespace dilu::scaling {
+
+/** Per-function horizontal scaling policy. */
+class HorizontalPolicy {
+ public:
+  virtual ~HorizontalPolicy() = default;
+
+  /**
+   * Feed one per-second RPS sample; returns the desired instance count
+   * given `current` deployed (including still-cold) instances.
+   * @param per_instance_rps  profiled serving throughput per instance
+   */
+  virtual int Decide(double rps_sample, int current,
+                     double per_instance_rps) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/** Dilu's lazy 2D-co-scaling horizontal half. */
+class DiluLazyScaler : public HorizontalPolicy {
+ public:
+  struct Config {
+    std::size_t window = 40;  ///< sliding window (seconds)
+    int phi_out = 20;         ///< samples above capacity to scale out
+    int phi_in = 30;          ///< samples below (n-1)-capacity to scale in
+    int min_instances = 1;
+  };
+
+  DiluLazyScaler();
+  explicit DiluLazyScaler(Config config);
+  int Decide(double rps_sample, int current,
+             double per_instance_rps) override;
+  std::string name() const override { return "dilu-lazy"; }
+
+ private:
+  Config config_;
+  SlidingWindow window_;
+};
+
+/** Reactive short-window scaling (FaST-GS+ analogue). */
+class EagerScaler : public HorizontalPolicy {
+ public:
+  struct Config {
+    std::size_t window = 3;
+    int out_votes = 2;  ///< samples above capacity to scale out
+    int in_votes = 3;   ///< samples below to scale in
+    int min_instances = 1;
+  };
+
+  EagerScaler();
+  explicit EagerScaler(Config config);
+  int Decide(double rps_sample, int current,
+             double per_instance_rps) override;
+  std::string name() const override { return "eager"; }
+
+ private:
+  Config config_;
+  SlidingWindow window_;
+};
+
+/** Prediction + keep-alive scaling (INFless+ analogue). */
+class KeepAliveScaler : public HorizontalPolicy {
+ public:
+  struct Config {
+    std::size_t window = 10;
+    int out_votes = 5;
+    int keep_alive_s = 60;  ///< idle seconds before scale-in
+    int min_instances = 1;  ///< keep-alive floor
+  };
+
+  KeepAliveScaler();
+  explicit KeepAliveScaler(Config config);
+  int Decide(double rps_sample, int current,
+             double per_instance_rps) override;
+  std::string name() const override { return "keep-alive"; }
+
+ private:
+  Config config_;
+  SlidingWindow window_;
+  int idle_seconds_ = 0;
+};
+
+/** Policy factory by name: "dilu-lazy", "eager", "keep-alive". */
+std::unique_ptr<HorizontalPolicy> MakeHorizontalPolicy(
+    const std::string& name);
+
+}  // namespace dilu::scaling
+
+#endif  // DILU_SCALING_GLOBAL_SCALER_H_

@@ -1,0 +1,54 @@
+#include "scaling/sliding_window.h"
+
+#include "common/logging.h"
+
+namespace dilu::scaling {
+
+SlidingWindow::SlidingWindow(std::size_t capacity) : capacity_(capacity)
+{
+  DILU_CHECK(capacity > 0);
+}
+
+void
+SlidingWindow::Push(double value)
+{
+  samples_.push_back(value);
+  while (samples_.size() > capacity_) samples_.pop_front();
+}
+
+int
+SlidingWindow::CountAbove(double threshold) const
+{
+  int n = 0;
+  for (double v : samples_) {
+    if (v > threshold) ++n;
+  }
+  return n;
+}
+
+int
+SlidingWindow::CountBelow(double threshold) const
+{
+  int n = 0;
+  for (double v : samples_) {
+    if (v < threshold) ++n;
+  }
+  return n;
+}
+
+double
+SlidingWindow::latest() const
+{
+  return samples_.empty() ? 0.0 : samples_.back();
+}
+
+double
+SlidingWindow::mean() const
+{
+  if (samples_.empty()) return 0.0;
+  double s = 0.0;
+  for (double v : samples_) s += v;
+  return s / static_cast<double>(samples_.size());
+}
+
+}  // namespace dilu::scaling

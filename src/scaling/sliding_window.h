@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Sliding RPS window backing the lazy horizontal scaler (Section 3.4.2):
+ * the global scaler keeps a 40-sample (40 s) window of per-second RPS
+ * values per function and counts how many exceed / fall below the
+ * deployed capacity.
+ */
+#ifndef DILU_SCALING_SLIDING_WINDOW_H_
+#define DILU_SCALING_SLIDING_WINDOW_H_
+
+#include <cstddef>
+#include <deque>
+
+namespace dilu::scaling {
+
+/** Fixed-capacity window of per-second samples. */
+class SlidingWindow {
+ public:
+  explicit SlidingWindow(std::size_t capacity);
+
+  /** Append a sample, evicting the oldest once full. */
+  void Push(double value);
+
+  /** Number of stored samples strictly above `threshold`. */
+  int CountAbove(double threshold) const;
+
+  /** Number of stored samples strictly below `threshold`. */
+  int CountBelow(double threshold) const;
+
+  std::size_t size() const { return samples_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  bool full() const { return samples_.size() == capacity_; }
+
+  /** Drop all samples (after a scaling decision fires). */
+  void Clear() { samples_.clear(); }
+
+  /** Most recent sample (0 when empty). */
+  double latest() const;
+
+  /** Mean of stored samples (0 when empty). */
+  double mean() const;
+
+ private:
+  std::size_t capacity_;
+  std::deque<double> samples_;
+};
+
+}  // namespace dilu::scaling
+
+#endif  // DILU_SCALING_SLIDING_WINDOW_H_

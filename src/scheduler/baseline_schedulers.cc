@@ -1,0 +1,79 @@
+#include "scheduler/baseline_schedulers.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace dilu::scheduler {
+
+Placement
+ExclusiveScheduler::Place(const PlacementRequest& req, ClusterState& state)
+{
+  Placement result;
+  for (int shard = 0; shard < req.gpus_needed; ++shard) {
+    GpuId chosen = kInvalidGpu;
+    for (const GpuInfo& g : state.gpus()) {
+      if (g.active()) continue;
+      if (std::find(result.gpus.begin(), result.gpus.end(), g.id)
+          != result.gpus.end()) {
+        continue;
+      }
+      if (req.mem_gb > g.mem_total_gb) continue;
+      chosen = g.id;
+      break;
+    }
+    if (chosen == kInvalidGpu) {
+      result.ok = false;
+      result.gpus.clear();
+      return result;
+    }
+    result.gpus.push_back(chosen);
+  }
+  result.ok = true;
+  return result;
+}
+
+StaticQuotaScheduler::StaticQuotaScheduler(std::string label,
+                                           double capacity)
+    : label_(std::move(label)), capacity_(capacity)
+{
+}
+
+Placement
+StaticQuotaScheduler::Place(const PlacementRequest& req,
+                            ClusterState& state)
+{
+  // The static quota is carried in quota.request (the cluster layer
+  // pins request == limit for baseline modes).
+  Placement result;
+  for (int shard = 0; shard < req.gpus_needed; ++shard) {
+    double best_score = std::numeric_limits<double>::infinity();
+    GpuId chosen = kInvalidGpu;
+    for (const GpuInfo& g : state.gpus()) {
+      if (std::find(result.gpus.begin(), result.gpus.end(), g.id)
+          != result.gpus.end()) {
+        continue;
+      }
+      const double new_quota = g.req_sum + req.quota.request;
+      const double new_mem = g.mem_used + req.mem_gb;
+      if (new_quota > capacity_ + 1e-9) continue;
+      if (new_mem > g.mem_total_gb + 1e-9) continue;
+      // Best fit by remaining quota; prefer already-active GPUs so the
+      // baseline also packs (it just cannot flex afterwards).
+      const double score = (1.0 - new_quota) + (g.active() ? 0.0 : 0.5);
+      if (score < best_score) {
+        best_score = score;
+        chosen = g.id;
+      }
+    }
+    if (chosen == kInvalidGpu) {
+      result.ok = false;
+      result.gpus.clear();
+      return result;
+    }
+    result.gpus.push_back(chosen);
+  }
+  result.ok = true;
+  return result;
+}
+
+}  // namespace dilu::scheduler

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Cluster-level scheduling baselines (Section 5.1).
+ *
+ * - ExclusiveScheduler: one whole GPU per instance shard (the common
+ *   pass-through scheme in serverless DL systems).
+ * - StaticQuotaScheduler: MPS-style placement used by INFless+ and
+ *   FaST-GS+. Each instance carries a fixed quota (its request — "-r"
+ *   variants — or its limit — "-l" variants); feasibility requires the
+ *   sum of static quotas per GPU to stay within device capacity, and
+ *   placement is best-fit by remaining quota. No workload affinity, no
+ *   memory worst-fit for large models.
+ *
+ * When using these schedulers the cluster layer pins request == limit ==
+ * static quota, which also makes the sharing arbiter behave statically.
+ */
+#ifndef DILU_SCHEDULER_BASELINE_SCHEDULERS_H_
+#define DILU_SCHEDULER_BASELINE_SCHEDULERS_H_
+
+#include "scheduler/scheduler.h"
+
+namespace dilu::scheduler {
+
+/** Whole-GPU allocation: requires an idle GPU per shard. */
+class ExclusiveScheduler : public Scheduler {
+ public:
+  Placement Place(const PlacementRequest& req, ClusterState& state) override;
+  std::string name() const override { return "exclusive"; }
+};
+
+/** MPS-style static-quota best-fit (INFless+ / FaST-GS+). */
+class StaticQuotaScheduler : public Scheduler {
+ public:
+  /**
+   * @param label   reported name (e.g. "infless+-l")
+   * @param capacity  max sum of static quotas per GPU (1.0 = no
+   *                  oversubscription, matching real MPS partitioning)
+   */
+  explicit StaticQuotaScheduler(std::string label = "static-quota",
+                                double capacity = 1.0);
+
+  Placement Place(const PlacementRequest& req, ClusterState& state) override;
+  std::string name() const override { return label_; }
+
+ private:
+  std::string label_;
+  double capacity_;
+};
+
+}  // namespace dilu::scheduler
+
+#endif  // DILU_SCHEDULER_BASELINE_SCHEDULERS_H_

@@ -1,0 +1,119 @@
+#include "scheduler/gpu_state.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace dilu::scheduler {
+
+GpuId
+ClusterState::AddGpu(NodeId node, double mem_gb)
+{
+  GpuInfo info;
+  info.id = static_cast<GpuId>(gpus_.size());
+  info.node = node;
+  info.mem_total_gb = mem_gb;
+  gpus_.push_back(info);
+  return info.id;
+}
+
+GpuInfo&
+ClusterState::gpu(GpuId id)
+{
+  DILU_CHECK(id >= 0 && static_cast<std::size_t>(id) < gpus_.size());
+  return gpus_[static_cast<std::size_t>(id)];
+}
+
+const GpuInfo&
+ClusterState::gpu(GpuId id) const
+{
+  DILU_CHECK(id >= 0 && static_cast<std::size_t>(id) < gpus_.size());
+  return gpus_[static_cast<std::size_t>(id)];
+}
+
+void
+ClusterState::Commit(InstanceId instance, FunctionId function,
+                     const std::vector<ShardCommit>& shards)
+{
+  DILU_CHECK(!shards.empty());
+  DILU_CHECK(placements_.find(instance) == placements_.end());
+  for (const ShardCommit& s : shards) {
+    GpuInfo& g = gpu(s.gpu);
+    g.req_sum += s.quota.request;
+    g.lim_sum += s.quota.limit;
+    g.mem_used += s.mem_gb;
+    g.functions.push_back(function);
+  }
+  placements_[instance] = {function, shards};
+}
+
+void
+ClusterState::Release(InstanceId instance)
+{
+  auto it = placements_.find(instance);
+  if (it == placements_.end()) return;
+  const FunctionId function = it->second.first;
+  for (const ShardCommit& s : it->second.second) {
+    GpuInfo& g = gpu(s.gpu);
+    g.req_sum = std::max(0.0, g.req_sum - s.quota.request);
+    g.lim_sum = std::max(0.0, g.lim_sum - s.quota.limit);
+    g.mem_used = std::max(0.0, g.mem_used - s.mem_gb);
+    auto f = std::find(g.functions.begin(), g.functions.end(), function);
+    if (f != g.functions.end()) g.functions.erase(f);
+  }
+  placements_.erase(it);
+}
+
+std::vector<GpuId>
+ClusterState::GpusHosting(const std::vector<FunctionId>& functions) const
+{
+  std::vector<GpuId> out;
+  for (const GpuInfo& g : gpus_) {
+    for (FunctionId f : g.functions) {
+      if (std::find(functions.begin(), functions.end(), f)
+          != functions.end()) {
+        out.push_back(g.id);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+int
+ClusterState::ActiveGpuCount() const
+{
+  int n = 0;
+  for (const GpuInfo& g : gpus_) {
+    if (g.active()) ++n;
+  }
+  return n;
+}
+
+double
+ClusterState::SmFragmentation() const
+{
+  int active = 0;
+  double frag = 0.0;
+  for (const GpuInfo& g : gpus_) {
+    if (!g.active()) continue;
+    ++active;
+    frag += std::max(0.0, 1.0 - g.req_sum);
+  }
+  return active == 0 ? 0.0 : frag / active;
+}
+
+double
+ClusterState::MemoryFragmentation() const
+{
+  int active = 0;
+  double frag = 0.0;
+  for (const GpuInfo& g : gpus_) {
+    if (!g.active()) continue;
+    ++active;
+    frag += std::max(0.0, g.mem_free() / g.mem_total_gb);
+  }
+  return active == 0 ? 0.0 : frag / active;
+}
+
+}  // namespace dilu::scheduler

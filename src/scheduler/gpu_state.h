@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Logical cluster resource view used by the schedulers.
+ *
+ * Tracks, per GPU: the sums of <request, limit> SM quotas (Algorithm 1's
+ * newReqSum / newLimSum), committed memory, and resident functions (for
+ * workload-affinity lookups). Placements are recorded per instance so
+ * scale-in can release exactly what scale-out committed.
+ */
+#ifndef DILU_SCHEDULER_GPU_STATE_H_
+#define DILU_SCHEDULER_GPU_STATE_H_
+
+#include <map>
+#include <vector>
+
+#include "common/types.h"
+
+namespace dilu::scheduler {
+
+/** Resource bookkeeping for one GPU. */
+struct GpuInfo {
+  GpuId id = kInvalidGpu;
+  NodeId node = 0;
+  double mem_total_gb = 40.0;
+  double req_sum = 0.0;   ///< committed sum of request quotas
+  double lim_sum = 0.0;   ///< committed sum of limit quotas
+  double mem_used = 0.0;  ///< committed memory (GB)
+  std::vector<FunctionId> functions;  ///< resident function ids
+
+  bool active() const { return !functions.empty(); }
+  double mem_free() const { return mem_total_gb - mem_used; }
+};
+
+/** One shard's committed resources. */
+struct ShardCommit {
+  GpuId gpu = kInvalidGpu;
+  SmQuota quota;
+  double mem_gb = 0.0;
+};
+
+/** Mutable logical view of every GPU in the cluster. */
+class ClusterState {
+ public:
+  /** Register a GPU (dense ids expected, matching gpusim). */
+  GpuId AddGpu(NodeId node, double mem_gb);
+
+  GpuInfo& gpu(GpuId id);
+  const GpuInfo& gpu(GpuId id) const;
+  std::size_t gpu_count() const { return gpus_.size(); }
+  const std::vector<GpuInfo>& gpus() const { return gpus_; }
+
+  /** Commit an instance's shards (updates sums + residency). */
+  void Commit(InstanceId instance, FunctionId function,
+              const std::vector<ShardCommit>& shards);
+
+  /** Release everything committed for `instance`. */
+  void Release(InstanceId instance);
+
+  /** GPUs currently hosting any of `functions` (workload affinity). */
+  std::vector<GpuId> GpusHosting(
+      const std::vector<FunctionId>& functions) const;
+
+  /** Number of GPUs with at least one resident function. */
+  int ActiveGpuCount() const;
+
+  /**
+   * Cluster-level fragmentation snapshots (Fig 17): the share of
+   * committed-but-unusable capacity on active GPUs.
+   * SM fragments   = sum over active GPUs of (1 - req_sum), clamped >= 0.
+   * Mem fragments  = sum over active GPUs of free memory / capacity.
+   * Both normalized by the active GPU count (0 when none active).
+   */
+  double SmFragmentation() const;
+  double MemoryFragmentation() const;
+
+ private:
+  std::vector<GpuInfo> gpus_;
+  std::map<InstanceId, std::pair<FunctionId, std::vector<ShardCommit>>>
+      placements_;
+};
+
+}  // namespace dilu::scheduler
+
+#endif  // DILU_SCHEDULER_GPU_STATE_H_

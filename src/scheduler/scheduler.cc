@@ -1,0 +1,134 @@
+#include "scheduler/scheduler.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace dilu::scheduler {
+
+DiluScheduler::DiluScheduler(DiluSchedulerConfig config)
+    : config_(config)
+{
+  DILU_CHECK(config_.omega > 0.0);
+  DILU_CHECK(config_.gamma >= config_.omega);
+}
+
+bool
+DiluScheduler::Feasible(const GpuInfo& g, const PlacementRequest& req) const
+{
+  const double new_req = g.req_sum + req.quota.request;
+  const double new_lim = g.lim_sum + req.quota.limit;
+  const double new_mem = g.mem_used + req.mem_gb;
+  return new_req <= config_.omega + 1e-9
+      && new_lim <= config_.gamma + 1e-9
+      && new_mem <= g.mem_total_gb + 1e-9;
+}
+
+GpuId
+DiluScheduler::SelectOptGpu(const std::vector<GpuId>& candidates,
+                            const PlacementRequest& req,
+                            const ClusterState& state,
+                            const std::vector<GpuId>& exclude) const
+{
+  double best_score = std::numeric_limits<double>::infinity();
+  GpuId best = kInvalidGpu;
+  for (GpuId id : candidates) {
+    if (std::find(exclude.begin(), exclude.end(), id) != exclude.end()) {
+      continue;
+    }
+    const GpuInfo& g = state.gpu(id);
+    if (!Feasible(g, req)) continue;
+    const double new_req = g.req_sum + req.quota.request;
+    const double new_mem = g.mem_used + req.mem_gb;
+    // Lower score = less residual fragmentation after placement
+    // (Algorithm 1 line 25): best fit.
+    const double score = config_.alpha * (1.0 - new_req)
+        + config_.beta * (1.0 - new_mem / g.mem_total_gb);
+    if (score < best_score) {
+      best_score = score;
+      best = id;
+    }
+  }
+  return best;
+}
+
+GpuId
+DiluScheduler::SelectWorstFit(const std::vector<GpuId>& candidates,
+                              const PlacementRequest& req,
+                              const ClusterState& state,
+                              const std::vector<GpuId>& exclude) const
+{
+  double best_free = -1.0;
+  GpuId best = kInvalidGpu;
+  for (GpuId id : candidates) {
+    if (std::find(exclude.begin(), exclude.end(), id) != exclude.end()) {
+      continue;
+    }
+    const GpuInfo& g = state.gpu(id);
+    if (!Feasible(g, req)) continue;
+    // Prioritize the most free memory to minimize pipeline stages
+    // (Principle 2, large-model branch).
+    if (g.mem_free() > best_free) {
+      best_free = g.mem_free();
+      best = id;
+    }
+  }
+  return best;
+}
+
+Placement
+DiluScheduler::Place(const PlacementRequest& req, ClusterState& state)
+{
+  Placement result;
+  std::vector<GpuId> active;
+  std::vector<GpuId> idle;
+  for (const GpuInfo& g : state.gpus()) {
+    (g.active() ? active : idle).push_back(g.id);
+  }
+
+  const bool worst_fit =
+      config_.resource_complementarity && req.large_model;
+
+  for (int shard = 0; shard < req.gpus_needed; ++shard) {
+    GpuId chosen = kInvalidGpu;
+
+    if (config_.workload_affinity && !req.affinity.empty()) {
+      // Line 11-12: prefer GPUs hosting workload-affine instances.
+      const std::vector<GpuId> wa = state.GpusHosting(req.affinity);
+      chosen = worst_fit
+          ? SelectWorstFit(wa, req, state, result.gpus)
+          : SelectOptGpu(wa, req, state, result.gpus);
+    }
+    if (chosen == kInvalidGpu && config_.resource_complementarity) {
+      // Line 13-14: any active GPU.
+      chosen = worst_fit
+          ? SelectWorstFit(active, req, state, result.gpus)
+          : SelectOptGpu(active, req, state, result.gpus);
+    }
+    if (chosen == kInvalidGpu) {
+      // Line 15-16: start a new GPU instance (take an idle device).
+      chosen = SelectOptGpu(idle, req, state, result.gpus);
+    }
+    if (chosen == kInvalidGpu && !config_.resource_complementarity) {
+      // -RC ablation still needs a fallback to shared active GPUs.
+      chosen = SelectOptGpu(active, req, state, result.gpus);
+    }
+    if (chosen == kInvalidGpu) {
+      result.ok = false;
+      result.gpus.clear();
+      return result;
+    }
+    result.gpus.push_back(chosen);
+    // Moving an idle GPU into the working set for subsequent shards.
+    auto it = std::find(idle.begin(), idle.end(), chosen);
+    if (it != idle.end()) {
+      idle.erase(it);
+      active.push_back(chosen);
+    }
+  }
+  result.ok = true;
+  return result;
+}
+
+}  // namespace dilu::scheduler

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Resourcing-complementary scheduling (Section 3.3, Algorithm 1).
+ *
+ * The scheduler maps function instances onto GPUs to minimize the number
+ * of occupied devices (Equation 1) under QoS, memory and oversubscription
+ * constraints. It follows the paper's three principles:
+ *
+ * 1. Workload-affinity-first collocation: prefer GPUs already hosting
+ *    instances whose load patterns match, mitigating the barrel effect
+ *    for lockstep training (Fig 5).
+ * 2. Defragmentation through resource complementarity: best-fit scoring
+ *    over weighted SM + memory fragmentation for models that fit in one
+ *    fragment; memory-based worst-fit for LLMs spanning several GPUs.
+ * 3. Oversubscription caps: per-GPU sums of requests <= Omega and of
+ *    limits <= gamma.
+ */
+#ifndef DILU_SCHEDULER_SCHEDULER_H_
+#define DILU_SCHEDULER_SCHEDULER_H_
+
+#include <string>
+#include <vector>
+
+#include "scheduler/gpu_state.h"
+
+namespace dilu::scheduler {
+
+/** A request to place one instance (possibly spanning several GPUs). */
+struct PlacementRequest {
+  FunctionId function = kInvalidFunction;
+  TaskType type = TaskType::kInference;
+  SmQuota quota;            ///< per-shard <request, limit>
+  double mem_gb = 0.0;      ///< per-shard memory
+  int gpus_needed = 1;      ///< n_j shards on distinct GPUs
+  bool large_model = false; ///< LLM: memory worst-fit placement
+  /** Functions whose instances exhibit high workload affinity with
+   *  this one (usually: the same function, plus co-submitted peers). */
+  std::vector<FunctionId> affinity;
+};
+
+/** Result of a placement attempt. */
+struct Placement {
+  bool ok = false;
+  std::vector<GpuId> gpus;  ///< one entry per shard
+};
+
+/** Abstract scheduling policy (Dilu + the cluster-level baselines). */
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /**
+   * Choose GPUs for `req` against `state`. Does NOT commit; the caller
+   * commits via ClusterState::Commit once the instance is created.
+   */
+  virtual Placement Place(const PlacementRequest& req,
+                          ClusterState& state) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/** Algorithm 1 knobs (paper defaults; Fig 18a sweeps gamma). */
+struct DiluSchedulerConfig {
+  double omega = 1.0;   ///< max sum of request quotas per GPU
+  double gamma = 1.5;   ///< max sum of limit quotas per GPU
+  double alpha = 0.5;   ///< SM-fragmentation weight in the score
+  double beta = 0.5;    ///< memory-fragmentation weight
+  bool workload_affinity = true;         ///< -WA ablation switch
+  bool resource_complementarity = true;  ///< -RC ablation switch
+};
+
+/** The Dilu heuristic GPU scheduler (Algorithm 1). */
+class DiluScheduler : public Scheduler {
+ public:
+  explicit DiluScheduler(DiluSchedulerConfig config = {});
+
+  Placement Place(const PlacementRequest& req, ClusterState& state) override;
+  std::string name() const override { return "dilu"; }
+
+  const DiluSchedulerConfig& config() const { return config_; }
+
+ private:
+  /**
+   * SelectOptGPU (Algorithm 1 lines 19-29): best feasible GPU among
+   * `candidates` by weighted-fragmentation score; -1 if none.
+   * GPUs in `exclude` (already chosen shards) are skipped.
+   */
+  GpuId SelectOptGpu(const std::vector<GpuId>& candidates,
+                     const PlacementRequest& req, const ClusterState& state,
+                     const std::vector<GpuId>& exclude) const;
+
+  /** Memory worst-fit selection for large models. */
+  GpuId SelectWorstFit(const std::vector<GpuId>& candidates,
+                       const PlacementRequest& req,
+                       const ClusterState& state,
+                       const std::vector<GpuId>& exclude) const;
+
+  bool Feasible(const GpuInfo& g, const PlacementRequest& req) const;
+
+  DiluSchedulerConfig config_;
+};
+
+}  // namespace dilu::scheduler
+
+#endif  // DILU_SCHEDULER_SCHEDULER_H_

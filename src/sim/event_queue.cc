@@ -1,0 +1,84 @@
+#include "sim/event_queue.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace dilu::sim {
+
+EventId
+EventQueue::ScheduleAt(TimeUs when, EventFn fn)
+{
+  DILU_CHECK(when >= now_);
+  const EventId id = next_id_++;
+  heap_.push(Entry{when, next_seq_++, id, std::move(fn)});
+  ++pending_;
+  return id;
+}
+
+EventId
+EventQueue::ScheduleAfter(TimeUs delay, EventFn fn)
+{
+  DILU_CHECK(delay >= 0);
+  return ScheduleAt(now_ + delay, std::move(fn));
+}
+
+void
+EventQueue::Cancel(EventId id)
+{
+  cancelled_.push_back(id);
+  if (pending_ > 0) --pending_;
+}
+
+bool
+EventQueue::IsCancelled(EventId id) const
+{
+  return std::find(cancelled_.begin(), cancelled_.end(), id)
+      != cancelled_.end();
+}
+
+bool
+EventQueue::Empty() const
+{
+  return pending_ == 0;
+}
+
+bool
+EventQueue::RunOne()
+{
+  while (!heap_.empty()) {
+    Entry e = heap_.top();
+    heap_.pop();
+    if (IsCancelled(e.id)) {
+      cancelled_.erase(
+          std::remove(cancelled_.begin(), cancelled_.end(), e.id),
+          cancelled_.end());
+      continue;
+    }
+    --pending_;
+    now_ = e.when;
+    e.fn();
+    return true;
+  }
+  return false;
+}
+
+void
+EventQueue::RunUntil(TimeUs deadline)
+{
+  while (!heap_.empty()) {
+    const Entry& top = heap_.top();
+    if (IsCancelled(top.id)) {
+      EventId id = top.id;
+      heap_.pop();
+      cancelled_.erase(std::remove(cancelled_.begin(), cancelled_.end(), id),
+                       cancelled_.end());
+      continue;
+    }
+    if (top.when > deadline) break;
+    RunOne();
+  }
+  if (deadline > now_) now_ = deadline;
+}
+
+}  // namespace dilu::sim

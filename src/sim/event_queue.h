@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Discrete-event queue: the heart of the simulated substrate.
+ *
+ * Events are (time, sequence, callback) triples; ties in time break by
+ * insertion order so the simulation is deterministic.
+ */
+#ifndef DILU_SIM_EVENT_QUEUE_H_
+#define DILU_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.h"
+
+namespace dilu::sim {
+
+/** Callback invoked when an event fires. */
+using EventFn = std::function<void()>;
+
+/** Handle used to cancel a scheduled event. */
+using EventId = std::uint64_t;
+
+/**
+ * A deterministic discrete-event priority queue.
+ *
+ * Not thread-safe: the whole simulation is single-threaded by design,
+ * mirroring the deterministic-simulation requirement in DESIGN.md.
+ */
+class EventQueue {
+ public:
+  EventQueue() = default;
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  /** Current simulated time. */
+  TimeUs now() const { return now_; }
+
+  /**
+   * Schedule `fn` to run at absolute time `when` (>= now).
+   * @return an id usable with Cancel().
+   */
+  EventId ScheduleAt(TimeUs when, EventFn fn);
+
+  /** Schedule `fn` to run `delay` after the current time. */
+  EventId ScheduleAfter(TimeUs delay, EventFn fn);
+
+  /** Cancel a pending event. Cancelling a fired event is a no-op. */
+  void Cancel(EventId id);
+
+  /** True when no runnable events remain. */
+  bool Empty() const;
+
+  /** Fire the next event; returns false if the queue is empty. */
+  bool RunOne();
+
+  /**
+   * Run events until the queue empties or the next event is after
+   * `deadline`; time is then advanced to exactly `deadline`.
+   */
+  void RunUntil(TimeUs deadline);
+
+  /** Number of pending (non-cancelled) events. */
+  std::size_t PendingCount() const { return pending_; }
+
+ private:
+  struct Entry {
+    TimeUs when;
+    std::uint64_t seq;
+    EventId id;
+    EventFn fn;
+
+    bool operator>(const Entry& other) const {
+      if (when != other.when) return when > other.when;
+      return seq > other.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap_;
+  std::vector<EventId> cancelled_;  // sorted lazily, small
+  TimeUs now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  std::size_t pending_ = 0;
+
+  bool IsCancelled(EventId id) const;
+};
+
+}  // namespace dilu::sim
+
+#endif  // DILU_SIM_EVENT_QUEUE_H_

@@ -1,0 +1,39 @@
+#include "sim/simulation.h"
+
+#include "common/logging.h"
+
+namespace dilu::sim {
+
+Simulation::TaskId
+Simulation::SchedulePeriodic(TimeUs start, TimeUs period,
+                             std::function<void()> fn)
+{
+  DILU_CHECK(period > 0);
+  auto task = std::make_unique<PeriodicTask>();
+  task->period = period;
+  task->fn = std::move(fn);
+  tasks_.push_back(std::move(task));
+  const TaskId id = tasks_.size() - 1;
+  Arm(id, start);
+  return id;
+}
+
+void
+Simulation::StopPeriodic(TaskId id)
+{
+  DILU_CHECK(id < tasks_.size());
+  tasks_[id]->stopped = true;
+}
+
+void
+Simulation::Arm(TaskId id, TimeUs when)
+{
+  queue_.ScheduleAt(when, [this, id] {
+    PeriodicTask* task = tasks_[id].get();
+    if (task->stopped) return;
+    task->fn();
+    if (!task->stopped) Arm(id, queue_.now() + task->period);
+  });
+}
+
+}  // namespace dilu::sim

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Simulation driver: owns the event queue and provides periodic tasks.
+ *
+ * Periodic tasks implement the paper's fixed-cadence control loops: the
+ * RCKM token period (5 ms), the global scaler's 1 s workload poll, and
+ * metric sampling.
+ */
+#ifndef DILU_SIM_SIMULATION_H_
+#define DILU_SIM_SIMULATION_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/event_queue.h"
+
+namespace dilu::sim {
+
+/**
+ * Owns an EventQueue plus a registry of periodic tasks.
+ *
+ * Periodic tasks are re-armed after each firing, so a task may stop
+ * itself by calling StopPeriodic from within its callback.
+ */
+class Simulation {
+ public:
+  Simulation() = default;
+
+  EventQueue& queue() { return queue_; }
+  TimeUs now() const { return queue_.now(); }
+
+  /** Identifier for a periodic task. */
+  using TaskId = std::size_t;
+
+  /**
+   * Register `fn` to run every `period`, first firing at `start`.
+   * @return a TaskId usable with StopPeriodic.
+   */
+  TaskId SchedulePeriodic(TimeUs start, TimeUs period,
+                          std::function<void()> fn);
+
+  /** Stop a periodic task (it will not fire again). */
+  void StopPeriodic(TaskId id);
+
+  /** Advance simulated time to `deadline`, firing due events. */
+  void RunUntil(TimeUs deadline) { queue_.RunUntil(deadline); }
+
+  /** Run for `duration` beyond the current time. */
+  void RunFor(TimeUs duration) { queue_.RunUntil(queue_.now() + duration); }
+
+ private:
+  struct PeriodicTask {
+    TimeUs period = 0;
+    std::function<void()> fn;
+    bool stopped = false;
+  };
+
+  void Arm(TaskId id, TimeUs when);
+
+  EventQueue queue_;
+  std::vector<std::unique_ptr<PeriodicTask>> tasks_;
+};
+
+}  // namespace dilu::sim
+
+#endif  // DILU_SIM_SIMULATION_H_

@@ -1,0 +1,111 @@
+#include "workload/azure_traces.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace dilu::workload {
+
+std::vector<double>
+BuildBurstyTrace(const BurstySpec& spec)
+{
+  DILU_CHECK(spec.duration_s > 0);
+  Rng rng(spec.seed);
+  std::vector<double> env(static_cast<std::size_t>(spec.duration_s),
+                          spec.base_rps);
+  int t = std::max(5, spec.burst_gap_s / 3);  // first surge early-ish
+  while (t < spec.duration_s) {
+    const int len = std::max<int>(
+        5, static_cast<int>(rng.Normal(spec.burst_len_s,
+                                       spec.burst_len_s * 0.2)));
+    const double peak = spec.base_rps * spec.burst_scale
+        * rng.Uniform(0.85, 1.15);
+    for (int k = 0; k < len && t + k < spec.duration_s; ++k) {
+      // Sharp rise, exponential-ish decay toward the tail of the surge.
+      const double shape = k < len / 4
+          ? 1.0
+          : std::exp(-2.5 * (k - len / 4.0) / std::max(1, len));
+      env[static_cast<std::size_t>(t + k)] =
+          std::max(spec.base_rps, peak * shape);
+    }
+    t += len + static_cast<int>(rng.Exponential(spec.burst_gap_s));
+  }
+  return env;
+}
+
+std::vector<double>
+BuildPeriodicTrace(const PeriodicSpec& spec)
+{
+  DILU_CHECK(spec.duration_s > 0);
+  Rng rng(spec.seed);
+  std::vector<double> env(static_cast<std::size_t>(spec.duration_s));
+  for (int t = 0; t < spec.duration_s; ++t) {
+    const double phase = 2.0 * M_PI * t / std::max(1, spec.period_s);
+    const double v = spec.base_rps
+        * (1.0 + spec.amplitude * std::sin(phase))
+        * rng.Uniform(0.95, 1.05);
+    env[static_cast<std::size_t>(t)] = std::max(0.0, v);
+  }
+  return env;
+}
+
+std::vector<double>
+BuildSporadicTrace(const SporadicSpec& spec)
+{
+  DILU_CHECK(spec.duration_s > 0);
+  Rng rng(spec.seed);
+  std::vector<double> env(static_cast<std::size_t>(spec.duration_s), 0.0);
+  // Choose active episodes covering ~active_fraction of the timeline.
+  const int total_active =
+      static_cast<int>(spec.duration_s * spec.active_fraction);
+  int placed = 0;
+  int guard = 0;
+  while (placed < total_active && guard++ < 10000) {
+    const int start = static_cast<int>(
+        rng.UniformInt(0, std::max(0, spec.duration_s - spec.spike_len_s)));
+    const double rate = spec.base_rps * rng.Uniform(0.5, 1.5);
+    for (int k = 0; k < spec.spike_len_s && start + k < spec.duration_s;
+         ++k) {
+      if (env[static_cast<std::size_t>(start + k)] == 0.0) ++placed;
+      env[static_cast<std::size_t>(start + k)] = rate;
+    }
+  }
+  return env;
+}
+
+const char*
+ToString(TraceKind k)
+{
+  switch (k) {
+    case TraceKind::kBursty: return "Bursty";
+    case TraceKind::kPeriodic: return "Periodic";
+    case TraceKind::kSporadic: return "Sporadic";
+  }
+  return "?";
+}
+
+std::vector<double>
+BuildTrace(TraceKind kind, const TraceSpec& spec)
+{
+  switch (kind) {
+    case TraceKind::kBursty: {
+      BurstySpec s;
+      static_cast<TraceSpec&>(s) = spec;
+      return BuildBurstyTrace(s);
+    }
+    case TraceKind::kPeriodic: {
+      PeriodicSpec s;
+      static_cast<TraceSpec&>(s) = spec;
+      return BuildPeriodicTrace(s);
+    }
+    case TraceKind::kSporadic: {
+      SporadicSpec s;
+      static_cast<TraceSpec&>(s) = spec;
+      return BuildSporadicTrace(s);
+    }
+  }
+  return {};
+}
+
+}  // namespace dilu::workload

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Inference request record flowing gateway -> instance -> metrics.
+ */
+#ifndef DILU_WORKLOAD_REQUEST_H_
+#define DILU_WORKLOAD_REQUEST_H_
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace dilu::workload {
+
+/** One inference invocation. */
+struct Request {
+  std::int64_t id = 0;
+  FunctionId function = kInvalidFunction;
+  TimeUs arrival = 0;       ///< gateway arrival time
+  TimeUs dispatched = 0;    ///< handed to an instance queue
+  TimeUs started = 0;       ///< batch execution began
+  TimeUs completed = 0;     ///< batch execution finished
+  bool done = false;
+
+  /** End-to-end latency (only valid once done). */
+  TimeUs Latency() const { return completed - arrival; }
+};
+
+}  // namespace dilu::workload
+
+#endif  // DILU_WORKLOAD_REQUEST_H_

@@ -1,0 +1,140 @@
+/** @file Unit tests for the common module (stats, random, types). */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace dilu {
+namespace {
+
+TEST(Types, TimeConversions)
+{
+  EXPECT_EQ(Ms(5), 5000);
+  EXPECT_EQ(Sec(2), 2'000'000);
+  EXPECT_DOUBLE_EQ(ToMs(Ms(250)), 250.0);
+  EXPECT_DOUBLE_EQ(ToSec(Sec(3)), 3.0);
+  EXPECT_EQ(kTokenPeriodUs, Ms(5));
+}
+
+TEST(Accumulator, MeanVarianceExtrema)
+{
+  Accumulator acc;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.Add(x);
+  EXPECT_EQ(acc.count(), 8u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_NEAR(acc.stddev(), 2.138, 1e-3);
+  EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+  EXPECT_DOUBLE_EQ(acc.sum(), 40.0);
+}
+
+TEST(Accumulator, EmptyIsZero)
+{
+  Accumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+}
+
+TEST(Percentiles, QuantilesInterpolate)
+{
+  Percentiles p;
+  for (int i = 1; i <= 100; ++i) p.Add(static_cast<double>(i));
+  EXPECT_NEAR(p.P50(), 50.5, 1e-9);
+  EXPECT_NEAR(p.P95(), 95.05, 1e-9);
+  EXPECT_NEAR(p.Quantile(0.0), 1.0, 1e-9);
+  EXPECT_NEAR(p.Quantile(1.0), 100.0, 1e-9);
+}
+
+TEST(Percentiles, FractionAbove)
+{
+  Percentiles p;
+  for (int i = 1; i <= 10; ++i) p.Add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(p.FractionAbove(8.0), 0.2);
+  EXPECT_DOUBLE_EQ(p.FractionAbove(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(p.FractionAbove(100.0), 0.0);
+}
+
+TEST(Percentiles, AddAfterQueryKeepsSorted)
+{
+  Percentiles p;
+  p.Add(3.0);
+  p.Add(1.0);
+  EXPECT_DOUBLE_EQ(p.Quantile(1.0), 3.0);
+  p.Add(2.0);
+  EXPECT_DOUBLE_EQ(p.P50(), 2.0);
+}
+
+TEST(TimeWeighted, PiecewiseConstantAverage)
+{
+  TimeWeighted tw;
+  tw.Update(0, 1.0);
+  tw.Update(Sec(1), 3.0);   // value 1.0 held for 1 s
+  tw.Update(Sec(3), 0.0);   // value 3.0 held for 2 s
+  // average over [0, 4s]: (1*1 + 3*2 + 0*1) / 4 = 1.75
+  EXPECT_NEAR(tw.Average(Sec(4)), 1.75, 1e-9);
+}
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.Uniform(), b.Uniform());
+  }
+}
+
+TEST(Rng, ExponentialMeanMatches)
+{
+  Rng rng(7);
+  Accumulator acc;
+  for (int i = 0; i < 20000; ++i) acc.Add(rng.Exponential(50.0));
+  EXPECT_NEAR(acc.mean(), 50.0, 1.5);
+}
+
+TEST(Rng, GammaInterarrivalCvMatches)
+{
+  Rng rng(11);
+  for (double cv : {0.5, 1.0, 2.0}) {
+    Accumulator acc;
+    for (int i = 0; i < 40000; ++i) {
+      acc.Add(rng.GammaInterarrival(10.0, cv));
+    }
+    EXPECT_NEAR(acc.mean(), 10.0, 0.5) << "cv=" << cv;
+    EXPECT_NEAR(acc.stddev() / acc.mean(), cv, 0.1) << "cv=" << cv;
+  }
+}
+
+TEST(Rng, GammaCvZeroIsDeterministic)
+{
+  Rng rng(3);
+  EXPECT_DOUBLE_EQ(rng.GammaInterarrival(25.0, 0.0), 25.0);
+}
+
+TEST(Rng, ForkedStreamsDiffer)
+{
+  Rng parent(5);
+  Rng a = parent.Fork();
+  Rng b = parent.Fork();
+  bool all_equal = true;
+  for (int i = 0; i < 16; ++i) {
+    if (a.Uniform() != b.Uniform()) all_equal = false;
+  }
+  EXPECT_FALSE(all_equal);
+}
+
+TEST(Rng, UniformIntBounds)
+{
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.UniformInt(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+  }
+}
+
+}  // namespace
+}  // namespace dilu

@@ -1,0 +1,107 @@
+/** @file Unit tests for CSV writing and cluster trace export. */
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "cluster/trace_export.h"
+#include "common/csv.h"
+
+namespace dilu {
+namespace {
+
+TEST(CsvWriter, HeaderAndRows)
+{
+  CsvWriter csv({"a", "b"});
+  csv.AddRow({1.0, 2.5});
+  csv.AddRow({3.0, -4.25});
+  EXPECT_EQ(csv.ToString(), "a,b\n1,2.5\n3,-4.25\n");
+  EXPECT_EQ(csv.row_count(), 2u);
+  EXPECT_EQ(csv.column_count(), 2u);
+}
+
+TEST(CsvWriter, EscapesSpecialCharacters)
+{
+  CsvWriter csv({"name", "note"});
+  csv.AddTextRow({"f,1", "say \"hi\""});
+  EXPECT_EQ(csv.ToString(), "name,note\n\"f,1\",\"say \"\"hi\"\"\"\n");
+}
+
+TEST(CsvWriter, WriteFileRoundTrip)
+{
+  CsvWriter csv({"x"});
+  csv.AddRow({42.0});
+  const std::string path = "/tmp/dilu_csv_test.csv";
+  ASSERT_TRUE(csv.WriteFile(path));
+  std::ifstream f(path);
+  std::stringstream contents;
+  contents << f.rdbuf();
+  EXPECT_EQ(contents.str(), "x\n42\n");
+  std::remove(path.c_str());
+}
+
+TEST(TraceExport, ClusterSamplesColumns)
+{
+  cluster::MetricsHub hub;
+  cluster::ClusterSample s;
+  s.time = Sec(3);
+  s.active_gpus = 2;
+  s.sm_fragmentation = 0.25;
+  s.mem_fragmentation = 0.5;
+  s.avg_utilization = 0.75;
+  hub.AddSample(s);
+  const CsvWriter csv = cluster::ExportClusterSamples(hub);
+  EXPECT_EQ(csv.row_count(), 1u);
+  EXPECT_NE(csv.ToString().find("3,2,0.25,0.5,0.75"), std::string::npos);
+}
+
+TEST(TraceExport, FunctionMetricsIncludeSvr)
+{
+  cluster::MetricsHub hub;
+  hub.RegisterFunction(0, "roberta", 100.0);
+  workload::Request bad;
+  bad.arrival = 0;
+  bad.completed = Ms(150);
+  hub.RecordRequest(0, bad);
+  hub.RecordColdStart(0);
+  const CsvWriter csv = cluster::ExportFunctionMetrics(hub);
+  const std::string out = csv.ToString();
+  EXPECT_NE(out.find("roberta"), std::string::npos);
+  EXPECT_NE(out.find("100.000000"), std::string::npos);
+}
+
+TEST(TraceExport, EndToEndExportAll)
+{
+  cluster::ClusterConfig cfg;
+  cluster::ClusterRuntime rt(cfg);
+  core::FunctionSpec spec;
+  spec.model = "bert-base";
+  spec.type = TaskType::kInference;
+  const FunctionId fn = rt.Deploy(spec);
+  rt.LaunchInference(fn, false);
+  rt.AttachArrivals(fn,
+                    std::make_unique<workload::PoissonArrivals>(10.0,
+                                                                Rng(1)),
+                    Sec(5));
+  rt.RunFor(Sec(6));
+  ASSERT_TRUE(cluster::ExportAll(rt, "/tmp/dilu_export_test"));
+  std::ifstream samples("/tmp/dilu_export_test_samples.csv");
+  EXPECT_TRUE(samples.good());
+  std::ifstream functions("/tmp/dilu_export_test_functions.csv");
+  EXPECT_TRUE(functions.good());
+  std::remove("/tmp/dilu_export_test_samples.csv");
+  std::remove("/tmp/dilu_export_test_functions.csv");
+}
+
+TEST(TraceExport, InstanceSeries)
+{
+  cluster::DeployedFunction f;
+  f.instance_count_series = {{Sec(1), 1}, {Sec(2), 2}};
+  const CsvWriter csv = cluster::ExportInstanceSeries(f);
+  EXPECT_EQ(csv.row_count(), 2u);
+  EXPECT_NE(csv.ToString().find("2,2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dilu

@@ -1,0 +1,137 @@
+/** @file Unit tests for the gateway (dispatch + workload monitoring). */
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "cluster/gateway.h"
+#include "gpusim/gpu_group.h"
+
+namespace dilu::cluster {
+namespace {
+
+/** Harness: two inference instances on separate GPUs. */
+struct Rig {
+  std::vector<std::unique_ptr<workload::Request>> requests;
+
+  workload::Request* NewRequest() {
+    requests.push_back(std::make_unique<workload::Request>());
+    requests.back()->function = 0;
+    return requests.back().get();
+  }
+
+  sim::Simulation sim;
+  gpusim::GpuGroup group{&sim, [](GpuId) {
+    return std::make_unique<gpusim::StaticArbiter>();
+  }};
+  const models::ModelProfile& model = models::GetModel("bert-base");
+  runtime::InferenceInstance a{1, 0, &model, 4, &sim};
+  runtime::InferenceInstance b{2, 0, &model, 4, &sim};
+  Gateway gateway;
+
+  Rig() {
+    gateway.RegisterFunction(0);
+  }
+
+  void AddBoth(bool warm_a = true, bool warm_b = true) {
+    if (warm_a) a.BeginColdStart(0);
+    if (warm_b) b.BeginColdStart(0);
+    gateway.AddInstance(0, &a);
+    gateway.AddInstance(0, &b);
+  }
+};
+
+TEST(Gateway, DispatchFailsWithoutInstances)
+{
+  Gateway gw;
+  gw.RegisterFunction(0);
+  workload::Request r;
+  r.function = 0;
+  EXPECT_FALSE(gw.Dispatch(&r));
+}
+
+TEST(Gateway, DispatchPicksLeastLoaded)
+{
+  Rig rig;
+  rig.AddBoth();
+  workload::Request r1;
+  workload::Request r2;
+  r1.function = 0;
+  r2.function = 0;
+  ASSERT_TRUE(rig.gateway.Dispatch(&r1));
+  ASSERT_TRUE(rig.gateway.Dispatch(&r2));
+  // Least-loaded balancing: one request per instance.
+  EXPECT_EQ(rig.a.queue_depth(), 1u);
+  EXPECT_EQ(rig.b.queue_depth(), 1u);
+}
+
+TEST(Gateway, PrefersRunningOverColdInstances)
+{
+  Rig rig;
+  rig.a.BeginColdStart(0);       // running
+  rig.b.BeginColdStart(Sec(10)); // cold for 10 s
+  rig.gateway.AddInstance(0, &rig.a);
+  rig.gateway.AddInstance(0, &rig.b);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(rig.gateway.Dispatch(rig.NewRequest()));
+  }
+  EXPECT_EQ(rig.a.queue_depth(), 4u);
+  EXPECT_EQ(rig.b.queue_depth(), 0u);
+}
+
+TEST(Gateway, FallsBackToColdWhenNothingRuns)
+{
+  Rig rig;
+  rig.a.BeginColdStart(Sec(10));
+  rig.gateway.AddInstance(0, &rig.a);
+  workload::Request r;
+  r.function = 0;
+  EXPECT_TRUE(rig.gateway.Dispatch(&r));
+  EXPECT_EQ(rig.a.queue_depth(), 1u);
+}
+
+TEST(Gateway, PollArrivalsResetsCounter)
+{
+  Rig rig;
+  rig.AddBoth();
+  for (int i = 0; i < 5; ++i) {
+    rig.gateway.Dispatch(rig.NewRequest());
+  }
+  EXPECT_DOUBLE_EQ(rig.gateway.PollArrivals(0), 5.0);
+  EXPECT_DOUBLE_EQ(rig.gateway.PollArrivals(0), 0.0);
+}
+
+TEST(Gateway, RemoveInstanceStopsRouting)
+{
+  Rig rig;
+  rig.AddBoth();
+  rig.gateway.RemoveInstance(0, rig.a.client_id());
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(rig.gateway.Dispatch(rig.NewRequest()));
+  }
+  EXPECT_EQ(rig.a.queue_depth(), 0u);
+  EXPECT_EQ(rig.b.queue_depth(), 3u);
+}
+
+TEST(Gateway, RunningCountTracksState)
+{
+  Rig rig;
+  rig.a.BeginColdStart(0);
+  rig.b.BeginColdStart(Sec(5));
+  rig.gateway.AddInstance(0, &rig.a);
+  rig.gateway.AddInstance(0, &rig.b);
+  EXPECT_EQ(rig.gateway.RunningCount(0), 1);
+  rig.sim.RunFor(Sec(6));
+  EXPECT_EQ(rig.gateway.RunningCount(0), 2);
+}
+
+TEST(Gateway, UnknownFunctionHasNoInstances)
+{
+  Gateway gw;
+  EXPECT_TRUE(gw.instances(42).empty());
+  EXPECT_EQ(gw.RunningCount(42), 0);
+  EXPECT_DOUBLE_EQ(gw.PollArrivals(42), 0.0);
+}
+
+}  // namespace
+}  // namespace dilu::cluster

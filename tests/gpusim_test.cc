@@ -1,0 +1,195 @@
+/** @file Unit tests for the GPU substrate (device, arbiters, engine). */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gpusim/gpu.h"
+#include "gpusim/gpu_group.h"
+
+namespace dilu::gpusim {
+namespace {
+
+/** Deterministic scripted client for engine tests. */
+class FakeClient : public GpuClient {
+ public:
+  explicit FakeClient(InstanceId id, double demand = 0.5)
+      : id_(id), demand_(demand) {}
+
+  InstanceId client_id() const override { return id_; }
+  double ComputeDemand(int) override { return demand_; }
+  void OnGrant(int slot, double share) override {
+    if (static_cast<std::size_t>(slot) >= grants_.size()) {
+      grants_.resize(static_cast<std::size_t>(slot) + 1, 0.0);
+    }
+    grants_[static_cast<std::size_t>(slot)] = share;
+  }
+  void FinishQuantum(TimeUs) override { ++quanta_; }
+
+  void set_demand(double d) { demand_ = d; }
+  double grant(int slot = 0) const {
+    return grants_.empty() ? 0.0 : grants_[static_cast<std::size_t>(slot)];
+  }
+  int quanta() const { return quanta_; }
+
+ private:
+  InstanceId id_;
+  double demand_;
+  std::vector<double> grants_;
+  int quanta_ = 0;
+};
+
+Attachment MakeAttachment(FakeClient* c, double static_share,
+                          double mem = 4.0, int priority = 0,
+                          int slot = 0)
+{
+  Attachment a;
+  a.client = c;
+  a.id = c->client_id();
+  a.slot = slot;
+  a.static_share = static_share;
+  a.quota = {static_share, static_share};
+  a.memory_gb = mem;
+  a.priority = priority;
+  return a;
+}
+
+TEST(Gpu, MemoryAccounting)
+{
+  Gpu gpu(0, 40.0);
+  FakeClient a(1);
+  FakeClient b(2);
+  gpu.Attach(MakeAttachment(&a, 0.5, 10.0));
+  gpu.Attach(MakeAttachment(&b, 0.3, 16.0));
+  EXPECT_DOUBLE_EQ(gpu.memory_used_gb(), 26.0);
+  EXPECT_TRUE(gpu.Has(1));
+  gpu.Detach(1);
+  EXPECT_FALSE(gpu.Has(1));
+  EXPECT_DOUBLE_EQ(gpu.memory_used_gb(), 16.0);
+}
+
+TEST(Gpu, ReservedShares)
+{
+  Gpu gpu(0, 40.0);
+  FakeClient a(1);
+  FakeClient b(2);
+  Attachment at = MakeAttachment(&a, 0.6);
+  at.quota = {0.3, 0.6};
+  gpu.Attach(at);
+  Attachment bt = MakeAttachment(&b, 0.4);
+  bt.quota = {0.2, 0.4};
+  gpu.Attach(bt);
+  EXPECT_DOUBLE_EQ(gpu.reserved_static_share(), 1.0);
+  EXPECT_DOUBLE_EQ(gpu.reserved_request_share(), 0.5);
+  EXPECT_DOUBLE_EQ(gpu.reserved_limit_share(), 1.0);
+}
+
+TEST(StaticArbiter, GrantsMinOfDemandAndQuota)
+{
+  Gpu gpu(0, 40.0);
+  FakeClient a(1, /*demand=*/0.8);
+  FakeClient b(2, /*demand=*/0.1);
+  gpu.Attach(MakeAttachment(&a, 0.5));
+  gpu.Attach(MakeAttachment(&b, 0.5));
+  for (Attachment& at : gpu.attachments()) {
+    at.demand = at.client->ComputeDemand(at.slot);
+  }
+  StaticArbiter arb;
+  arb.Resolve(gpu, 0);
+  // a capped at quota; b's unused quota NOT reusable by a.
+  EXPECT_DOUBLE_EQ(gpu.attachments()[0].granted, 0.5);
+  EXPECT_DOUBLE_EQ(gpu.attachments()[1].granted, 0.1);
+}
+
+TEST(StaticArbiter, OversubscribedGrantsSqueeze)
+{
+  Gpu gpu(0, 40.0);
+  FakeClient a(1, 0.8);
+  FakeClient b(2, 0.8);
+  gpu.Attach(MakeAttachment(&a, 0.8));
+  gpu.Attach(MakeAttachment(&b, 0.8));
+  for (Attachment& at : gpu.attachments()) {
+    at.demand = at.client->ComputeDemand(at.slot);
+  }
+  StaticArbiter arb;
+  arb.Resolve(gpu, 0);
+  // Quota-proportional fair shares with the oversubscription penalty.
+  double total = 0.0;
+  for (const Attachment& at : gpu.attachments()) total += at.granted;
+  EXPECT_LE(total, 1.0 + 1e-9);
+  // fair share 0.5, efficiency 0.93/sqrt(1.6)
+  EXPECT_NEAR(gpu.attachments()[0].granted, 0.5 * 0.93 / std::sqrt(1.6),
+              1e-9);
+  EXPECT_DOUBLE_EQ(gpu.attachments()[0].granted,
+                   gpu.attachments()[1].granted);
+}
+
+TEST(SqueezeToCapacity, NoOpUnderCapacity)
+{
+  Gpu gpu(0, 40.0);
+  FakeClient a(1);
+  gpu.Attach(MakeAttachment(&a, 0.4));
+  gpu.attachments()[0].granted = 0.4;
+  SqueezeToCapacity(gpu.attachments());
+  EXPECT_DOUBLE_EQ(gpu.attachments()[0].granted, 0.4);
+}
+
+TEST(GpuGroup, TickDeliversGrantsAndAdvancesClientsOnce)
+{
+  sim::Simulation sim;
+  GpuGroup group(&sim, [](GpuId) {
+    return std::make_unique<StaticArbiter>();
+  });
+  const GpuId g0 = group.AddGpu(40.0);
+  const GpuId g1 = group.AddGpu(40.0);
+  FakeClient multi(7, 0.25);
+  // One client spanning two GPUs (pipeline shards).
+  group.Attach(g0, MakeAttachment(&multi, 0.5, 4.0, 0, /*slot=*/0));
+  group.Attach(g1, MakeAttachment(&multi, 0.5, 4.0, 0, /*slot=*/1));
+  group.TickOnce();
+  EXPECT_DOUBLE_EQ(multi.grant(0), 0.25);
+  EXPECT_DOUBLE_EQ(multi.grant(1), 0.25);
+  EXPECT_EQ(multi.quanta(), 1);  // FinishQuantum once despite two shards
+}
+
+TEST(GpuGroup, DetachEverywhereRemovesAllShards)
+{
+  sim::Simulation sim;
+  GpuGroup group(&sim, [](GpuId) {
+    return std::make_unique<StaticArbiter>();
+  });
+  const GpuId g0 = group.AddGpu(40.0);
+  const GpuId g1 = group.AddGpu(40.0);
+  FakeClient c(3);
+  group.Attach(g0, MakeAttachment(&c, 0.5, 4.0, 0, 0));
+  group.Attach(g1, MakeAttachment(&c, 0.5, 4.0, 0, 1));
+  group.DetachEverywhere(3);
+  EXPECT_FALSE(group.gpu(g0).Has(3));
+  EXPECT_FALSE(group.gpu(g1).Has(3));
+}
+
+TEST(GpuGroup, PeriodicTickRunsOnSimulation)
+{
+  sim::Simulation sim;
+  GpuGroup group(&sim, [](GpuId) {
+    return std::make_unique<StaticArbiter>();
+  });
+  const GpuId g = group.AddGpu(40.0);
+  FakeClient c(1, 0.5);
+  group.Attach(g, MakeAttachment(&c, 1.0));
+  group.Start();
+  sim.RunUntil(Ms(50));
+  EXPECT_EQ(c.quanta(), 10);  // 50 ms / 5 ms
+}
+
+TEST(Gpu, UtilizationRecording)
+{
+  Gpu gpu(0, 40.0);
+  FakeClient a(1);
+  gpu.Attach(MakeAttachment(&a, 0.5));
+  gpu.attachments()[0].granted = 0.5;
+  gpu.RecordQuantum(Ms(5));
+  EXPECT_DOUBLE_EQ(gpu.used_share(), 0.5);
+}
+
+}  // namespace
+}  // namespace dilu::gpusim

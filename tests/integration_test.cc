@@ -1,0 +1,178 @@
+/**
+ * @file Integration tests: whole-system behaviours the paper depends on,
+ * exercised end-to-end through the public API.
+ */
+#include <gtest/gtest.h>
+
+#include "core/system.h"
+#include "models/cost_model.h"
+#include "workload/azure_traces.h"
+
+namespace dilu {
+namespace {
+
+using core::FunctionSpec;
+using core::System;
+using core::SystemConfig;
+
+/** Collocate RoBERTa inference with BERT training on one GPU. */
+struct CollocationResult {
+  core::InferenceReport inference;
+  double training_tput = 0.0;
+};
+
+CollocationResult RunCollocation(const std::string& preset, double rps,
+                                 TimeUs duration = Sec(60))
+{
+  System system(SystemConfig::Preset(preset));
+  FunctionSpec ts;
+  ts.model = "bert-base";
+  ts.type = TaskType::kTraining;
+  ts.workers = 1;
+  const FunctionId train = system.Deploy(ts);
+  const FunctionId inf = system.DeployInference("roberta-large");
+  if (preset == "exclusive") {
+    EXPECT_TRUE(system.StartTrainingOn(train, {0}));
+    system.ProvisionOn(inf, {1});
+  } else {
+    EXPECT_TRUE(system.StartTrainingOn(train, {0}));
+    system.ProvisionOn(inf, {0});  // collocated on the same GPU
+  }
+  system.DrivePoisson(inf, rps, duration);
+  system.RunFor(duration + Sec(2));
+  CollocationResult r;
+  r.inference = system.MakeInferenceReport(inf);
+  r.training_tput = system.runtime().TrainingThroughputUnits(train);
+  return r;
+}
+
+TEST(Integration, DiluCollocationClosesOnExclusive)
+{
+  // Fig 7: Dilu's collocated latency stays within ~1.2-1.4x of the
+  // Exclusive mode while halving GPU usage; training keeps >90% of its
+  // exclusive throughput at moderate inference load.
+  const auto exclusive = RunCollocation("exclusive", 20.0);
+  const auto dilu = RunCollocation("dilu", 20.0);
+  ASSERT_GT(exclusive.inference.completed, 500);
+  ASSERT_GT(dilu.inference.completed, 500);
+  EXPECT_LT(dilu.inference.p50_ms, exclusive.inference.p50_ms * 1.8);
+  EXPECT_GT(dilu.training_tput, exclusive.training_tput * 0.80);
+}
+
+TEST(Integration, DiluBeatsStaticMpsRequestQuotaOnTraining)
+{
+  // MPS-r pins training at its request quota; Dilu lets it grow toward
+  // the limit whenever the inference instance idles.
+  const auto dilu = RunCollocation("dilu", 10.0);
+  const auto mps_r = RunCollocation("mps-r", 10.0);
+  EXPECT_GT(dilu.training_tput, mps_r.training_tput * 1.02);
+}
+
+TEST(Integration, TgsNearlyStopsCollocatedTraining)
+{
+  // TGS prioritizes the inference task; under sustained load the
+  // opportunistic training job nearly starves (Section 5.2).
+  const auto tgs = RunCollocation("tgs", 20.0);
+  const auto dilu = RunCollocation("dilu", 20.0);
+  ASSERT_GT(dilu.training_tput, 0.0);
+  EXPECT_LT(tgs.training_tput, dilu.training_tput * 0.5);
+}
+
+TEST(Integration, FastGsOverheadShowsUpInLatency)
+{
+  const auto fastgs = RunCollocation("fastgs", 20.0);
+  const auto mps_l = RunCollocation("mps-l", 20.0);
+  EXPECT_GE(fastgs.inference.p50_ms, mps_l.inference.p50_ms);
+}
+
+TEST(Integration, GammaCvDegradesStaticButNotDilu)
+{
+  // Fig 10: as CV grows, static MPS p95 blows up while Dilu's fast
+  // scale-up keeps the inflation bounded.
+  auto run = [](const std::string& preset, double cv) {
+    System system(SystemConfig::Preset(preset));
+    FunctionSpec ts;
+    ts.model = "bert-base";
+    ts.type = TaskType::kTraining;
+    ts.workers = 1;
+    const FunctionId train = system.Deploy(ts);
+    const FunctionId inf = system.DeployInference("roberta-large");
+    EXPECT_TRUE(system.StartTrainingOn(train, {0}));
+    system.ProvisionOn(inf, {0});
+    system.DriveGamma(inf, 40.0, cv, Sec(60));
+    system.RunFor(Sec(62));
+    return system.MakeInferenceReport(inf).p95_ms;
+  };
+  const double dilu_low = run("dilu", 0.5);
+  const double dilu_high = run("dilu", 5.0);
+  const double mps_r_low = run("mps-r", 0.5);
+  const double mps_r_high = run("mps-r", 5.0);
+  EXPECT_LT(dilu_high, mps_r_high);
+  // Dilu's CV-degradation slope is flatter than static MPS-r's.
+  EXPECT_LT(dilu_high / std::max(1.0, dilu_low),
+            mps_r_high / std::max(1.0, mps_r_low));
+}
+
+TEST(Integration, BurstyTraceFewColdStartsWithLazyScaling)
+{
+  // Table 3 mechanism: lazy scaling rides out short bursts with
+  // vertical headroom; eager scaling cold-starts repeatedly.
+  auto run = [](const std::string& policy) {
+    System system;
+    const FunctionId fn = system.DeployInference("roberta-large");
+    system.Provision(fn, 1);
+    system.EnableCoScaling(fn, policy);
+    workload::BurstySpec spec;
+    spec.duration_s = 300;
+    spec.base_rps = 60.0;
+    spec.burst_scale = 6.0;
+    system.DriveEnvelope(fn, workload::BuildBurstyTrace(spec), Sec(300));
+    system.RunFor(Sec(305));
+    return system.MakeInferenceReport(fn);
+  };
+  const auto lazy = run("dilu-lazy");
+  const auto eager = run("eager");
+  EXPECT_LT(lazy.cold_starts, eager.cold_starts);
+  EXPECT_GT(lazy.completed, 10000);
+}
+
+TEST(Integration, LlmSpansFragmentedGpus)
+{
+  // LLaMA2-7B deployed over 4 fragmented GPUs (Fig 7 setup).
+  System system;
+  FunctionSpec spec;
+  spec.model = "llama2-7b";
+  spec.type = TaskType::kInference;
+  spec.shards = 4;
+  const FunctionId fn = system.Deploy(spec);
+  system.Provision(fn, 1);
+  system.DrivePoisson(fn, 3.0, Sec(30));
+  system.RunFor(Sec(32));
+  const auto r = system.MakeInferenceReport(fn);
+  EXPECT_GT(r.completed, 50);
+  EXPECT_EQ(system.runtime().state().ActiveGpuCount(), 4);
+}
+
+TEST(Integration, SchedulerDefragmentsVersusExclusive)
+{
+  // Equation 1: Dilu minimizes occupied GPUs; exclusive burns one per
+  // instance.
+  auto gpus_used = [](const std::string& preset) {
+    core::SystemConfig cfg = SystemConfig::Preset(preset);
+    cfg.cluster.nodes = 3;
+    System system(cfg);
+    for (const char* m : {"bert-base", "roberta-large", "resnet152",
+                          "vgg19"}) {
+      const FunctionId fn = system.DeployInference(m);
+      system.Provision(fn, 1);
+    }
+    return system.runtime().state().ActiveGpuCount();
+  };
+  const int dilu = gpus_used("dilu");
+  const int exclusive = gpus_used("exclusive");
+  EXPECT_EQ(exclusive, 4);
+  EXPECT_LE(dilu, 2);
+}
+
+}  // namespace
+}  // namespace dilu

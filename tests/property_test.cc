@@ -1,0 +1,201 @@
+/**
+ * @file Property-based tests: invariants that must hold across swept
+ * parameter spaces (TEST_P sweeps per the reproduction guidelines).
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <string>
+#include <tuple>
+
+#include "core/system.h"
+#include "models/cost_model.h"
+#include "rckm/token_manager.h"
+#include "scheduler/scheduler.h"
+
+namespace dilu {
+namespace {
+
+/** Invariant: arbiter grants never exceed device capacity. */
+class CapacityInvariantTest
+    : public ::testing::TestWithParam<std::tuple<const char*, double>> {};
+
+TEST_P(CapacityInvariantTest, GrantsSumWithinCapacity)
+{
+  const auto [preset, rps] = GetParam();
+  core::System system(core::SystemConfig::Preset(preset));
+  core::FunctionSpec ts;
+  ts.model = "bert-base";
+  ts.type = TaskType::kTraining;
+  ts.workers = 1;
+  const FunctionId train = system.Deploy(ts);
+  const FunctionId inf = system.DeployInference("roberta-large");
+  ASSERT_TRUE(system.StartTrainingOn(train, {0}));
+  system.ProvisionOn(inf, {0});
+  system.DrivePoisson(inf, rps, Sec(20));
+
+  double max_total = 0.0;
+  system.runtime().simulation().SchedulePeriodic(Ms(7), Ms(7), [&] {
+    const auto& gpu = system.runtime().gpus().gpu(0);
+    double total = 0.0;
+    for (const auto& a : gpu.attachments()) total += a.granted;
+    max_total = std::max(max_total, total);
+  });
+  system.RunFor(Sec(22));
+  EXPECT_LE(max_total, 1.0 + 1e-6) << preset << " rps=" << rps;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PresetsAndLoads, CapacityInvariantTest,
+    ::testing::Combine(::testing::Values("dilu", "mps-l", "mps-r", "tgs",
+                                         "fastgs"),
+                       ::testing::Values(5.0, 20.0, 60.0)));
+
+/** Invariant: scheduler commitments respect Omega/gamma/memory. */
+class SchedulerInvariantTest
+    : public ::testing::TestWithParam<std::tuple<double, int>> {};
+
+TEST_P(SchedulerInvariantTest, CapsHoldForRandomWorkloads)
+{
+  const auto [gamma, seed] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed));
+  scheduler::ClusterState state;
+  for (int g = 0; g < 16; ++g) state.AddGpu(g / 4, 40.0);
+  scheduler::DiluSchedulerConfig cfg;
+  cfg.gamma = gamma;
+  scheduler::DiluScheduler sched(cfg);
+
+  for (InstanceId id = 0; id < 120; ++id) {
+    scheduler::PlacementRequest req;
+    req.function = static_cast<FunctionId>(rng.UniformInt(0, 9));
+    req.quota.request = rng.Uniform(0.05, 0.5);
+    req.quota.limit =
+        std::min(1.0, req.quota.request * rng.Uniform(1.0, 2.5));
+    req.mem_gb = rng.Uniform(2.0, 18.0);
+    req.gpus_needed = 1;
+    const auto placement = sched.Place(req, state);
+    if (!placement.ok) continue;
+    state.Commit(id, req.function,
+                 {{placement.gpus[0], req.quota, req.mem_gb}});
+  }
+  for (const auto& g : state.gpus()) {
+    EXPECT_LE(g.req_sum, cfg.omega + 1e-9) << "gpu " << g.id;
+    EXPECT_LE(g.lim_sum, cfg.gamma + 1e-9) << "gpu " << g.id;
+    EXPECT_LE(g.mem_used, g.mem_total_gb + 1e-9) << "gpu " << g.id;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GammaSeeds, SchedulerInvariantTest,
+    ::testing::Combine(::testing::Values(1.0, 1.5, 2.0),
+                       ::testing::Values(1, 2, 3, 4)));
+
+/** Invariant: token issues stay within [0, MaxTokens * limit]. */
+class TokenBoundsTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(TokenBoundsTest, IssuesBounded)
+{
+  const double max_tokens = GetParam();
+  rckm::TokenManagerConfig cfg;
+  cfg.max_tokens = max_tokens;
+  rckm::TokenManager tm(cfg);
+  Rng rng(17);
+  for (int step = 0; step < 200; ++step) {
+    std::vector<rckm::InstanceSample> samples;
+    for (InstanceId id = 1; id <= 3; ++id) {
+      rckm::InstanceSample s;
+      s.id = id;
+      s.slo_sensitive = (id == 1);
+      s.quota = {0.3, 0.8};
+      s.blocks_launched = rng.Uniform() < 0.3 ? 0.0 : rng.Uniform(0, 400);
+      s.klc_inflation = rng.Uniform(0.0, 1.2);
+      samples.push_back(s);
+    }
+    auto grants = tm.Tick(samples);
+    for (const auto& [id, g] : grants) {
+      EXPECT_GE(g.tokens, 0.0);
+      EXPECT_LE(g.tokens, max_tokens * 0.8 + 1e-6) << "id " << id;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(MaxTokenSweep, TokenBoundsTest,
+                         ::testing::Values(250.0, 500.0, 1000.0, 2000.0));
+
+/** Invariant: SLO attainment is monotone-ish in provisioned share. */
+class SloMonotoneTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(SloMonotoneTest, MoreShareNeverHurtsLatency)
+{
+  const models::ModelProfile& m = models::GetModel(GetParam());
+  for (int b = 1; b <= m.max_batch; b *= 2) {
+    TimeUs prev = std::numeric_limits<TimeUs>::max();
+    for (double s = 0.1; s <= 1.0; s += 0.1) {
+      const TimeUs t = models::InferenceIteration(m, b, s);
+      EXPECT_LE(t, prev) << m.name << " b=" << b << " s=" << s;
+      prev = t;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, SloMonotoneTest,
+                         ::testing::Values("resnet152", "vgg19",
+                                           "bert-base", "roberta-large",
+                                           "gpt2-large", "llama2-7b",
+                                           "chatglm3-6b"));
+
+/** Invariant: every dispatched request completes exactly once and
+ *  latency is non-negative, across presets and load levels (no request
+ *  is lost or double-counted through scaling/termination paths). */
+class ConservationTest
+    : public ::testing::TestWithParam<std::tuple<const char*, double>> {};
+
+TEST_P(ConservationTest, RequestsConserved)
+{
+  const auto [preset, rps] = GetParam();
+  core::System system(core::SystemConfig::Preset(preset));
+  const FunctionId fn = system.DeployInference("bert-base");
+  system.Provision(fn, 2);
+  if (std::string(preset) == "dilu") system.EnableCoScaling(fn);
+  system.DrivePoisson(fn, rps, Sec(20));
+  // Count completions independently of the metrics hub.
+  std::int64_t completions = 0;
+  TimeUs min_latency = Sec(1000);
+  for (auto* inst : system.runtime().gateway().instances(fn)) {
+    inst->set_request_sink([&](const workload::Request& r) {
+      ++completions;
+      min_latency = std::min(min_latency, r.Latency());
+      system.runtime().metrics().RecordRequest(fn, r);
+    });
+  }
+  // Drain: run past the workload end so queues empty.
+  system.RunFor(Sec(30));
+  const auto report = system.MakeInferenceReport(fn);
+  EXPECT_EQ(report.completed, completions);
+  EXPECT_GT(completions, static_cast<std::int64_t>(rps * 20 * 0.8));
+  EXPECT_GE(min_latency, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PresetsAndRates, ConservationTest,
+    ::testing::Combine(::testing::Values("dilu", "mps-l", "exclusive"),
+                       ::testing::Values(10.0, 60.0)));
+
+/** Invariant: simulation results identical for identical seeds. */
+TEST(Determinism, EndToEndRepeatable)
+{
+  auto run = [] {
+    core::System system;
+    const FunctionId fn = system.DeployInference("bert-base");
+    system.Provision(fn, 2);
+    system.DriveGamma(fn, 60.0, 3.0, Sec(30));
+    system.RunFor(Sec(32));
+    const auto r = system.MakeInferenceReport(fn);
+    return std::make_tuple(r.completed, r.p95_ms, r.svr_percent);
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace dilu

@@ -1,0 +1,167 @@
+/** @file Unit tests for the RCKM token manager (Algorithm 2) + KLC. */
+#include <gtest/gtest.h>
+
+#include "rckm/klc_monitor.h"
+#include "rckm/token_manager.h"
+
+namespace dilu::rckm {
+namespace {
+
+InstanceSample MakeSample(InstanceId id, bool slo, double req, double lim,
+                          double blocks = 0.0, double inflation = 0.0)
+{
+  InstanceSample s;
+  s.id = id;
+  s.slo_sensitive = slo;
+  s.quota = {req, lim};
+  s.blocks_launched = blocks;
+  s.klc_inflation = inflation;
+  return s;
+}
+
+TEST(KlcMonitor, InflationRelativeToBucketMin)
+{
+  KlcMonitor m;
+  m.Record(4, Ms(25));
+  EXPECT_DOUBLE_EQ(m.Inflation(), 0.0);
+  m.Record(4, Ms(50));
+  EXPECT_DOUBLE_EQ(m.Inflation(), 1.0);  // 25 -> 50 ms doubled
+  m.Record(4, Ms(25));
+  EXPECT_DOUBLE_EQ(m.Inflation(), 0.0);
+}
+
+TEST(KlcMonitor, BucketsIsolateBatchSizes)
+{
+  KlcMonitor m;
+  m.Record(1, Ms(10));
+  m.Record(8, Ms(80));  // big batch is slower, but not "contention"
+  EXPECT_DOUBLE_EQ(m.Inflation(), 0.0);
+  m.Record(8, Ms(120));
+  EXPECT_NEAR(m.Inflation(), 0.5, 1e-9);
+}
+
+TEST(KlcMonitor, ResetForgets)
+{
+  KlcMonitor m;
+  m.Record(1, Ms(10));
+  m.Reset();
+  EXPECT_EQ(m.current(), 0);
+  EXPECT_DOUBLE_EQ(m.Inflation(), 0.0);
+}
+
+TEST(TokenManager, SoloNonSloGetsLimit)
+{
+  TokenManager tm;
+  auto grants = tm.Tick({MakeSample(1, false, 0.4, 0.8, 100.0)});
+  EXPECT_DOUBLE_EQ(grants[1].tokens, 1000.0 * 0.8);
+  EXPECT_EQ(tm.state(), ScalingState::kNone);
+}
+
+TEST(TokenManager, EmergencyScalesInferenceUpAndTrainingDown)
+{
+  TokenManager tm;
+  // Warm up: both active, contention state.
+  for (int i = 0; i < 3; ++i) {
+    tm.Tick({MakeSample(1, true, 0.5, 1.0, 200.0),
+             MakeSample(2, false, 0.4, 0.9, 300.0)});
+  }
+  // Inference reports 60% KLC inflation while using most of the GPU
+  // -> EMERGENCY; training squeezed below its request (the slash floor
+  // is the capacity the inference side demonstrably is not using).
+  auto grants = tm.Tick({MakeSample(1, true, 0.5, 1.0, 900.0, 0.6),
+                         MakeSample(2, false, 0.4, 0.9, 300.0)});
+  EXPECT_EQ(tm.state(), ScalingState::kEmergency);
+  EXPECT_DOUBLE_EQ(grants[1].tokens, 1000.0);  // MaxTokens * limit
+  EXPECT_LT(grants[2].tokens, 1000.0 * 0.4);
+}
+
+TEST(TokenManager, IdleInferenceScalesDownToRequest)
+{
+  TokenManager tm;
+  // Inference launches nothing for a full rate window.
+  std::map<InstanceId, TokenGrant> grants;
+  for (int i = 0; i < 10; ++i) {
+    grants = tm.Tick({MakeSample(1, true, 0.5, 1.0, 0.0),
+                      MakeSample(2, false, 0.4, 0.9, 300.0)});
+  }
+  EXPECT_DOUBLE_EQ(grants[1].tokens, 1000.0 * 0.5);  // request
+}
+
+TEST(TokenManager, TrainingRegrowsInRecovery)
+{
+  TokenManager tm;
+  // Trigger emergency to depress the training budget.
+  for (int i = 0; i < 3; ++i) {
+    tm.Tick({MakeSample(1, true, 0.5, 1.0, 200.0),
+             MakeSample(2, false, 0.4, 0.9, 300.0)});
+  }
+  auto depressed = tm.Tick({MakeSample(1, true, 0.5, 1.0, 900.0, 0.8),
+                            MakeSample(2, false, 0.4, 0.9, 300.0)});
+  const double low = depressed[2].tokens;
+  // Inference goes idle: rate window drains over 8 periods -> RECOVERY,
+  // and the training budget regrows multiplicatively toward the limit.
+  std::map<InstanceId, TokenGrant> grants;
+  for (int i = 0; i < 30; ++i) {
+    grants = tm.Tick({MakeSample(1, true, 0.5, 1.0, 0.0),
+                      MakeSample(2, false, 0.4, 0.9, 300.0)});
+  }
+  EXPECT_GT(grants[2].tokens, low);
+  EXPECT_NEAR(grants[2].tokens, 1000.0 * 0.9, 1e-6);  // back at limit
+}
+
+TEST(TokenManager, ContentionHoldsAtRequest)
+{
+  TokenManager tm;
+  std::map<InstanceId, TokenGrant> grants;
+  for (int i = 0; i < 5; ++i) {
+    grants = tm.Tick({MakeSample(1, true, 0.5, 1.0, 200.0),
+                      MakeSample(2, true, 0.3, 0.6, 200.0)});
+  }
+  EXPECT_EQ(tm.state(), ScalingState::kContention);
+  // Request quota plus the contention cushion, capped at the limit.
+  const double cushion = tm.config().slo_cushion;
+  EXPECT_DOUBLE_EQ(grants[1].tokens, std::min(500.0 * cushion, 1000.0));
+  EXPECT_DOUBLE_EQ(grants[2].tokens, std::min(300.0 * cushion, 600.0));
+}
+
+TEST(TokenManager, MaxTokensScalesBudgets)
+{
+  TokenManagerConfig cfg;
+  cfg.max_tokens = 500.0;  // conservative (Fig 18b left side)
+  TokenManager tm(cfg);
+  auto grants = tm.Tick({MakeSample(1, false, 0.4, 0.8, 10.0)});
+  EXPECT_DOUBLE_EQ(grants[1].tokens, 500.0 * 0.8);
+}
+
+TEST(TokenManager, ForgetClearsEmergencyOwner)
+{
+  TokenManager tm;
+  for (int i = 0; i < 3; ++i) {
+    tm.Tick({MakeSample(1, true, 0.5, 1.0, 200.0),
+             MakeSample(2, false, 0.4, 0.9, 300.0)});
+  }
+  tm.Tick({MakeSample(1, true, 0.5, 1.0, 200.0, 0.9),
+           MakeSample(2, false, 0.4, 0.9, 300.0)});
+  ASSERT_EQ(tm.state(), ScalingState::kEmergency);
+  tm.Forget(1);
+  EXPECT_EQ(tm.state(), ScalingState::kRecovery);
+}
+
+TEST(TokenManager, TotalTokensAccumulate)
+{
+  TokenManager tm;
+  tm.Tick({MakeSample(1, false, 0.4, 0.8, 10.0)});
+  tm.Tick({MakeSample(1, false, 0.4, 0.8, 10.0)});
+  EXPECT_GT(tm.total_tokens_issued(), 0.0);
+}
+
+TEST(ScalingStateNames, AllNamed)
+{
+  EXPECT_STREQ(ToString(ScalingState::kNone), "NONE");
+  EXPECT_STREQ(ToString(ScalingState::kEmergency), "EMERGENCY");
+  EXPECT_STREQ(ToString(ScalingState::kRecovery), "RECOVERY");
+  EXPECT_STREQ(ToString(ScalingState::kContention), "CONTENTION");
+}
+
+}  // namespace
+}  // namespace dilu::rckm

@@ -1,0 +1,210 @@
+/** @file Unit tests for Algorithm 1 and the baseline schedulers. */
+#include <gtest/gtest.h>
+
+#include "scheduler/baseline_schedulers.h"
+#include "scheduler/gpu_state.h"
+#include "scheduler/scheduler.h"
+
+namespace dilu::scheduler {
+namespace {
+
+ClusterState MakeCluster(int gpus, double mem = 40.0)
+{
+  ClusterState state;
+  for (int i = 0; i < gpus; ++i) state.AddGpu(i / 4, mem);
+  return state;
+}
+
+PlacementRequest MakeRequest(FunctionId fn, double req, double lim,
+                             double mem, int gpus = 1)
+{
+  PlacementRequest r;
+  r.function = fn;
+  r.quota = {req, lim};
+  r.mem_gb = mem;
+  r.gpus_needed = gpus;
+  return r;
+}
+
+TEST(ClusterState, CommitAndRelease)
+{
+  ClusterState state = MakeCluster(2);
+  state.Commit(1, 7, {{0, {0.3, 0.6}, 10.0}});
+  EXPECT_DOUBLE_EQ(state.gpu(0).req_sum, 0.3);
+  EXPECT_DOUBLE_EQ(state.gpu(0).lim_sum, 0.6);
+  EXPECT_DOUBLE_EQ(state.gpu(0).mem_used, 10.0);
+  EXPECT_EQ(state.ActiveGpuCount(), 1);
+  state.Release(1);
+  EXPECT_DOUBLE_EQ(state.gpu(0).req_sum, 0.0);
+  EXPECT_EQ(state.ActiveGpuCount(), 0);
+}
+
+TEST(ClusterState, FragmentationMetrics)
+{
+  ClusterState state = MakeCluster(2);
+  state.Commit(1, 7, {{0, {0.4, 0.8}, 10.0}});
+  // Only GPU 0 active: SM frag = 0.6, mem frag = 30/40.
+  EXPECT_NEAR(state.SmFragmentation(), 0.6, 1e-9);
+  EXPECT_NEAR(state.MemoryFragmentation(), 0.75, 1e-9);
+}
+
+TEST(DiluScheduler, PacksOntoActiveGpuFirst)
+{
+  ClusterState state = MakeCluster(4);
+  DiluScheduler sched;
+  auto p1 = sched.Place(MakeRequest(1, 0.4, 0.8, 10.0), state);
+  ASSERT_TRUE(p1.ok);
+  state.Commit(100, 1, {{p1.gpus[0], {0.4, 0.8}, 10.0}});
+  // Second function fits in the fragment: must share GPU 0.
+  auto p2 = sched.Place(MakeRequest(2, 0.3, 0.6, 8.0), state);
+  ASSERT_TRUE(p2.ok);
+  EXPECT_EQ(p2.gpus[0], p1.gpus[0]);
+}
+
+TEST(DiluScheduler, RespectsOmegaCap)
+{
+  ClusterState state = MakeCluster(2);
+  DiluScheduler sched;  // omega = 1.0
+  state.Commit(100, 1, {{0, {0.7, 0.9}, 10.0}});
+  // request 0.4 would push req_sum to 1.1 > omega: must pick GPU 1.
+  auto p = sched.Place(MakeRequest(2, 0.4, 0.6, 8.0), state);
+  ASSERT_TRUE(p.ok);
+  EXPECT_EQ(p.gpus[0], 1);
+}
+
+TEST(DiluScheduler, RespectsGammaCap)
+{
+  ClusterState state = MakeCluster(2);
+  DiluSchedulerConfig cfg;
+  cfg.gamma = 1.5;
+  DiluScheduler sched(cfg);
+  state.Commit(100, 1, {{0, {0.3, 1.0}, 10.0}});
+  // limit 0.6 would push lim_sum to 1.6 > gamma.
+  auto p = sched.Place(MakeRequest(2, 0.2, 0.6, 8.0), state);
+  ASSERT_TRUE(p.ok);
+  EXPECT_EQ(p.gpus[0], 1);
+}
+
+TEST(DiluScheduler, RespectsMemoryCapacity)
+{
+  ClusterState state = MakeCluster(2);
+  DiluScheduler sched;
+  state.Commit(100, 1, {{0, {0.2, 0.4}, 30.0}});
+  auto p = sched.Place(MakeRequest(2, 0.2, 0.4, 16.0), state);
+  ASSERT_TRUE(p.ok);
+  EXPECT_EQ(p.gpus[0], 1);  // 30 + 16 > 40 on GPU 0
+}
+
+TEST(DiluScheduler, WorkloadAffinityPreferred)
+{
+  ClusterState state = MakeCluster(3);
+  DiluScheduler sched;
+  // Function 1 resident on GPU 1 (more loaded); function 9 on GPU 0.
+  state.Commit(100, 9, {{0, {0.2, 0.4}, 8.0}});
+  state.Commit(101, 1, {{1, {0.5, 0.9}, 10.0}});
+  PlacementRequest req = MakeRequest(2, 0.3, 0.5, 8.0);
+  req.affinity = {1};  // affine with function 1
+  auto p = sched.Place(req, state);
+  ASSERT_TRUE(p.ok);
+  EXPECT_EQ(p.gpus[0], 1);
+}
+
+TEST(DiluScheduler, DisableAffinityFallsBackToBestFit)
+{
+  ClusterState state = MakeCluster(3);
+  DiluSchedulerConfig cfg;
+  cfg.workload_affinity = false;
+  DiluScheduler sched(cfg);
+  state.Commit(100, 9, {{0, {0.6, 0.9}, 20.0}});
+  state.Commit(101, 1, {{1, {0.2, 0.4}, 6.0}});
+  PlacementRequest req = MakeRequest(2, 0.3, 0.5, 8.0);
+  req.affinity = {1};
+  auto p = sched.Place(req, state);
+  ASSERT_TRUE(p.ok);
+  // Best fit by weighted fragmentation picks the fuller GPU 0.
+  EXPECT_EQ(p.gpus[0], 0);
+}
+
+TEST(DiluScheduler, LargeModelUsesWorstFitAcrossGpus)
+{
+  ClusterState state = MakeCluster(4);
+  DiluScheduler sched;
+  state.Commit(100, 1, {{0, {0.3, 0.5}, 30.0}});  // little memory left
+  state.Commit(101, 2, {{1, {0.3, 0.5}, 5.0}});   // lots of memory left
+  PlacementRequest req = MakeRequest(3, 0.1, 0.2, 8.0, /*gpus=*/2);
+  req.large_model = true;
+  auto p = sched.Place(req, state);
+  ASSERT_TRUE(p.ok);
+  ASSERT_EQ(p.gpus.size(), 2u);
+  EXPECT_NE(p.gpus[0], p.gpus[1]);
+  // Worst fit prefers the GPU with the most free memory first.
+  EXPECT_EQ(p.gpus[0], 1);
+}
+
+TEST(DiluScheduler, FailsWhenClusterFull)
+{
+  ClusterState state = MakeCluster(1);
+  DiluScheduler sched;
+  state.Commit(100, 1, {{0, {0.9, 1.0}, 38.0}});
+  auto p = sched.Place(MakeRequest(2, 0.5, 0.8, 8.0), state);
+  EXPECT_FALSE(p.ok);
+}
+
+TEST(DiluScheduler, MultiShardOnDistinctGpus)
+{
+  ClusterState state = MakeCluster(4);
+  DiluScheduler sched;
+  auto p = sched.Place(MakeRequest(1, 0.1, 0.2, 4.0, /*gpus=*/4), state);
+  ASSERT_TRUE(p.ok);
+  ASSERT_EQ(p.gpus.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = i + 1; j < 4; ++j) {
+      EXPECT_NE(p.gpus[i], p.gpus[j]);
+    }
+  }
+}
+
+TEST(ExclusiveScheduler, OneGpuPerShard)
+{
+  ClusterState state = MakeCluster(3);
+  ExclusiveScheduler sched;
+  auto p1 = sched.Place(MakeRequest(1, 1.0, 1.0, 8.0), state);
+  ASSERT_TRUE(p1.ok);
+  state.Commit(100, 1, {{p1.gpus[0], {1.0, 1.0}, 8.0}});
+  auto p2 = sched.Place(MakeRequest(2, 1.0, 1.0, 8.0), state);
+  ASSERT_TRUE(p2.ok);
+  EXPECT_NE(p2.gpus[0], p1.gpus[0]);  // never shares
+}
+
+TEST(ExclusiveScheduler, FailsWithoutIdleGpu)
+{
+  ClusterState state = MakeCluster(1);
+  ExclusiveScheduler sched;
+  state.Commit(100, 1, {{0, {1.0, 1.0}, 8.0}});
+  auto p = sched.Place(MakeRequest(2, 1.0, 1.0, 8.0), state);
+  EXPECT_FALSE(p.ok);
+}
+
+TEST(StaticQuotaScheduler, PacksWithinCapacity)
+{
+  ClusterState state = MakeCluster(2);
+  StaticQuotaScheduler sched("static-test", 1.0);
+  state.Commit(100, 1, {{0, {0.6, 0.6}, 10.0}});
+  auto p1 = sched.Place(MakeRequest(2, 0.4, 0.4, 8.0), state);
+  ASSERT_TRUE(p1.ok);
+  EXPECT_EQ(p1.gpus[0], 0);  // exactly fills GPU 0
+  state.Commit(101, 2, {{0, {0.4, 0.4}, 8.0}});
+  auto p2 = sched.Place(MakeRequest(3, 0.2, 0.2, 8.0), state);
+  ASSERT_TRUE(p2.ok);
+  EXPECT_EQ(p2.gpus[0], 1);  // GPU 0 full
+}
+
+TEST(SchedulerNames, Reported)
+{
+  EXPECT_EQ(DiluScheduler().name(), "dilu");
+  EXPECT_EQ(ExclusiveScheduler().name(), "exclusive");
+  EXPECT_EQ(StaticQuotaScheduler("x", 1.0).name(), "x");
+}
+
+}  // namespace
+}  // namespace dilu::scheduler

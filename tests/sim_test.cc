@@ -1,0 +1,116 @@
+/** @file Unit tests for the discrete-event engine. */
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "sim/simulation.h"
+
+namespace dilu::sim {
+namespace {
+
+TEST(EventQueue, FiresInTimeOrder)
+{
+  EventQueue q;
+  std::vector<int> order;
+  q.ScheduleAt(Ms(30), [&] { order.push_back(3); });
+  q.ScheduleAt(Ms(10), [&] { order.push_back(1); });
+  q.ScheduleAt(Ms(20), [&] { order.push_back(2); });
+  while (q.RunOne()) {
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), Ms(30));
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder)
+{
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.ScheduleAt(Ms(10), [&order, i] { order.push_back(i); });
+  }
+  while (q.RunOne()) {
+  }
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, RunUntilAdvancesTimeWithoutEvents)
+{
+  EventQueue q;
+  q.RunUntil(Sec(5));
+  EXPECT_EQ(q.now(), Sec(5));
+}
+
+TEST(EventQueue, RunUntilStopsAtDeadline)
+{
+  EventQueue q;
+  int fired = 0;
+  q.ScheduleAt(Ms(10), [&] { ++fired; });
+  q.ScheduleAt(Ms(100), [&] { ++fired; });
+  q.RunUntil(Ms(50));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(q.now(), Ms(50));
+  q.RunUntil(Ms(200));
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, CancelPreventsFiring)
+{
+  EventQueue q;
+  int fired = 0;
+  const EventId id = q.ScheduleAt(Ms(10), [&] { ++fired; });
+  q.ScheduleAt(Ms(20), [&] { ++fired; });
+  q.Cancel(id);
+  q.RunUntil(Ms(100));
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, EventsCanScheduleEvents)
+{
+  EventQueue q;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 5) q.ScheduleAfter(Ms(1), chain);
+  };
+  q.ScheduleAt(0, chain);
+  q.RunUntil(Ms(100));
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(q.PendingCount(), 0u);
+}
+
+TEST(Simulation, PeriodicTaskFiresAtPeriod)
+{
+  Simulation sim;
+  int fires = 0;
+  sim.SchedulePeriodic(Ms(5), Ms(5), [&] { ++fires; });
+  sim.RunUntil(Ms(52));
+  // fires at 5, 10, ..., 50 -> 10 times
+  EXPECT_EQ(fires, 10);
+}
+
+TEST(Simulation, StopPeriodicHalts)
+{
+  Simulation sim;
+  int fires = 0;
+  Simulation::TaskId id = 0;
+  id = sim.SchedulePeriodic(Ms(5), Ms(5), [&] {
+    if (++fires == 3) sim.StopPeriodic(id);
+  });
+  sim.RunUntil(Sec(1));
+  EXPECT_EQ(fires, 3);
+}
+
+TEST(Simulation, MultiplePeriodicTasksInterleave)
+{
+  Simulation sim;
+  int a = 0;
+  int b = 0;
+  sim.SchedulePeriodic(Ms(5), Ms(5), [&] { ++a; });
+  sim.SchedulePeriodic(Ms(10), Ms(10), [&] { ++b; });
+  sim.RunUntil(Ms(100));
+  EXPECT_EQ(a, 20);
+  EXPECT_EQ(b, 10);
+}
+
+}  // namespace
+}  // namespace dilu::sim

@@ -1,0 +1,96 @@
+/** @file Unit tests for the public dilu::core::System facade. */
+#include <gtest/gtest.h>
+
+#include "core/system.h"
+
+namespace dilu::core {
+namespace {
+
+TEST(SystemConfig, PresetsSelectPolicies)
+{
+  EXPECT_EQ(SystemConfig::Preset("dilu").cluster.sharing, "dilu");
+  EXPECT_EQ(SystemConfig::Preset("exclusive").cluster.quota_mode, "full");
+  EXPECT_EQ(SystemConfig::Preset("mps-l").cluster.quota_mode, "limit");
+  EXPECT_EQ(SystemConfig::Preset("mps-r").cluster.quota_mode, "request");
+  EXPECT_EQ(SystemConfig::Preset("tgs").cluster.sharing, "tgs");
+  EXPECT_EQ(SystemConfig::Preset("fastgs").cluster.sharing, "fastgs");
+  EXPECT_TRUE(SystemConfig::Preset("infless-l").cluster.warm_starts);
+}
+
+TEST(System, QuickstartFlow)
+{
+  System system;
+  const FunctionId fn = system.DeployInference("roberta-large");
+  system.Provision(fn, 1);
+  system.DrivePoisson(fn, 20.0, Sec(30));
+  system.RunFor(Sec(35));
+  const InferenceReport r = system.MakeInferenceReport(fn);
+  EXPECT_GT(r.completed, 400);
+  EXPECT_GT(r.p50_ms, 0.0);
+  EXPECT_LE(r.p50_ms, r.p95_ms);
+  EXPECT_LT(r.svr_percent, 10.0);
+}
+
+TEST(System, TrainingReportHasUnits)
+{
+  System system;
+  const FunctionId fn = system.DeployTraining("bert-base", 1, 20);
+  ASSERT_TRUE(system.StartTraining(fn));
+  system.RunFor(Sec(30));
+  const TrainingReport r = system.MakeTrainingReport(fn);
+  EXPECT_EQ(r.iterations, 20);
+  EXPECT_EQ(r.unit, "tokens/s");
+  EXPECT_GT(r.throughput_units, 0.0);
+  EXPECT_GT(r.jct_s, 0.0);
+}
+
+TEST(System, GammaDriverRuns)
+{
+  System system;
+  const FunctionId fn = system.DeployInference("bert-base");
+  system.Provision(fn, 1);
+  system.DriveGamma(fn, 30.0, 4.0, Sec(20));
+  system.RunFor(Sec(25));
+  EXPECT_GT(system.MakeInferenceReport(fn).completed, 300);
+}
+
+TEST(System, EnvelopeDriverRuns)
+{
+  System system;
+  const FunctionId fn = system.DeployInference("bert-base");
+  system.Provision(fn, 1);
+  system.DriveEnvelope(fn, std::vector<double>(20, 25.0), Sec(20));
+  system.RunFor(Sec(25));
+  EXPECT_GT(system.MakeInferenceReport(fn).completed, 300);
+}
+
+TEST(System, CoScalingEnables)
+{
+  System system;
+  const FunctionId fn = system.DeployInference("bert-base");
+  system.Provision(fn, 1);
+  system.EnableCoScaling(fn);
+  system.DrivePoisson(fn, 10.0, Sec(10));
+  system.RunFor(Sec(12));
+  EXPECT_GT(system.MakeInferenceReport(fn).completed, 50);
+}
+
+TEST(System, DeterministicAcrossRuns)
+{
+  auto run = [] {
+    System system;
+    const FunctionId fn = system.DeployInference("roberta-large");
+    system.Provision(fn, 1);
+    system.DrivePoisson(fn, 25.0, Sec(20));
+    system.RunFor(Sec(22));
+    return system.MakeInferenceReport(fn);
+  };
+  const InferenceReport a = run();
+  const InferenceReport b = run();
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_DOUBLE_EQ(a.p95_ms, b.p95_ms);
+  EXPECT_DOUBLE_EQ(a.svr_percent, b.svr_percent);
+}
+
+}  // namespace
+}  // namespace dilu::core
