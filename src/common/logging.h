@@ -59,6 +59,14 @@ class LogLine {
   std::ostringstream stream_;
 };
 
+/**
+ * Swallows a LogLine so the whole DILU_LOG expansion is one expression
+ * of type void; `&` binds looser than `<<` but tighter than `?:`.
+ */
+struct LogVoidify {
+  void operator&(const LogLine&) {}
+};
+
 }  // namespace log_internal
 
 /**
@@ -75,9 +83,15 @@ class LogLine {
 
 }  // namespace dilu
 
-#define DILU_LOG(lvl)                                        \
-  if (::dilu::Logger::level() <= ::dilu::LogLevel::lvl)        \
-  ::dilu::log_internal::LogLine(::dilu::LogLevel::lvl)
+// A single expression (no bare `if`), so the macro is safe inside
+// unbraced `if`/`else` statements: the ternary cannot capture a
+// following `else`, unlike the classic `if (level) LogLine(...)` form.
+// Stream operands are still only evaluated when the level is enabled.
+#define DILU_LOG(lvl)                                          \
+  (::dilu::Logger::level() > ::dilu::LogLevel::lvl)            \
+      ? (void)0                                                \
+      : ::dilu::log_internal::LogVoidify()                     \
+            & ::dilu::log_internal::LogLine(::dilu::LogLevel::lvl)
 
 #define DILU_DEBUG DILU_LOG(kDebug)
 #define DILU_INFO DILU_LOG(kInfo)

@@ -1,7 +1,5 @@
 #include "sim/event_queue.h"
 
-#include <algorithm>
-
 #include "common/logging.h"
 
 namespace dilu::sim {
@@ -12,7 +10,7 @@ EventQueue::ScheduleAt(TimeUs when, EventFn fn)
   DILU_CHECK(when >= now_);
   const EventId id = next_id_++;
   heap_.push(Entry{when, next_seq_++, id, std::move(fn)});
-  ++pending_;
+  live_.insert(id);
   return id;
 }
 
@@ -26,21 +24,21 @@ EventQueue::ScheduleAfter(TimeUs delay, EventFn fn)
 void
 EventQueue::Cancel(EventId id)
 {
-  cancelled_.push_back(id);
-  if (pending_ > 0) --pending_;
+  // Cancelling a fired (or never-scheduled, or already-cancelled) event
+  // is a no-op, so bookkeeping cannot drift.
+  if (live_.erase(id) > 0) cancelled_.insert(id);
 }
 
 bool
 EventQueue::IsCancelled(EventId id) const
 {
-  return std::find(cancelled_.begin(), cancelled_.end(), id)
-      != cancelled_.end();
+  return cancelled_.count(id) > 0;
 }
 
 bool
 EventQueue::Empty() const
 {
-  return pending_ == 0;
+  return live_.empty();
 }
 
 bool
@@ -50,12 +48,10 @@ EventQueue::RunOne()
     Entry e = heap_.top();
     heap_.pop();
     if (IsCancelled(e.id)) {
-      cancelled_.erase(
-          std::remove(cancelled_.begin(), cancelled_.end(), e.id),
-          cancelled_.end());
+      cancelled_.erase(e.id);
       continue;
     }
-    --pending_;
+    live_.erase(e.id);
     now_ = e.when;
     e.fn();
     return true;
@@ -69,12 +65,11 @@ EventQueue::RunUntil(TimeUs deadline)
   while (!heap_.empty()) {
     const Entry& top = heap_.top();
     if (IsCancelled(top.id)) {
-      EventId id = top.id;
+      cancelled_.erase(top.id);
       heap_.pop();
-      cancelled_.erase(std::remove(cancelled_.begin(), cancelled_.end(), id),
-                       cancelled_.end());
       continue;
     }
+    // Events scheduled at exactly `deadline` do fire (inclusive bound).
     if (top.when > deadline) break;
     RunOne();
   }

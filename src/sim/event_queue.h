@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <unordered_set>
 #include <vector>
 
 #include "common/types.h"
@@ -63,7 +64,7 @@ class EventQueue {
   void RunUntil(TimeUs deadline);
 
   /** Number of pending (non-cancelled) events. */
-  std::size_t PendingCount() const { return pending_; }
+  std::size_t PendingCount() const { return live_.size(); }
 
  private:
   struct Entry {
@@ -79,11 +80,13 @@ class EventQueue {
   };
 
   std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap_;
-  std::vector<EventId> cancelled_;  // sorted lazily, small
+  // Ids scheduled but not yet fired or cancelled. Lets Cancel() treat
+  // fired/unknown ids as a no-op and makes IsCancelled O(1).
+  std::unordered_set<EventId> live_;
+  std::unordered_set<EventId> cancelled_;
   TimeUs now_ = 0;
   std::uint64_t next_seq_ = 0;
   EventId next_id_ = 1;
-  std::size_t pending_ = 0;
 
   bool IsCancelled(EventId id) const;
 };

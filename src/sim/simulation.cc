@@ -22,16 +22,22 @@ void
 Simulation::StopPeriodic(TaskId id)
 {
   DILU_CHECK(id < tasks_.size());
-  tasks_[id]->stopped = true;
+  PeriodicTask* task = tasks_[id].get();
+  task->stopped = true;
+  // Cancelling a fired event is a no-op, so this is safe even when
+  // called from inside the task's own callback (the event just fired).
+  queue_.Cancel(task->armed);
 }
 
 void
 Simulation::Arm(TaskId id, TimeUs when)
 {
-  queue_.ScheduleAt(when, [this, id] {
+  tasks_[id]->armed = queue_.ScheduleAt(when, [this, id] {
     PeriodicTask* task = tasks_[id].get();
     if (task->stopped) return;
     task->fn();
+    // fn may have stopped this task (or another task may have stopped
+    // it re-entrantly via nested events); never re-arm a stopped task.
     if (!task->stopped) Arm(id, queue_.now() + task->period);
   });
 }

@@ -40,7 +40,12 @@ class Simulation {
   TaskId SchedulePeriodic(TimeUs start, TimeUs period,
                           std::function<void()> fn);
 
-  /** Stop a periodic task (it will not fire again). */
+  /**
+   * Stop a periodic task (it will not fire again). Safe to call from
+   * inside the task's own callback: the task is not re-armed. Stopping
+   * also cancels the task's pending event, so a stopped task leaves no
+   * residue in the queue.
+   */
   void StopPeriodic(TaskId id);
 
   /** Advance simulated time to `deadline`, firing due events. */
@@ -54,6 +59,7 @@ class Simulation {
     TimeUs period = 0;
     std::function<void()> fn;
     bool stopped = false;
+    EventId armed = 0;  // pending event for the next firing
   };
 
   void Arm(TaskId id, TimeUs when);

@@ -3,6 +3,7 @@
 
 #include <cmath>
 
+#include "common/logging.h"
 #include "common/random.h"
 #include "common/stats.h"
 #include "common/types.h"
@@ -134,6 +135,29 @@ TEST(Rng, UniformIntBounds)
     EXPECT_GE(v, 3);
     EXPECT_LE(v, 7);
   }
+}
+
+// The logging macros must expand to a single expression so that they
+// behave correctly inside unbraced if/else: with the old
+// `if (level) LogLine(...)` expansion, the `else` below would have
+// bound to the macro's hidden `if` and inverted the control flow.
+TEST(Logging, MacroIsSafeInUnbracedIfElse)
+{
+  int taken = 0;
+  const bool flag = false;
+  if (flag)
+    DILU_WARN << "then-branch";
+  else
+    taken = 1;
+  EXPECT_EQ(taken, 1);
+
+  // Stream operands must not be evaluated when the level is disabled.
+  const LogLevel saved = Logger::level();
+  Logger::set_level(LogLevel::kOff);
+  int evaluated = 0;
+  DILU_ERROR << "side effect: " << ++evaluated;
+  EXPECT_EQ(evaluated, 0);
+  Logger::set_level(saved);
 }
 
 }  // namespace

@@ -1,6 +1,7 @@
 /** @file Unit tests for the discrete-event engine. */
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <vector>
 
 #include "sim/event_queue.h"
@@ -65,6 +66,86 @@ TEST(EventQueue, CancelPreventsFiring)
   EXPECT_EQ(fired, 1);
 }
 
+TEST(EventQueue, CancelFiredEventIsNoOp)
+{
+  EventQueue q;
+  int fired = 0;
+  const EventId id = q.ScheduleAt(Ms(10), [&] { ++fired; });
+  q.ScheduleAt(Ms(20), [&] { ++fired; });
+  EXPECT_TRUE(q.RunOne());
+  EXPECT_EQ(fired, 1);
+  // The event already fired; cancelling it must not disturb the
+  // bookkeeping for the one still-pending event.
+  q.Cancel(id);
+  q.Cancel(id);
+  EXPECT_EQ(q.PendingCount(), 1u);
+  q.RunUntil(Ms(100));
+  EXPECT_EQ(fired, 2);
+  EXPECT_TRUE(q.Empty());
+}
+
+TEST(EventQueue, CancelUnknownIdIsNoOp)
+{
+  EventQueue q;
+  q.ScheduleAt(Ms(10), [] {});
+  q.Cancel(12345);  // never issued
+  EXPECT_EQ(q.PendingCount(), 1u);
+  q.RunUntil(Ms(10));
+  EXPECT_TRUE(q.Empty());
+}
+
+// Regression for the O(n)-scan cancellation list: cancelling 10k events
+// used to make every subsequent pop linearly scan the cancelled vector
+// (quadratic overall). With set-based bookkeeping this finishes
+// instantly; the loose wall-clock bound only trips on a blowup.
+TEST(EventQueue, ManyCancellationsNoQuadraticBlowup)
+{
+  constexpr int kEvents = 10000;
+  EventQueue q;
+  int fired = 0;
+  std::vector<EventId> ids;
+  ids.reserve(kEvents);
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < kEvents; ++i) {
+    ids.push_back(q.ScheduleAt(Ms(1) + i, [&] { ++fired; }));
+    q.ScheduleAt(Ms(1) + i, [&] { ++fired; });  // survivor at same time
+  }
+  for (EventId id : ids) q.Cancel(id);
+  EXPECT_EQ(q.PendingCount(), static_cast<std::size_t>(kEvents));
+  q.RunUntil(Sec(60));
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_EQ(fired, kEvents);
+  EXPECT_TRUE(q.Empty());
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            2000);
+}
+
+TEST(EventQueue, RunUntilAdvancesToDeadlineWhenQueueDrainsEarly)
+{
+  EventQueue q;
+  int fired = 0;
+  q.ScheduleAt(Ms(10), [&] { ++fired; });
+  // The last event is at 10ms, well before the 50ms deadline: time must
+  // still land on exactly the deadline, not on the last event time.
+  q.RunUntil(Ms(50));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(q.now(), Ms(50));
+}
+
+TEST(EventQueue, RunUntilDeadlineIsInclusive)
+{
+  EventQueue q;
+  int fired = 0;
+  q.ScheduleAt(Ms(50), [&] { ++fired; });  // exactly at the deadline
+  q.ScheduleAt(Ms(50) + 1, [&] { ++fired; });  // one tick past
+  q.RunUntil(Ms(50));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(q.now(), Ms(50));
+  q.RunUntil(Ms(50) + 1);
+  EXPECT_EQ(fired, 2);
+}
+
 TEST(EventQueue, EventsCanScheduleEvents)
 {
   EventQueue q;
@@ -98,6 +179,55 @@ TEST(Simulation, StopPeriodicHalts)
   });
   sim.RunUntil(Sec(1));
   EXPECT_EQ(fires, 3);
+}
+
+TEST(Simulation, SelfStopFromCallbackDoesNotRearm)
+{
+  Simulation sim;
+  int fires = 0;
+  Simulation::TaskId id = 0;
+  id = sim.SchedulePeriodic(Ms(5), Ms(5), [&] {
+    ++fires;
+    sim.StopPeriodic(id);  // stop on the very first firing
+  });
+  sim.RunUntil(Sec(1));
+  EXPECT_EQ(fires, 1);
+  // A stopped task leaves nothing behind in the queue.
+  EXPECT_EQ(sim.queue().PendingCount(), 0u);
+}
+
+TEST(Simulation, StopOtherTaskFromCallback)
+{
+  Simulation sim;
+  int victim_fires = 0;
+  int killer_fires = 0;
+  // Victim fires at 5, 10, 15, ...; killer fires once at 12ms and stops
+  // it, so the victim's 15ms firing must not happen.
+  const Simulation::TaskId victim =
+      sim.SchedulePeriodic(Ms(5), Ms(5), [&] { ++victim_fires; });
+  Simulation::TaskId killer = 0;
+  killer = sim.SchedulePeriodic(Ms(12), Ms(12), [&] {
+    ++killer_fires;
+    sim.StopPeriodic(victim);
+    sim.StopPeriodic(killer);
+  });
+  sim.RunUntil(Sec(1));
+  EXPECT_EQ(victim_fires, 2);
+  EXPECT_EQ(killer_fires, 1);
+  EXPECT_EQ(sim.queue().PendingCount(), 0u);
+}
+
+TEST(Simulation, StopBeforeFirstFiring)
+{
+  Simulation sim;
+  int fires = 0;
+  const Simulation::TaskId id =
+      sim.SchedulePeriodic(Ms(50), Ms(50), [&] { ++fires; });
+  sim.RunUntil(Ms(10));
+  sim.StopPeriodic(id);
+  sim.RunUntil(Sec(1));
+  EXPECT_EQ(fires, 0);
+  EXPECT_EQ(sim.queue().PendingCount(), 0u);
 }
 
 TEST(Simulation, MultiplePeriodicTasksInterleave)
