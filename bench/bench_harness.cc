@@ -1,0 +1,324 @@
+/**
+ * @file
+ * Hot-path performance harness: measures the simulator's three hottest
+ * layers under wall-clock and throughput counters and emits a
+ * machine-readable JSON report (the BENCH_*.json trajectory format, see
+ * PERFORMANCE.md for the schema).
+ *
+ * Suites:
+ *  - event_queue_schedule_fire: schedule N events, drain them.
+ *  - event_queue_mixed_cancel: schedule/cancel/fire interleaved (the
+ *    pattern periodic tasks + batch completions produce).
+ *  - token_tick_8: one RCKM token period for a GPU hosting 8 instances.
+ *  - sched_micro_3200: synthetic 3,200-instance placement on 4,000 GPUs
+ *    (the bench_sched_micro workload, self-timed so the harness has no
+ *    Google Benchmark dependency).
+ *  - fig17_placement: the paper's Fig 17 large-scale pass — 3,200
+ *    instances with the 2:2:6 train:LLM-inf:inf mix under the Dilu
+ *    scheduler (placement only, as in the paper).
+ *  - fig17_churn: 21 churn steps (0..20) of arrivals/departures at
+ *    Fig 17 scale.
+ *
+ * Flags:
+ *  --quick      fewer repetitions (CI smoke; timing still reported)
+ *  --out FILE   write the JSON report to FILE instead of stdout
+ *
+ * Each suite runs `reps` times and reports the best (minimum) wall
+ * clock, which is the standard way to suppress scheduler noise on a
+ * shared machine.
+ */
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#ifndef _WIN32
+#include <sys/utsname.h>
+#endif
+
+#include "bench_util.h"
+#include "common/random.h"
+#include "rckm/token_manager.h"
+#include "scheduler/scheduler.h"
+#include "sim/event_queue.h"
+
+namespace {
+
+using namespace dilu;
+using Clock = std::chrono::steady_clock;
+
+struct BenchResult {
+  std::string name;
+  std::int64_t ops = 0;       ///< operations per repetition
+  int reps = 0;               ///< repetitions executed
+  double best_wall_ms = 0.0;  ///< minimum wall clock over reps
+  double ops_per_sec = 0.0;   ///< ops / best_wall
+};
+
+double ElapsedMs(Clock::time_point start)
+{
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+/** Run `body` `reps` times; record the best wall clock. */
+template <typename Body>
+BenchResult RunBench(const std::string& name, std::int64_t ops, int reps,
+                     Body&& body)
+{
+  BenchResult r;
+  r.name = name;
+  r.ops = ops;
+  r.reps = reps;
+  r.best_wall_ms = 1e300;
+  for (int i = 0; i < reps; ++i) {
+    const auto start = Clock::now();
+    body();
+    r.best_wall_ms = std::min(r.best_wall_ms, ElapsedMs(start));
+  }
+  r.ops_per_sec = r.best_wall_ms > 0.0
+      ? static_cast<double>(r.ops) / (r.best_wall_ms / 1e3)
+      : 0.0;
+  std::fprintf(stderr, "%-28s %10.3f ms   %12.0f ops/s\n", name.c_str(),
+               r.best_wall_ms, r.ops_per_sec);
+  return r;
+}
+
+// --- event queue suites ----------------------------------------------
+
+volatile int g_sink = 0;
+
+BenchResult BenchEventScheduleFire(bool quick)
+{
+  // Sliding-window pattern matching the simulator's real behavior: the
+  // queue holds one event per periodic task / in-flight batch (a few
+  // thousand), and each fired event schedules a successor.
+  const int kDepth = 5000;
+  const int kOps = quick ? 50000 : 500000;
+  const int reps = quick ? 3 : 8;
+  return RunBench("event_queue_schedule_fire", kOps, reps, [&] {
+    sim::EventQueue q;
+    // Non-monotone insertion times exercise the heap (pure FIFO would
+    // degenerate to an append).
+    for (int i = 0; i < kDepth; ++i) {
+      q.ScheduleAt((i * 7) % 1000, [] { ++g_sink; });
+    }
+    for (int i = 0; i < kOps; ++i) {
+      q.RunOne();
+      q.ScheduleAt(q.now() + 1 + (i * 13) % 1000, [] { ++g_sink; });
+    }
+    while (q.RunOne()) {
+    }
+  });
+}
+
+BenchResult BenchEventMixedCancel(bool quick)
+{
+  const int kRounds = quick ? 5000 : 50000;
+  const int reps = quick ? 3 : 8;
+  // Per round: schedule 4, cancel 2, fire 2 -> 6 queue ops.
+  return RunBench("event_queue_mixed_cancel", kRounds * 6, reps, [&] {
+    sim::EventQueue q;
+    sim::EventId pending[4];
+    for (int r = 0; r < kRounds; ++r) {
+      const TimeUs base = q.now();
+      for (int i = 0; i < 4; ++i) {
+        pending[i] = q.ScheduleAt(base + 1 + (i * 7) % 11,
+                                  [] { ++g_sink; });
+      }
+      q.Cancel(pending[1]);
+      q.Cancel(pending[3]);
+      q.RunOne();
+      q.RunOne();
+      q.RunUntil(base + 20);
+    }
+  });
+}
+
+// --- RCKM token suite -------------------------------------------------
+
+BenchResult BenchTokenTick(bool quick)
+{
+  const int kTicks = quick ? 20000 : 200000;
+  const int reps = quick ? 3 : 8;
+  rckm::TokenManager tm;
+  std::vector<rckm::InstanceSample> samples;
+  for (InstanceId id = 1; id <= 8; ++id) {
+    rckm::InstanceSample s;
+    s.id = id;
+    s.slo_sensitive = (id % 2 == 0);
+    s.quota = {0.1, 0.2};
+    s.blocks_launched = 50.0 * id;
+    s.klc_inflation = id == 2 ? 0.5 : 0.0;
+    samples.push_back(s);
+  }
+  return RunBench("token_tick_8", kTicks, reps, [&] {
+    for (int t = 0; t < kTicks; ++t) {
+      const auto& grants = tm.Tick(samples);
+      g_sink += static_cast<int>(grants.size());
+    }
+  });
+}
+
+// --- scheduler suites -------------------------------------------------
+
+BenchResult BenchSchedMicro(bool quick)
+{
+  const int reps = quick ? 2 : 5;
+  return RunBench("sched_micro_3200", 3200, reps, [&] {
+    scheduler::ClusterState cs = bench::MakeFig17Cluster();
+    scheduler::DiluScheduler sched;
+    Rng rng(9);
+    for (InstanceId id = 0; id < 3200; ++id) {
+      scheduler::PlacementRequest req;
+      req.function = id % 200;
+      req.quota.request = rng.Uniform(0.1, 0.5);
+      req.quota.limit = std::min(1.0, req.quota.request * 2.0);
+      req.mem_gb = rng.Uniform(2.0, 20.0);
+      req.affinity = {req.function};
+      const auto placement = sched.Place(req, cs);
+      if (placement.ok) {
+        cs.Commit(id, req.function,
+                  {{placement.gpus[0], req.quota, req.mem_gb}});
+      }
+    }
+  });
+}
+
+BenchResult BenchFig17Placement(bool quick)
+{
+  const int reps = quick ? 2 : 5;
+  return RunBench("fig17_placement", 3200, reps, [&] {
+    Rng rng(42);
+    scheduler::ClusterState state = bench::MakeFig17Cluster();
+    scheduler::DiluScheduler sched;
+    for (InstanceId id = 0; id < 3200; ++id) {
+      bench::MixInstance def = bench::DrawMixInstance(&rng);
+      const auto placement = sched.Place(def.request, state);
+      if (!placement.ok) continue;
+      std::vector<scheduler::ShardCommit> commits;
+      for (GpuId g : placement.gpus) {
+        commits.push_back({g, def.request.quota, def.request.mem_gb});
+      }
+      state.Commit(id, def.request.function, commits);
+    }
+    g_sink += state.ActiveGpuCount();
+  });
+}
+
+BenchResult BenchFig17Churn(bool quick)
+{
+  const int reps = quick ? 1 : 3;
+  const int kSteps = 20;
+  // ops = total arrivals across steps 0..20 (10 ramp + 11 churn).
+  return RunBench("fig17_churn", 10 * 200 + 11 * 120, reps, [&] {
+    Rng rng(7);
+    scheduler::ClusterState state = bench::MakeFig17Cluster();
+    scheduler::DiluScheduler sched;
+    std::vector<InstanceId> live;
+    InstanceId next = 0;
+    for (int step = 0; step <= kSteps; ++step) {
+      const int arrivals = bench::Fig17ChurnArrivals(step);
+      const int departures = bench::Fig17ChurnDepartures(step);
+      for (int a = 0; a < arrivals; ++a) {
+        bench::MixInstance def = bench::DrawMixInstance(&rng);
+        const auto placement = sched.Place(def.request, state);
+        if (!placement.ok) continue;
+        std::vector<scheduler::ShardCommit> commits;
+        for (GpuId g : placement.gpus) {
+          commits.push_back({g, def.request.quota, def.request.mem_gb});
+        }
+        state.Commit(next, def.request.function, commits);
+        live.push_back(next++);
+      }
+      for (int d = 0; d < departures && !live.empty(); ++d) {
+        const std::size_t victim = static_cast<std::size_t>(rng.UniformInt(
+            0, static_cast<std::int64_t>(live.size() - 1)));
+        state.Release(live[victim]);
+        live.erase(live.begin() + static_cast<std::ptrdiff_t>(victim));
+      }
+    }
+    g_sink += state.ActiveGpuCount();
+  });
+}
+
+// --- report -----------------------------------------------------------
+
+std::string MachineString()
+{
+#ifndef _WIN32
+  struct utsname u;
+  if (uname(&u) == 0) {
+    return std::string(u.sysname) + " " + u.release + " " + u.machine;
+  }
+#endif
+  return "unknown";
+}
+
+void WriteJson(std::FILE* out, const std::vector<BenchResult>& results,
+               bool quick)
+{
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"schema\": \"dilu-bench/1\",\n");
+  std::fprintf(out, "  \"machine\": \"%s\",\n", MachineString().c_str());
+#ifdef NDEBUG
+  std::fprintf(out, "  \"build\": \"Release\",\n");
+#else
+  std::fprintf(out, "  \"build\": \"Debug\",\n");
+#endif
+  std::fprintf(out, "  \"quick\": %s,\n", quick ? "true" : "false");
+  std::fprintf(out, "  \"benchmarks\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const BenchResult& r = results[i];
+    std::fprintf(out,
+                 "    {\"name\": \"%s\", \"ops\": %lld, \"reps\": %d, "
+                 "\"best_wall_ms\": %.4f, \"ops_per_sec\": %.1f}%s\n",
+                 r.name.c_str(), static_cast<long long>(r.ops), r.reps,
+                 r.best_wall_ms, r.ops_per_sec,
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+  bool quick = false;
+  const char* out_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick] [--out FILE]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  std::vector<BenchResult> results;
+  results.push_back(BenchEventScheduleFire(quick));
+  results.push_back(BenchEventMixedCancel(quick));
+  results.push_back(BenchTokenTick(quick));
+  results.push_back(BenchSchedMicro(quick));
+  results.push_back(BenchFig17Placement(quick));
+  results.push_back(BenchFig17Churn(quick));
+
+  if (out_path != nullptr) {
+    std::FILE* f = std::fopen(out_path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", out_path);
+      return 1;
+    }
+    WriteJson(f, results, quick);
+    std::fclose(f);
+    std::fprintf(stderr, "wrote %s\n", out_path);
+  } else {
+    WriteJson(stdout, results, quick);
+  }
+  return 0;
+}

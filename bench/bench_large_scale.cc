@@ -15,80 +15,14 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.h"
 #include "common/random.h"
-#include "models/cost_model.h"
-#include "profiler/inference_profiler.h"
-#include "profiler/training_profiler.h"
 #include "scheduler/baseline_schedulers.h"
 #include "scheduler/scheduler.h"
 
 namespace {
 
 using namespace dilu;
-
-struct InstanceDef {
-  scheduler::PlacementRequest request;
-  int shards = 1;
-};
-
-/** Draw an instance from the paper's 2:2:6 type mix. */
-InstanceDef DrawInstance(Rng* rng, const std::string& quota_mode)
-{
-  static std::map<std::string, profiler::InferenceProfile>* inf_cache =
-      new std::map<std::string, profiler::InferenceProfile>();
-  static std::map<std::string, profiler::TrainingProfile>* train_cache =
-      new std::map<std::string, profiler::TrainingProfile>();
-
-  InstanceDef def;
-  const double roll = rng->Uniform();
-  std::string model;
-  if (roll < 0.2) {
-    // Training worker.
-    const char* pool[] = {"bert-base", "roberta-large", "gpt2-large",
-                          "vgg19", "resnet152"};
-    model = pool[rng->UniformInt(0, 4)];
-    const auto& m = models::GetModel(model);
-    if (!train_cache->count(model)) {
-      (*train_cache)[model] = profiler::TrainingProfiler().Profile(m);
-    }
-    def.request.type = TaskType::kTraining;
-    def.request.quota = (*train_cache)[model].quota;
-    def.request.mem_gb = m.mem_gb_training;
-  } else {
-    const bool llm = roll < 0.4;
-    if (llm) {
-      const char* pool[] = {"llama2-7b", "chatglm3-6b"};
-      model = pool[rng->UniformInt(0, 1)];
-    } else {
-      const char* pool[] = {"bert-base", "roberta-large", "gpt2-large",
-                            "vgg19", "resnet152"};
-      model = pool[rng->UniformInt(0, 4)];
-    }
-    const auto& m = models::GetModel(model);
-    if (!inf_cache->count(model)) {
-      (*inf_cache)[model] = profiler::InferenceProfiler().Profile(m);
-    }
-    def.request.type = TaskType::kInference;
-    def.request.quota = (*inf_cache)[model].quota;
-    def.request.mem_gb = m.mem_gb_inference;
-    def.request.large_model = llm;
-    if (llm && rng->Uniform() < 0.5) {
-      def.shards = 2;  // half the LLM instances span two fragments
-      def.request.quota.request /= 2;
-      def.request.quota.limit /= 2;
-      def.request.mem_gb /= 2;
-    }
-  }
-  def.request.gpus_needed = def.shards;
-  def.request.function = static_cast<FunctionId>(rng->UniformInt(0, 199));
-  def.request.affinity = {def.request.function};
-  if (quota_mode == "limit") {
-    def.request.quota.request = def.request.quota.limit;
-  } else if (quota_mode == "full") {
-    def.request.quota = {1.0, 1.0};
-  }
-  return def;
-}
 
 std::unique_ptr<scheduler::Scheduler>
 MakeSched(const std::string& kind)
@@ -125,16 +59,13 @@ main()
   int idx = 0;
   for (const char* sys : systems) {
     Rng rng(42);  // identical instance stream per system
-    scheduler::ClusterState state;
-    for (int n = 0; n < 1000; ++n) {
-      for (int g = 0; g < 4; ++g) state.AddGpu(n, 40.0);
-    }
+    scheduler::ClusterState state = bench::MakeFig17Cluster();
     auto sched = MakeSched(sys);
     const std::string quota_mode = QuotaModeFor(sys);
     int placed = 0;
     int failed = 0;
     for (InstanceId id = 0; id < 3200; ++id) {
-      InstanceDef def = DrawInstance(&rng, quota_mode);
+      bench::MixInstance def = bench::DrawMixInstance(&rng, quota_mode);
       const auto placement = sched->Place(def.request, state);
       if (!placement.ok) {
         ++failed;
@@ -181,9 +112,7 @@ main()
   };
   Churn churn[3];
   for (int s = 0; s < 3; ++s) {
-    for (int n = 0; n < 1000; ++n) {
-      for (int g = 0; g < 4; ++g) churn[s].state.AddGpu(n, 40.0);
-    }
+    churn[s].state = bench::MakeFig17Cluster();
     churn[s].sched = MakeSched(systems[s]);
   }
   for (int step = 0; step <= 20; ++step) {
@@ -191,11 +120,11 @@ main()
     for (int s = 0; s < 3; ++s) {
       Churn& c = churn[s];
       // Ramp up for 10 steps, then churn (arrivals ~ departures).
-      const int arrivals = step < 10 ? 200 : 120;
-      const int departures =
-          step < 10 ? 40 : 120 + (step % 3 == 0 ? 30 : -10);
+      const int arrivals = bench::Fig17ChurnArrivals(step);
+      const int departures = bench::Fig17ChurnDepartures(step);
       for (int a = 0; a < arrivals; ++a) {
-        InstanceDef def = DrawInstance(&c.rng, QuotaModeFor(systems[s]));
+        bench::MixInstance def =
+            bench::DrawMixInstance(&c.rng, QuotaModeFor(systems[s]));
         const auto placement = c.sched->Place(def.request, c.state);
         if (!placement.ok) continue;
         std::vector<scheduler::ShardCommit> commits;

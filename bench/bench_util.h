@@ -10,13 +10,87 @@
 #define DILU_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "core/system.h"
+#include "profiler/inference_profiler.h"
+#include "profiler/training_profiler.h"
+#include "scheduler/scheduler.h"
 #include "workload/azure_traces.h"
 
 namespace dilu::bench {
+
+/** One instance drawn from the paper's 2:2:6 Fig 17 type mix. */
+struct MixInstance {
+  scheduler::PlacementRequest request;
+  int shards = 1;
+};
+
+/**
+ * Draw an instance from the 2:2:6 train:LLM-inf:inf mix used by the
+ * Fig 17 reproductions (bench_large_scale and the perf harness share
+ * this so their instance streams cannot diverge). Training and non-LLM
+ * inference draw from the same small-model pool. `quota_mode` mirrors
+ * ClusterConfig::quota_mode: "dilu" keeps <request, limit> as
+ * profiled, "limit" pins the request to the limit, "full" pins both
+ * to 1.0.
+ */
+inline MixInstance
+DrawMixInstance(Rng* rng, const std::string& quota_mode = "dilu")
+{
+  // Profiles are deterministic per model: cache them in function-local
+  // statics (destroyed normally at exit — no leaked `new`).
+  static std::map<std::string, profiler::InferenceProfile> inf_cache;
+  static std::map<std::string, profiler::TrainingProfile> train_cache;
+  static const char* kSmallModelPool[] = {"bert-base", "roberta-large",
+                                          "gpt2-large", "vgg19",
+                                          "resnet152"};
+  static const char* kLlmModelPool[] = {"llama2-7b", "chatglm3-6b"};
+
+  MixInstance def;
+  const double roll = rng->Uniform();
+  std::string model;
+  if (roll < 0.2) {
+    // Training worker.
+    model = kSmallModelPool[rng->UniformInt(0, 4)];
+    const auto& m = models::GetModel(model);
+    if (!train_cache.count(model)) {
+      train_cache[model] = profiler::TrainingProfiler().Profile(m);
+    }
+    def.request.type = TaskType::kTraining;
+    def.request.quota = train_cache[model].quota;
+    def.request.mem_gb = m.mem_gb_training;
+  } else {
+    const bool llm = roll < 0.4;
+    model = llm ? kLlmModelPool[rng->UniformInt(0, 1)]
+                : kSmallModelPool[rng->UniformInt(0, 4)];
+    const auto& m = models::GetModel(model);
+    if (!inf_cache.count(model)) {
+      inf_cache[model] = profiler::InferenceProfiler().Profile(m);
+    }
+    def.request.type = TaskType::kInference;
+    def.request.quota = inf_cache[model].quota;
+    def.request.mem_gb = m.mem_gb_inference;
+    def.request.large_model = llm;
+    if (llm && rng->Uniform() < 0.5) {
+      def.shards = 2;  // half the LLM instances span two fragments
+      def.request.quota.request /= 2;
+      def.request.quota.limit /= 2;
+      def.request.mem_gb /= 2;
+    }
+  }
+  def.request.gpus_needed = def.shards;
+  def.request.function = static_cast<FunctionId>(rng->UniformInt(0, 199));
+  def.request.affinity = {def.request.function};
+  if (quota_mode == "limit") {
+    def.request.quota.request = def.request.quota.limit;
+  } else if (quota_mode == "full") {
+    def.request.quota = {1.0, 1.0};
+  }
+  return def;
+}
 
 /** The GPU-level baselines compared in Figures 7-10. */
 inline const std::vector<std::string>& GpuLevelBaselines()
@@ -154,6 +228,29 @@ RunInferenceInference(const std::string& preset, const IiCase& c)
   out.a = system.MakeInferenceReport(fa);
   out.b = system.MakeInferenceReport(fb);
   return out;
+}
+
+/** The Fig 17 fleet: 1,000 nodes x 4 GPUs x 40 GB, shared by
+ *  bench_large_scale and the perf harness so the cluster shape cannot
+ *  diverge between suites. */
+inline scheduler::ClusterState MakeFig17Cluster()
+{
+  scheduler::ClusterState state;
+  for (int n = 0; n < 1000; ++n) {
+    for (int g = 0; g < 4; ++g) state.AddGpu(n, 40.0);
+  }
+  return state;
+}
+
+/**
+ * Fig 17 churn-phase schedule, shared by bench_large_scale and the
+ * perf harness so their workloads cannot diverge: 10 ramp-up steps of
+ * net growth, then arrivals ~ departures with a 3-step sawtooth.
+ */
+inline int Fig17ChurnArrivals(int step) { return step < 10 ? 200 : 120; }
+inline int Fig17ChurnDepartures(int step)
+{
+  return step < 10 ? 40 : 120 + (step % 3 == 0 ? 30 : -10);
 }
 
 /** Print a rule line for readability. */

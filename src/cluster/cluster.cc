@@ -240,6 +240,9 @@ ClusterRuntime::LaunchInferenceOn(FunctionId fn,
   inst->set_quota(shard_quota);
   inst->set_request_sink([this, fn](const workload::Request& r) {
     metrics_.RecordRequest(fn, r);
+    // The metrics hub has consumed the request; reclaim finished
+    // records so week-long traces don't hold every request alive.
+    PruneCompletedRequests();
   });
 
   const int inf_priority = f.spec.priority < 0 ? 1 : f.spec.priority;
@@ -381,6 +384,20 @@ ClusterRuntime::ReleaseInstance(InstanceId id)
 }
 
 void
+ClusterRuntime::PruneCompletedRequests()
+{
+  // Requests complete roughly in arrival order (per-instance FIFO
+  // batching), so dropping done records from the front keeps the deque
+  // bounded by the outstanding window. The front blocks only while its
+  // request is still in flight. Callers must not touch a pruned record
+  // afterward: the metrics sink runs (and prunes) only after an
+  // instance is completely done with the request pointer.
+  while (!requests_.empty() && requests_.front()->done) {
+    requests_.pop_front();
+  }
+}
+
+void
 ClusterRuntime::ScheduleNextArrival(
     FunctionId fn, std::shared_ptr<workload::ArrivalProcess> proc,
     TimeUs until)
@@ -393,11 +410,16 @@ ClusterRuntime::ScheduleNextArrival(
     req->id = next_request_id_++;
     req->function = fn;
     req->arrival = sim_.now();
-    if (!gateway_.Dispatch(req.get())) {
+    if (gateway_.Dispatch(req.get())) {
+      // Only dispatched requests are retained: an instance now holds
+      // the pointer until completion marks it done. Dropped requests
+      // die here — keeping them would permanently stall the prune
+      // cursor on a record that can never complete.
+      requests_.push_back(std::move(req));
+    } else {
       DILU_DEBUG << "dropping request for function " << fn
                  << " (no instances)";
     }
-    requests_.push_back(std::move(req));
     ScheduleNextArrival(fn, proc, until);
   });
 }

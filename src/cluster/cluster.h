@@ -157,6 +157,14 @@ class ClusterRuntime {
   /** Maximum concurrently occupied GPU count observed so far. */
   int max_active_gpus() const { return max_active_gpus_; }
 
+  /**
+   * Requests still owned by the runtime: in-flight ones plus completed
+   * ones not yet overtaken by the prune cursor. Bounded by the
+   * outstanding window, not the trace length (see PruneCompleted
+   * Requests) — week-long simulations stay flat.
+   */
+  std::size_t pending_request_count() const { return requests_.size(); }
+
  private:
   struct InstanceRecord {
     std::unique_ptr<runtime::Instance> instance;
@@ -179,6 +187,7 @@ class ClusterRuntime {
                     const SmQuota& shard_quota, SmRate shard_static,
                     double shard_mem, int priority);
   void ReleaseInstance(InstanceId id);
+  void PruneCompletedRequests();
   void AutoscaleTick(FunctionId fn);
   void SampleCluster();
   void ScheduleNextArrival(FunctionId fn,

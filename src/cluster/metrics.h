@@ -61,6 +61,12 @@ class MetricsHub {
   /** Append a cluster snapshot. */
   void AddSample(const ClusterSample& s);
 
+  /**
+   * Metrics for a registered function. Looking up an id that was never
+   * registered is a programming error: it panics via DILU_CHECK (rather
+   * than UB or an opaque std::map::at throw), so misuse fails loudly at
+   * the call site.
+   */
   const FunctionMetrics& function(FunctionId id) const;
   FunctionMetrics& function(FunctionId id);
   const std::map<FunctionId, FunctionMetrics>& functions() const {

@@ -1,7 +1,6 @@
 #include "rckm/token_manager.h"
 
 #include <algorithm>
-#include <vector>
 
 #include "common/logging.h"
 
@@ -24,38 +23,52 @@ TokenManager::TokenManager(TokenManagerConfig config)
 {
   DILU_CHECK(config_.max_tokens > 0.0);
   DILU_CHECK(config_.rate_window > 0);
+  // The window lives in a 64-bit mask; 63 periods (315 ms) is far past
+  // any useful introspection horizon.
+  DILU_CHECK(config_.rate_window <= 63);
 }
 
-double
-TokenManager::WindowSum(const PerInstance& s) const
+int
+TokenManager::EnsureSlot(InstanceId id)
 {
-  double sum = 0.0;
-  for (double v : s.rate_window) sum += v;
-  return sum;
-}
-
-double
-TokenManager::OthersWindowSum(InstanceId self) const
-{
-  double sum = 0.0;
-  for (const auto& [id, s] : per_instance_) {
-    if (id != self) sum += WindowSum(s);
+  auto it = slot_of_.find(id);
+  if (it != slot_of_.end()) return it->second;
+  int slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<int>(slots_.size());
+    slots_.emplace_back();
   }
-  return sum;
+  slots_[static_cast<std::size_t>(slot)] = PerInstance{};
+  slot_of_.emplace(id, slot);
+  return slot;
 }
 
-std::map<InstanceId, TokenGrant>
+const std::vector<TokenGrant>&
 TokenManager::Tick(const std::vector<InstanceSample>& samples)
 {
+  const std::uint64_t window_mask_all =
+      (1ull << static_cast<unsigned>(config_.rate_window)) - 1;
+
   // Shift rate windows with the latest kernel execution rates
-  // (Algorithm 2 line 11).
+  // (Algorithm 2 line 11). The window only ever answers "was anything
+  // launched?", so one bit per period suffices; busy_instances_ tracks
+  // mask transitions to keep the co-runner-idle test O(1).
+  grants_.clear();
+  grants_.resize(samples.size());
+  sample_slots_.clear();
   for (const InstanceSample& s : samples) {
-    PerInstance& st = per_instance_[s.id];
-    st.rate_window.push_back(s.blocks_launched);
-    while (st.rate_window.size()
-           > static_cast<std::size_t>(config_.rate_window)) {
-      st.rate_window.pop_front();
-    }
+    const int slot = EnsureSlot(s.id);
+    PerInstance& st = slots_[static_cast<std::size_t>(slot)];
+    const bool was_busy = st.window_mask != 0;
+    st.window_mask = ((st.window_mask << 1)
+                      | (s.blocks_launched != 0.0 ? 1u : 0u))
+        & window_mask_all;
+    const bool is_busy = st.window_mask != 0;
+    busy_instances_ += (is_busy ? 1 : 0) - (was_busy ? 1 : 0);
+    sample_slots_.push_back(slot);
   }
 
   // Pass 1: SLO-sensitive instances drive the global state. Each branch
@@ -65,11 +78,11 @@ TokenManager::Tick(const std::vector<InstanceSample>& samples)
   // modify the EMERGENCY state").
   bool any_slo = false;
   bool emergency_now = false;
-  std::map<InstanceId, TokenGrant> grants;
-  for (const InstanceSample& s : samples) {
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const InstanceSample& s = samples[i];
     if (!s.slo_sensitive) continue;
     any_slo = true;
-    PerInstance& st = per_instance_[s.id];
+    PerInstance& st = slots_[static_cast<std::size_t>(sample_slots_[i])];
     const double max_t = config_.max_tokens;
     double issue;
     ScalingState proposed;
@@ -78,12 +91,12 @@ TokenManager::Tick(const std::vector<InstanceSample>& samples)
       // (lines 14-15).
       proposed = ScalingState::kEmergency;
       issue = max_t * s.quota.limit;
-    } else if (WindowSum(st) == 0.0) {
+    } else if (WindowIdle(st)) {
       // The instance launched nothing recently: scale down to request
       // (lines 16-17); collocated instances may regrow.
       proposed = ScalingState::kRecovery;
       issue = max_t * s.quota.request;
-    } else if (OthersWindowSum(s.id) == 0.0) {
+    } else if (OthersIdle(st)) {
       // Co-runners idle: regrow toward the limit (lines 18-19).
       proposed = ScalingState::kRecovery;
       const double base = st.seen ? st.last_issue : max_t * s.quota.request;
@@ -116,7 +129,7 @@ TokenManager::Tick(const std::vector<InstanceSample>& samples)
     }
     st.last_issue = issue;
     st.seen = true;
-    grants[s.id].tokens = issue;
+    grants_[i] = TokenGrant{s.id, issue};
     total_issued_ += issue;
   }
 
@@ -148,15 +161,16 @@ TokenManager::Tick(const std::vector<InstanceSample>& samples)
   }
   const double emergency_floor =
       0.9 * std::max(0.0, config_.max_tokens - slo_blocks);
-  for (const InstanceSample& s : samples) {
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const InstanceSample& s = samples[i];
     if (s.slo_sensitive) continue;
-    PerInstance& st = per_instance_[s.id];
+    PerInstance& st = slots_[static_cast<std::size_t>(sample_slots_[i])];
     const double max_t = config_.max_tokens;
     double issue;
     if (solo || state_ == ScalingState::kNone) {
       issue = max_t * s.quota.limit;                          // line 25
     } else if (!any_slo) {
-      if (OthersWindowSum(s.id) == 0.0) {
+      if (OthersIdle(st)) {
         const double base =
             st.seen ? st.last_issue : max_t * s.quota.request;
         issue = std::min(base * config_.eta_increase,
@@ -195,17 +209,24 @@ TokenManager::Tick(const std::vector<InstanceSample>& samples)
     }
     st.last_issue = issue;
     st.seen = true;
-    grants[s.id].tokens = issue;
+    grants_[i] = TokenGrant{s.id, issue};
     total_issued_ += issue;
   }
 
-  return grants;
+  return grants_;
 }
 
 void
 TokenManager::Forget(InstanceId id)
 {
-  per_instance_.erase(id);
+  auto it = slot_of_.find(id);
+  if (it != slot_of_.end()) {
+    PerInstance& st = slots_[static_cast<std::size_t>(it->second)];
+    if (st.window_mask != 0) --busy_instances_;
+    st = PerInstance{};
+    free_slots_.push_back(it->second);
+    slot_of_.erase(it);
+  }
   if (emergency_owner_ == id) {
     emergency_owner_ = kInvalidInstance;
     if (state_ == ScalingState::kEmergency) {
@@ -223,8 +244,8 @@ void
 DiluArbiter::Resolve(gpusim::Gpu& gpu, TimeUs now)
 {
   (void)now;
-  std::vector<InstanceSample> samples;
-  samples.reserve(gpu.attachments().size());
+  samples_.clear();
+  samples_.reserve(gpu.attachments().size());
   for (const gpusim::Attachment& a : gpu.attachments()) {
     InstanceSample s;
     s.id = a.id;
@@ -232,14 +253,16 @@ DiluArbiter::Resolve(gpusim::Gpu& gpu, TimeUs now)
     s.quota = a.quota;
     s.blocks_launched = a.client->BlocksLaunchedLastQuantum(a.slot);
     s.klc_inflation = a.client->KlcInflation();
-    samples.push_back(s);
+    samples_.push_back(s);
   }
-  auto grants = manager_.Tick(samples);
-  for (gpusim::Attachment& a : gpu.attachments()) {
-    const double cap = grants[a.id].tokens / models::kBlocksPerQuantum;
-    a.granted = std::min(a.demand, cap);
+  const std::vector<TokenGrant>& grants = manager_.Tick(samples_);
+  std::vector<gpusim::Attachment>& atts = gpu.attachments();
+  DILU_CHECK(grants.size() == atts.size());
+  for (std::size_t i = 0; i < atts.size(); ++i) {
+    const double cap = grants[i].tokens / models::kBlocksPerQuantum;
+    atts[i].granted = std::min(atts[i].demand, cap);
   }
-  gpusim::SqueezeToCapacity(gpu.attachments());
+  gpusim::SqueezeToCapacity(atts);
 }
 
 void

@@ -12,14 +12,21 @@
  * elasticity: fast scale-up under bursts (EMERGENCY), gradual recovery
  * toward limits when co-runners idle (RECOVERY), and fallback to
  * requests under steady contention (CONTENTION).
+ *
+ * Hot-path design: `Tick` runs once per 5 ms quantum per GPU for the
+ * whole simulated fleet, so its state is flat and allocation-free in
+ * steady state — per-instance records live in index-stable slots
+ * (reused via a free list), the rate windows are fixed-size bit rings
+ * (one bit per period: "launched anything"), and the grant list is a
+ * reused vector aligned with the input samples. Heap traffic occurs
+ * only when an instance is first seen.
  */
 #ifndef DILU_RCKM_TOKEN_MANAGER_H_
 #define DILU_RCKM_TOKEN_MANAGER_H_
 
 #include <cstdint>
-#include <deque>
-#include <map>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/types.h"
@@ -48,7 +55,8 @@ struct TokenManagerConfig {
   double eta_violation = 0.15;
   /** Multiplicative regrowth factor in RECOVERY (eta_increase). */
   double eta_increase = 1.25;
-  /** Rate-window length in token periods (8 * 5 ms = 40 ms). */
+  /** Rate-window length in token periods (8 * 5 ms = 40 ms). At most
+   *  63: the window is kept as a bitmask of launched-anything flags. */
   int rate_window = 8;
   /** Cushion over the request for SLO-sensitive instances under steady
    *  contention: the profiled request sits exactly at the exec budget,
@@ -68,6 +76,7 @@ struct InstanceSample {
 
 /** Per-instance output: the issued token budget for this period. */
 struct TokenGrant {
+  InstanceId id = kInvalidInstance;
   double tokens = 0.0;
 };
 
@@ -86,8 +95,11 @@ class TokenManager {
   /**
    * Issue token budgets for all instances on the GPU for this period.
    * `samples` must contain every currently attached instance.
+   * @return grants aligned index-for-index with `samples` (grant i is
+   *   for samples[i]; the id is repeated for convenience). The storage
+   *   is owned by the manager and reused by the next Tick.
    */
-  std::map<InstanceId, TokenGrant> Tick(
+  const std::vector<TokenGrant>& Tick(
       const std::vector<InstanceSample>& samples);
 
   /** Drop per-instance state (on instance termination). */
@@ -101,7 +113,9 @@ class TokenManager {
 
  private:
   struct PerInstance {
-    std::deque<double> rate_window;
+    /** Bit i set = launched kernels i periods ago (bit ring, newest in
+     *  bit 0, masked to config_.rate_window bits). */
+    std::uint64_t window_mask = 0;
     double last_issue = 0.0;
     bool seen = false;
     /** Resized down by an EMERGENCY; decays back toward the request
@@ -109,14 +123,32 @@ class TokenManager {
     bool suppressed = false;
   };
 
-  double WindowSum(const PerInstance& s) const;
-  double OthersWindowSum(InstanceId self) const;
+  /** Slot for `id`, allocating (free list first) on first sight. */
+  int EnsureSlot(InstanceId id);
+
+  /** True when the instance launched nothing across its window. */
+  static bool WindowIdle(const PerInstance& s) { return s.window_mask == 0; }
+
+  /** True when every *other* tracked instance's window is idle. */
+  bool OthersIdle(const PerInstance& self) const
+  {
+    return busy_instances_ - (WindowIdle(self) ? 0 : 1) == 0;
+  }
 
   TokenManagerConfig config_;
   ScalingState state_ = ScalingState::kNone;
   InstanceId emergency_owner_ = kInvalidInstance;
   double emergency_inflation_ = 0.0;
-  std::map<InstanceId, PerInstance> per_instance_;
+  /** Index-stable per-instance slots + id -> slot lookup. */
+  std::vector<PerInstance> slots_;
+  std::unordered_map<InstanceId, int> slot_of_;
+  std::vector<int> free_slots_;
+  /** Count of tracked instances with a non-idle window (maintained on
+   *  every mask transition so OthersIdle is O(1)). */
+  int busy_instances_ = 0;
+  /** Per-Tick scratch (reused; steady state: no allocation). */
+  std::vector<int> sample_slots_;  ///< slot per sample, index-aligned
+  std::vector<TokenGrant> grants_;
   double total_issued_ = 0.0;
 };
 
@@ -139,6 +171,8 @@ class DiluArbiter : public gpusim::ShareArbiter {
 
  private:
   TokenManager manager_;
+  /** Sample scratch reused across quanta (no per-quantum allocation). */
+  std::vector<InstanceSample> samples_;
 };
 
 }  // namespace dilu::rckm

@@ -200,6 +200,19 @@ InferenceInstance::Terminate()
   // requests are not leaked (the serverless restart strategy re-runs
   // them in practice; metrics treat these as normal completions).
   if (in_flight_) CompleteBatch(sim_->now());
+  // Same for queued-but-unbatched requests: every dispatched request
+  // must eventually read done == true, or downstream owners (metrics,
+  // the runtime's request pruning) would wait on it forever.
+  while (!batcher_.empty()) {
+    std::vector<workload::Request*> rest =
+        batcher_.PopBatch(static_cast<int>(batcher_.size()));
+    for (workload::Request* r : rest) {
+      r->started = sim_->now();
+      r->completed = sim_->now();
+      r->done = true;
+      if (sink_) sink_(*r);
+    }
+  }
   Instance::Terminate();
 }
 

@@ -1,26 +1,24 @@
 #include "scheduler/baseline_schedulers.h"
 
-#include <algorithm>
 #include <limits>
 
+#include "scheduler/select_util.h"
+
 namespace dilu::scheduler {
+
+using internal::Excluded;
+using internal::LowestIdleGpu;
 
 Placement
 ExclusiveScheduler::Place(const PlacementRequest& req, ClusterState& state)
 {
+  // Exclusive only ever takes whole idle devices.
   Placement result;
   for (int shard = 0; shard < req.gpus_needed; ++shard) {
-    GpuId chosen = kInvalidGpu;
-    for (const GpuInfo& g : state.gpus()) {
-      if (g.active()) continue;
-      if (std::find(result.gpus.begin(), result.gpus.end(), g.id)
-          != result.gpus.end()) {
-        continue;
-      }
-      if (req.mem_gb > g.mem_total_gb) continue;
-      chosen = g.id;
-      break;
-    }
+    const GpuId chosen = LowestIdleGpu(
+        state,
+        [&](const GpuInfo& g) { return req.mem_gb <= g.mem_total_gb; },
+        result.gpus);
     if (chosen == kInvalidGpu) {
       result.ok = false;
       result.gpus.clear();
@@ -43,27 +41,41 @@ StaticQuotaScheduler::Place(const PlacementRequest& req,
                             ClusterState& state)
 {
   // The static quota is carried in quota.request (the cluster layer
-  // pins request == limit for baseline modes).
+  // pins request == limit for baseline modes). Feasible active GPUs
+  // always beat idle ones under the original score (their score gap is
+  // at least the 0.5 idle penalty), and best fit by remaining quota is
+  // just "highest committed quota": walk the load buckets from fullest
+  // to emptiest and stop at the first bucket yielding a feasible GPU —
+  // every lower bucket holds strictly smaller req_sums.
   Placement result;
   for (int shard = 0; shard < req.gpus_needed; ++shard) {
-    double best_score = std::numeric_limits<double>::infinity();
+    const auto feasible = [&](const GpuInfo& g) {
+      return g.req_sum + req.quota.request <= capacity_ + 1e-9
+          && g.mem_used + req.mem_gb <= g.mem_total_gb + 1e-9;
+    };
+
     GpuId chosen = kInvalidGpu;
-    for (const GpuInfo& g : state.gpus()) {
-      if (std::find(result.gpus.begin(), result.gpus.end(), g.id)
-          != result.gpus.end()) {
-        continue;
+    double best_req = -1.0;
+    for (int b = ClusterState::kLoadBuckets - 1; b >= 0; --b) {
+      if (b * ClusterState::kLoadBucketWidth
+          > capacity_ + 1e-9 - req.quota.request) {
+        continue;  // bucket lower bound already over capacity
       }
-      const double new_quota = g.req_sum + req.quota.request;
-      const double new_mem = g.mem_used + req.mem_gb;
-      if (new_quota > capacity_ + 1e-9) continue;
-      if (new_mem > g.mem_total_gb + 1e-9) continue;
-      // Best fit by remaining quota; prefer already-active GPUs so the
-      // baseline also packs (it just cannot flex afterwards).
-      const double score = (1.0 - new_quota) + (g.active() ? 0.0 : 0.5);
-      if (score < best_score) {
-        best_score = score;
-        chosen = g.id;
+      for (GpuId id : state.active_bucket(b)) {
+        if (Excluded(id, result.gpus)) continue;
+        const GpuInfo& g = state.gpus()[static_cast<std::size_t>(id)];
+        if (!feasible(g)) continue;
+        if (g.req_sum > best_req
+            || (g.req_sum == best_req && chosen != kInvalidGpu
+                && id < chosen)) {
+          best_req = g.req_sum;
+          chosen = id;
+        }
       }
+      if (chosen != kInvalidGpu) break;
+    }
+    if (chosen == kInvalidGpu) {
+      chosen = LowestIdleGpu(state, feasible, result.gpus);
     }
     if (chosen == kInvalidGpu) {
       result.ok = false;

@@ -1,6 +1,7 @@
 #include "scheduler/gpu_state.h"
 
 #include <algorithm>
+#include <functional>
 
 #include "common/logging.h"
 
@@ -13,7 +14,19 @@ ClusterState::AddGpu(NodeId node, double mem_gb)
   info.id = static_cast<GpuId>(gpus_.size());
   info.node = node;
   info.mem_total_gb = mem_gb;
+  if (!gpus_.empty() && gpus_.front().mem_total_gb != mem_gb) {
+    uniform_mem_ = false;
+  }
   gpus_.push_back(info);
+  active_pos_.push_back(-1);
+  idle_pos_.push_back(static_cast<std::int32_t>(idle_.size()));
+  idle_.push_back(info.id);
+  bucket_pos_.push_back(-1);
+  bucket_of_.push_back(-1);
+  in_idle_heap_.push_back(1);
+  idle_heap_.push_back(info.id);
+  std::push_heap(idle_heap_.begin(), idle_heap_.end(),
+                 std::greater<GpuId>());
   return info.id;
 }
 
@@ -32,6 +45,92 @@ ClusterState::gpu(GpuId id) const
 }
 
 void
+ClusterState::BucketInsert(GpuId id)
+{
+  const std::size_t u = static_cast<std::size_t>(id);
+  const int b = LoadBucketFor(gpus_[u].req_sum);
+  bucket_of_[u] = static_cast<std::int8_t>(b);
+  bucket_pos_[u] =
+      static_cast<std::int32_t>(buckets_[static_cast<std::size_t>(b)].size());
+  buckets_[static_cast<std::size_t>(b)].push_back(id);
+}
+
+void
+ClusterState::BucketRemove(GpuId id)
+{
+  const std::size_t u = static_cast<std::size_t>(id);
+  const int b = bucket_of_[u];
+  DILU_CHECK(b >= 0);
+  std::vector<GpuId>& bucket = buckets_[static_cast<std::size_t>(b)];
+  const std::int32_t pos = bucket_pos_[u];
+  const GpuId moved = bucket.back();
+  bucket[static_cast<std::size_t>(pos)] = moved;
+  bucket_pos_[static_cast<std::size_t>(moved)] = pos;
+  bucket.pop_back();
+  bucket_of_[u] = -1;
+  bucket_pos_[u] = -1;
+}
+
+void
+ClusterState::BucketUpdate(GpuId id)
+{
+  const std::size_t u = static_cast<std::size_t>(id);
+  if (bucket_of_[u] < 0) return;  // not active: nothing to re-bucket
+  if (bucket_of_[u] == LoadBucketFor(gpus_[u].req_sum)) return;
+  BucketRemove(id);
+  BucketInsert(id);
+}
+
+void
+ClusterState::SetActive(GpuId id, bool active)
+{
+  std::vector<GpuId>& from = active ? idle_ : active_;
+  std::vector<std::int32_t>& from_pos = active ? idle_pos_ : active_pos_;
+  std::vector<GpuId>& to = active ? active_ : idle_;
+  std::vector<std::int32_t>& to_pos = active ? active_pos_ : idle_pos_;
+
+  const std::size_t u = static_cast<std::size_t>(id);
+  const std::int32_t pos = from_pos[u];
+  DILU_CHECK(pos >= 0);
+  const GpuId moved = from.back();
+  from[static_cast<std::size_t>(pos)] = moved;
+  from_pos[static_cast<std::size_t>(moved)] = pos;
+  from.pop_back();
+  from_pos[u] = -1;
+
+  to_pos[u] = static_cast<std::int32_t>(to.size());
+  to.push_back(id);
+
+  if (active) {
+    BucketInsert(id);
+    // Any idle-heap entry goes stale; MinIdleGpu reclaims it lazily
+    // (and it revalidates in place if the GPU goes idle again first).
+  } else {
+    BucketRemove(id);
+    if (!in_idle_heap_[u]) {
+      in_idle_heap_[u] = 1;
+      idle_heap_.push_back(id);
+      std::push_heap(idle_heap_.begin(), idle_heap_.end(),
+                     std::greater<GpuId>());
+    }
+  }
+}
+
+GpuId
+ClusterState::MinIdleGpu() const
+{
+  while (!idle_heap_.empty()) {
+    const GpuId top = idle_heap_.front();
+    if (idle_pos_[static_cast<std::size_t>(top)] >= 0) return top;
+    std::pop_heap(idle_heap_.begin(), idle_heap_.end(),
+                  std::greater<GpuId>());
+    idle_heap_.pop_back();
+    in_idle_heap_[static_cast<std::size_t>(top)] = 0;
+  }
+  return kInvalidGpu;
+}
+
+void
 ClusterState::Commit(InstanceId instance, FunctionId function,
                      const std::vector<ShardCommit>& shards)
 {
@@ -39,12 +138,19 @@ ClusterState::Commit(InstanceId instance, FunctionId function,
   DILU_CHECK(placements_.find(instance) == placements_.end());
   for (const ShardCommit& s : shards) {
     GpuInfo& g = gpu(s.gpu);
+    const bool was_active = g.active();
     g.req_sum += s.quota.request;
     g.lim_sum += s.quota.limit;
     g.mem_used += s.mem_gb;
     g.functions.push_back(function);
+    ++residency_[function][s.gpu];
+    if (!was_active) {
+      SetActive(s.gpu, true);
+    } else {
+      BucketUpdate(s.gpu);
+    }
   }
-  placements_[instance] = {function, shards};
+  placements_[instance] = PlacementRecord{function, shards};
 }
 
 void
@@ -52,68 +158,77 @@ ClusterState::Release(InstanceId instance)
 {
   auto it = placements_.find(instance);
   if (it == placements_.end()) return;
-  const FunctionId function = it->second.first;
-  for (const ShardCommit& s : it->second.second) {
+  const FunctionId function = it->second.function;
+  for (const ShardCommit& s : it->second.shards) {
     GpuInfo& g = gpu(s.gpu);
     g.req_sum = std::max(0.0, g.req_sum - s.quota.request);
     g.lim_sum = std::max(0.0, g.lim_sum - s.quota.limit);
     g.mem_used = std::max(0.0, g.mem_used - s.mem_gb);
     auto f = std::find(g.functions.begin(), g.functions.end(), function);
     if (f != g.functions.end()) g.functions.erase(f);
+    auto res = residency_.find(function);
+    if (res != residency_.end()) {
+      auto per_gpu = res->second.find(s.gpu);
+      if (per_gpu != res->second.end() && --per_gpu->second <= 0) {
+        res->second.erase(per_gpu);
+        if (res->second.empty()) residency_.erase(res);
+      }
+    }
+    if (!g.active()) {
+      SetActive(s.gpu, false);
+    } else {
+      BucketUpdate(s.gpu);
+    }
   }
   placements_.erase(it);
+}
+
+void
+ClusterState::GpusHosting(const std::vector<FunctionId>& functions,
+                          std::vector<GpuId>* out) const
+{
+  out->clear();
+  for (FunctionId f : functions) {
+    auto it = residency_.find(f);
+    if (it == residency_.end()) continue;
+    for (const auto& [gpu_id, count] : it->second) {
+      (void)count;
+      out->push_back(gpu_id);
+    }
+  }
 }
 
 std::vector<GpuId>
 ClusterState::GpusHosting(const std::vector<FunctionId>& functions) const
 {
   std::vector<GpuId> out;
-  for (const GpuInfo& g : gpus_) {
-    for (FunctionId f : g.functions) {
-      if (std::find(functions.begin(), functions.end(), f)
-          != functions.end()) {
-        out.push_back(g.id);
-        break;
-      }
-    }
-  }
+  GpusHosting(functions, &out);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
   return out;
-}
-
-int
-ClusterState::ActiveGpuCount() const
-{
-  int n = 0;
-  for (const GpuInfo& g : gpus_) {
-    if (g.active()) ++n;
-  }
-  return n;
 }
 
 double
 ClusterState::SmFragmentation() const
 {
-  int active = 0;
+  if (active_.empty()) return 0.0;
   double frag = 0.0;
-  for (const GpuInfo& g : gpus_) {
-    if (!g.active()) continue;
-    ++active;
-    frag += std::max(0.0, 1.0 - g.req_sum);
+  for (GpuId id : active_) {
+    frag += std::max(0.0, 1.0 - gpus_[static_cast<std::size_t>(id)].req_sum);
   }
-  return active == 0 ? 0.0 : frag / active;
+  return frag / static_cast<double>(active_.size());
 }
 
 double
 ClusterState::MemoryFragmentation() const
 {
-  int active = 0;
+  if (active_.empty()) return 0.0;
   double frag = 0.0;
-  for (const GpuInfo& g : gpus_) {
-    if (!g.active()) continue;
-    ++active;
+  for (GpuId id : active_) {
+    const GpuInfo& g = gpus_[static_cast<std::size_t>(id)];
     frag += std::max(0.0, g.mem_free() / g.mem_total_gb);
   }
-  return active == 0 ? 0.0 : frag / active;
+  return frag / static_cast<double>(active_.size());
 }
 
 }  // namespace dilu::scheduler

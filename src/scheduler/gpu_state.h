@@ -6,11 +6,26 @@
  * newReqSum / newLimSum), committed memory, and resident functions (for
  * workload-affinity lookups). Placements are recorded per instance so
  * scale-in can release exactly what scale-out committed.
+ *
+ * Hot-path guarantees (Fig 17 scale: 4,000 GPUs, 3,200 instances):
+ *  - `GpusHosting` reads an incrementally maintained function -> GPU
+ *    residency index (updated in Commit/Release), so a workload-affinity
+ *    lookup costs O(resident GPUs of the queried functions), not a fleet
+ *    scan.
+ *  - Active GPUs are additionally bucketed by committed request sum, so
+ *    feasibility (req_sum <= cap) prunes whole buckets and best-fit
+ *    scans only plausibly-winning candidates.
+ *  - The lowest-id idle GPU is answered from a lazy min-heap; on
+ *    uniform-memory clusters schedulers open new devices without
+ *    touching the idle list at all.
+ *  - `ActiveGpuCount` is O(1); fragmentation snapshots iterate active
+ *    GPUs only.
  */
 #ifndef DILU_SCHEDULER_GPU_STATE_H_
 #define DILU_SCHEDULER_GPU_STATE_H_
 
-#include <map>
+#include <array>
+#include <unordered_map>
 #include <vector>
 
 #include "common/types.h"
@@ -41,6 +56,20 @@ struct ShardCommit {
 /** Mutable logical view of every GPU in the cluster. */
 class ClusterState {
  public:
+  /**
+   * Active GPUs are partitioned into load buckets by req_sum, covering
+   * [0, kLoadBuckets * kLoadBucketWidth) with the last bucket absorbing
+   * anything above (oversubscription sweeps push req_sum past 1).
+   */
+  static constexpr int kLoadBuckets = 16;
+  static constexpr double kLoadBucketWidth = 0.125;
+
+  static int LoadBucketFor(double req_sum)
+  {
+    const int b = static_cast<int>(req_sum / kLoadBucketWidth);
+    return b < 0 ? 0 : (b >= kLoadBuckets ? kLoadBuckets - 1 : b);
+  }
+
   /** Register a GPU (dense ids expected, matching gpusim). */
   GpuId AddGpu(NodeId node, double mem_gb);
 
@@ -49,19 +78,52 @@ class ClusterState {
   std::size_t gpu_count() const { return gpus_.size(); }
   const std::vector<GpuInfo>& gpus() const { return gpus_; }
 
-  /** Commit an instance's shards (updates sums + residency). */
+  /** Commit an instance's shards (updates sums, residency, activity). */
   void Commit(InstanceId instance, FunctionId function,
               const std::vector<ShardCommit>& shards);
 
   /** Release everything committed for `instance`. */
   void Release(InstanceId instance);
 
-  /** GPUs currently hosting any of `functions` (workload affinity). */
+  /**
+   * GPUs currently hosting any of `functions` (workload affinity),
+   * appended to `*out` (cleared first). Served from the residency
+   * index: O(sum of the queried functions' resident GPU counts).
+   * The result may list a GPU once per queried function hosting it;
+   * candidate consumers tolerate duplicates.
+   */
+  void GpusHosting(const std::vector<FunctionId>& functions,
+                   std::vector<GpuId>* out) const;
+
+  /** Convenience wrapper: deduplicated, ascending GPU ids. */
   std::vector<GpuId> GpusHosting(
       const std::vector<FunctionId>& functions) const;
 
-  /** Number of GPUs with at least one resident function. */
-  int ActiveGpuCount() const;
+  /**
+   * Ids of GPUs with (without) at least one resident function.
+   * Maintained incrementally; element order is unspecified (schedulers
+   * impose determinism through explicit id tie-breaking).
+   */
+  const std::vector<GpuId>& active_gpus() const { return active_; }
+  const std::vector<GpuId>& idle_gpus() const { return idle_; }
+
+  /** Active GPUs whose req_sum falls into load bucket `b`. */
+  const std::vector<GpuId>& active_bucket(int b) const
+  {
+    return buckets_[static_cast<std::size_t>(b)];
+  }
+
+  /**
+   * Lowest-id idle GPU, or kInvalidGpu when every device is active.
+   * Amortized O(log idle) via a lazy-deletion min-heap.
+   */
+  GpuId MinIdleGpu() const;
+
+  /** True while every registered GPU has the same memory capacity. */
+  bool uniform_gpu_memory() const { return uniform_mem_; }
+
+  /** Number of GPUs with at least one resident function. O(1). */
+  int ActiveGpuCount() const { return static_cast<int>(active_.size()); }
 
   /**
    * Cluster-level fragmentation snapshots (Fig 17): the share of
@@ -74,9 +136,41 @@ class ClusterState {
   double MemoryFragmentation() const;
 
  private:
+  struct PlacementRecord {
+    FunctionId function = kInvalidFunction;
+    std::vector<ShardCommit> shards;
+  };
+
+  /** Move `id` between the active/idle lists (swap-with-last pop). */
+  void SetActive(GpuId id, bool active);
+  void BucketInsert(GpuId id);
+  void BucketRemove(GpuId id);
+  /** Re-bucket `id` after a req_sum change (no-op if unchanged). */
+  void BucketUpdate(GpuId id);
+
   std::vector<GpuInfo> gpus_;
-  std::map<InstanceId, std::pair<FunctionId, std::vector<ShardCommit>>>
-      placements_;
+  std::unordered_map<InstanceId, PlacementRecord> placements_;
+  /** function -> (gpu -> resident shard count). */
+  std::unordered_map<FunctionId, std::unordered_map<GpuId, int>>
+      residency_;
+  std::vector<GpuId> active_;
+  std::vector<GpuId> idle_;
+  /** Per GPU: position in active_ / idle_ (-1 when not a member). */
+  std::vector<std::int32_t> active_pos_;
+  std::vector<std::int32_t> idle_pos_;
+  /** Load-bucket membership (active GPUs only; bucket_of_ = -1 idle). */
+  std::array<std::vector<GpuId>, kLoadBuckets> buckets_;
+  std::vector<std::int32_t> bucket_pos_;
+  std::vector<std::int8_t> bucket_of_;
+  /**
+   * Lazy min-heap of idle candidates: at most one entry per GPU
+   * (in_idle_heap_ dedups pushes), stale entries skipped on pop — so
+   * the heap is bounded by the fleet size no matter how often GPUs
+   * churn between active and idle.
+   */
+  mutable std::vector<GpuId> idle_heap_;
+  mutable std::vector<char> in_idle_heap_;
+  bool uniform_mem_ = true;
 };
 
 }  // namespace dilu::scheduler

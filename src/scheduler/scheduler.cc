@@ -1,11 +1,61 @@
 #include "scheduler/scheduler.h"
 
-#include <algorithm>
 #include <limits>
 
 #include "common/logging.h"
+#include "scheduler/select_util.h"
 
 namespace dilu::scheduler {
+
+using internal::Excluded;
+using internal::LowestIdleGpu;
+
+namespace {
+
+/**
+ * Incremental best-fit pick: one Consider body shared by the list scan
+ * (SelectOptGpu) and the bucket walk (SelectActive), so the two paths
+ * cannot drift apart in scoring or tie-breaking. Higher "fullness
+ * contribution" alpha*req_sum + beta*mem_ratio wins (equivalent to the
+ * lowest Algorithm 1 line 25 score); exact ties go to the lowest id.
+ */
+struct BestFitPick {
+  double best_contrib = -std::numeric_limits<double>::infinity();
+  GpuId best = kInvalidGpu;
+
+  void Consider(GpuId id, const GpuInfo& g, double alpha, double beta,
+                double mem)
+  {
+    const double contrib = alpha * g.req_sum
+        + beta * ((g.mem_used + mem) / g.mem_total_gb);
+    if (contrib > best_contrib
+        || (contrib == best_contrib && best != kInvalidGpu && id < best)) {
+      best_contrib = contrib;
+      best = id;
+    }
+  }
+};
+
+/**
+ * Incremental memory worst-fit pick (Principle 2, large-model branch):
+ * the most free memory wins, ties to the lowest id.
+ */
+struct WorstFitPick {
+  double best_free = -1.0;
+  GpuId best = kInvalidGpu;
+
+  void Consider(GpuId id, const GpuInfo& g)
+  {
+    const double free = g.mem_free();
+    if (free > best_free
+        || (free == best_free && best != kInvalidGpu && id < best)) {
+      best_free = free;
+      best = id;
+    }
+  }
+};
+
+}  // namespace
 
 DiluScheduler::DiluScheduler(DiluSchedulerConfig config)
     : config_(config)
@@ -14,79 +64,126 @@ DiluScheduler::DiluScheduler(DiluSchedulerConfig config)
   DILU_CHECK(config_.gamma >= config_.omega);
 }
 
-bool
-DiluScheduler::Feasible(const GpuInfo& g, const PlacementRequest& req) const
+DiluScheduler::RequestContext
+DiluScheduler::MakeContext(const PlacementRequest& req) const
 {
-  const double new_req = g.req_sum + req.quota.request;
-  const double new_lim = g.lim_sum + req.quota.limit;
-  const double new_mem = g.mem_used + req.mem_gb;
-  return new_req <= config_.omega + 1e-9
-      && new_lim <= config_.gamma + 1e-9
-      && new_mem <= g.mem_total_gb + 1e-9;
+  RequestContext ctx;
+  // The epsilon keeps exact-boundary placements (req_sum hitting omega)
+  // feasible despite floating-point noise, as in the unhoisted form.
+  ctx.req_cap = config_.omega + 1e-9 - req.quota.request;
+  ctx.lim_cap = config_.gamma + 1e-9 - req.quota.limit;
+  ctx.mem = req.mem_gb;
+  ctx.alpha = config_.alpha;
+  ctx.beta = config_.beta;
+  // Algorithm 1 line 25 minimizes the residual-fragmentation score
+  // alpha*(1 - new_req) + beta*(1 - new_mem_ratio); its request-only
+  // terms are constant per call, so selection equivalently maximizes
+  // the per-candidate "fullness contribution"
+  // alpha*req_sum + beta*mem_ratio (two multiply-adds per GPU).
+  return ctx;
+}
+
+bool
+DiluScheduler::Feasible(const GpuInfo& g, const RequestContext& ctx) const
+{
+  return g.req_sum <= ctx.req_cap && g.lim_sum <= ctx.lim_cap
+      && g.mem_used + ctx.mem <= g.mem_total_gb + 1e-9;
 }
 
 GpuId
 DiluScheduler::SelectOptGpu(const std::vector<GpuId>& candidates,
-                            const PlacementRequest& req,
+                            const RequestContext& ctx,
                             const ClusterState& state,
                             const std::vector<GpuId>& exclude) const
 {
-  double best_score = std::numeric_limits<double>::infinity();
-  GpuId best = kInvalidGpu;
+  const std::vector<GpuInfo>& gpus = state.gpus();
+  BestFitPick pick;
   for (GpuId id : candidates) {
-    if (std::find(exclude.begin(), exclude.end(), id) != exclude.end()) {
-      continue;
-    }
-    const GpuInfo& g = state.gpu(id);
-    if (!Feasible(g, req)) continue;
-    const double new_req = g.req_sum + req.quota.request;
-    const double new_mem = g.mem_used + req.mem_gb;
-    // Lower score = less residual fragmentation after placement
-    // (Algorithm 1 line 25): best fit.
-    const double score = config_.alpha * (1.0 - new_req)
-        + config_.beta * (1.0 - new_mem / g.mem_total_gb);
-    if (score < best_score) {
-      best_score = score;
-      best = id;
-    }
+    if (Excluded(id, exclude)) continue;
+    const GpuInfo& g = gpus[static_cast<std::size_t>(id)];
+    if (!Feasible(g, ctx)) continue;
+    pick.Consider(id, g, ctx.alpha, ctx.beta, ctx.mem);
   }
-  return best;
+  return pick.best;
 }
 
 GpuId
 DiluScheduler::SelectWorstFit(const std::vector<GpuId>& candidates,
-                              const PlacementRequest& req,
+                              const RequestContext& ctx,
                               const ClusterState& state,
                               const std::vector<GpuId>& exclude) const
 {
-  double best_free = -1.0;
-  GpuId best = kInvalidGpu;
+  const std::vector<GpuInfo>& gpus = state.gpus();
+  WorstFitPick pick;
   for (GpuId id : candidates) {
-    if (std::find(exclude.begin(), exclude.end(), id) != exclude.end()) {
-      continue;
+    if (Excluded(id, exclude)) continue;
+    const GpuInfo& g = gpus[static_cast<std::size_t>(id)];
+    if (!Feasible(g, ctx)) continue;
+    pick.Consider(id, g);
+  }
+  return pick.best;
+}
+
+GpuId
+DiluScheduler::SelectActive(const ClusterState& state,
+                            const RequestContext& ctx,
+                            const std::vector<GpuId>& exclude,
+                            bool worst_fit) const
+{
+  const std::vector<GpuInfo>& gpus = state.gpus();
+  BestFitPick best_fit;
+  WorstFitPick worst;
+  for (int b = ClusterState::kLoadBuckets - 1; b >= 0; --b) {
+    const double lower = b * ClusterState::kLoadBucketWidth;
+    // Every GPU in this bucket has req_sum >= lower: the whole bucket
+    // is infeasible for this request.
+    if (lower > ctx.req_cap) continue;
+    if (!worst_fit && best_fit.best != kInvalidGpu) {
+      // Feasible members below have req_sum <= min(bucket upper,
+      // req_cap) and mem_ratio <= ~1, so their contribution is bounded;
+      // once the incumbent meets the bound, nothing below can strictly
+      // beat it (ties would lose to the incumbent only on id, which the
+      // full scan also resolves by contribution first).
+      const double upper =
+          std::min(lower + ClusterState::kLoadBucketWidth, ctx.req_cap);
+      if (ctx.alpha * upper + ctx.beta < best_fit.best_contrib) break;
     }
-    const GpuInfo& g = state.gpu(id);
-    if (!Feasible(g, req)) continue;
-    // Prioritize the most free memory to minimize pipeline stages
-    // (Principle 2, large-model branch).
-    if (g.mem_free() > best_free) {
-      best_free = g.mem_free();
-      best = id;
+    for (GpuId id : state.active_bucket(b)) {
+      if (Excluded(id, exclude)) continue;
+      const GpuInfo& g = gpus[static_cast<std::size_t>(id)];
+      if (!Feasible(g, ctx)) continue;
+      if (worst_fit) {
+        worst.Consider(id, g);
+      } else {
+        best_fit.Consider(id, g, ctx.alpha, ctx.beta, ctx.mem);
+      }
     }
   }
-  return best;
+  return worst_fit ? worst.best : best_fit.best;
+}
+
+GpuId
+DiluScheduler::SelectIdle(const ClusterState& state,
+                          const RequestContext& ctx,
+                          const std::vector<GpuId>& exclude) const
+{
+  if (state.uniform_gpu_memory()) {
+    // All idle GPUs score identically (zero committed load, equal
+    // capacity), so the best-fit winner is simply the lowest id.
+    return LowestIdleGpu(
+        state, [&](const GpuInfo& g) { return Feasible(g, ctx); },
+        exclude);
+  }
+  // Heterogeneous capacities: scores differ per device; keep the exact
+  // best-fit semantics over the idle list.
+  return SelectOptGpu(state.idle_gpus(), ctx, state, exclude);
 }
 
 Placement
 DiluScheduler::Place(const PlacementRequest& req, ClusterState& state)
 {
   Placement result;
-  std::vector<GpuId> active;
-  std::vector<GpuId> idle;
-  for (const GpuInfo& g : state.gpus()) {
-    (g.active() ? active : idle).push_back(g.id);
-  }
-
+  const RequestContext ctx = MakeContext(req);
   const bool worst_fit =
       config_.resource_complementarity && req.large_model;
 
@@ -94,25 +191,25 @@ DiluScheduler::Place(const PlacementRequest& req, ClusterState& state)
     GpuId chosen = kInvalidGpu;
 
     if (config_.workload_affinity && !req.affinity.empty()) {
-      // Line 11-12: prefer GPUs hosting workload-affine instances.
-      const std::vector<GpuId> wa = state.GpusHosting(req.affinity);
+      // Line 11-12: prefer GPUs hosting workload-affine instances
+      // (candidates come from the residency index, not a fleet scan).
+      state.GpusHosting(req.affinity, &affinity_scratch_);
       chosen = worst_fit
-          ? SelectWorstFit(wa, req, state, result.gpus)
-          : SelectOptGpu(wa, req, state, result.gpus);
+          ? SelectWorstFit(affinity_scratch_, ctx, state, result.gpus)
+          : SelectOptGpu(affinity_scratch_, ctx, state, result.gpus);
     }
     if (chosen == kInvalidGpu && config_.resource_complementarity) {
-      // Line 13-14: any active GPU.
-      chosen = worst_fit
-          ? SelectWorstFit(active, req, state, result.gpus)
-          : SelectOptGpu(active, req, state, result.gpus);
+      // Line 13-14: any active GPU (bucketed by load: feasibility
+      // prunes whole buckets, best-fit stops early).
+      chosen = SelectActive(state, ctx, result.gpus, worst_fit);
     }
     if (chosen == kInvalidGpu) {
       // Line 15-16: start a new GPU instance (take an idle device).
-      chosen = SelectOptGpu(idle, req, state, result.gpus);
+      chosen = SelectIdle(state, ctx, result.gpus);
     }
     if (chosen == kInvalidGpu && !config_.resource_complementarity) {
       // -RC ablation still needs a fallback to shared active GPUs.
-      chosen = SelectOptGpu(active, req, state, result.gpus);
+      chosen = SelectActive(state, ctx, result.gpus, /*worst_fit=*/false);
     }
     if (chosen == kInvalidGpu) {
       result.ok = false;
@@ -120,12 +217,6 @@ DiluScheduler::Place(const PlacementRequest& req, ClusterState& state)
       return result;
     }
     result.gpus.push_back(chosen);
-    // Moving an idle GPU into the working set for subsequent shards.
-    auto it = std::find(idle.begin(), idle.end(), chosen);
-    if (it != idle.end()) {
-      idle.erase(it);
-      active.push_back(chosen);
-    }
   }
   result.ok = true;
   return result;

@@ -14,6 +14,13 @@
  *    fragment; memory-based worst-fit for LLMs spanning several GPUs.
  * 3. Oversubscription caps: per-GPU sums of requests <= Omega and of
  *    limits <= gamma.
+ *
+ * Performance: `Place` iterates candidate GPUs only — the residency
+ * index for affinity, then the maintained active list, then the idle
+ * list — never the whole fleet per shard, and the per-request parts of
+ * the feasibility test and score are hoisted out of the candidate loop.
+ * Placing N instances on G GPUs therefore costs O(N * candidates), not
+ * O(N * G) full scans.
  */
 #ifndef DILU_SCHEDULER_SCHEDULER_H_
 #define DILU_SCHEDULER_SCHEDULER_H_
@@ -81,23 +88,63 @@ class DiluScheduler : public Scheduler {
 
  private:
   /**
+   * Request-invariant terms of the per-candidate feasibility test and
+   * fragmentation score, computed once per Place call and reused across
+   * every candidate (SelectOptGPU's inner loop is the hottest code in a
+   * large-scale placement pass).
+   */
+  struct RequestContext {
+    double req_cap = 0.0;  ///< feasible iff req_sum <= req_cap
+    double lim_cap = 0.0;  ///< feasible iff lim_sum <= lim_cap
+    double mem = 0.0;      ///< per-shard memory to add
+    double alpha = 0.0;
+    double beta = 0.0;
+  };
+
+  RequestContext MakeContext(const PlacementRequest& req) const;
+
+  bool Feasible(const GpuInfo& g, const RequestContext& ctx) const;
+
+  /**
    * SelectOptGPU (Algorithm 1 lines 19-29): best feasible GPU among
-   * `candidates` by weighted-fragmentation score; -1 if none.
-   * GPUs in `exclude` (already chosen shards) are skipped.
+   * `candidates` by weighted-fragmentation score; kInvalidGpu if none.
+   * Ties break toward the lowest GPU id, making the choice independent
+   * of candidate ordering. GPUs in `exclude` (already chosen shards)
+   * are skipped; duplicate candidates are tolerated.
    */
   GpuId SelectOptGpu(const std::vector<GpuId>& candidates,
-                     const PlacementRequest& req, const ClusterState& state,
+                     const RequestContext& ctx, const ClusterState& state,
                      const std::vector<GpuId>& exclude) const;
 
-  /** Memory worst-fit selection for large models. */
+  /** Memory worst-fit selection for large models (same tie-breaking). */
   GpuId SelectWorstFit(const std::vector<GpuId>& candidates,
-                       const PlacementRequest& req,
+                       const RequestContext& ctx,
                        const ClusterState& state,
                        const std::vector<GpuId>& exclude) const;
 
-  bool Feasible(const GpuInfo& g, const PlacementRequest& req) const;
+  /**
+   * Same selections over the whole active set, served from the load
+   * buckets: buckets whose lower bound exceeds the request cap are
+   * infeasible wholesale, and the best-fit scan stops once no remaining
+   * bucket can strictly beat the incumbent score. Selects exactly the
+   * GPU the corresponding list scan over active_gpus() would.
+   */
+  GpuId SelectActive(const ClusterState& state, const RequestContext& ctx,
+                     const std::vector<GpuId>& exclude,
+                     bool worst_fit) const;
+
+  /**
+   * Open a new device: lowest-id feasible idle GPU. On uniform-memory
+   * clusters idle GPUs are interchangeable, so this is O(log idle) via
+   * ClusterState::MinIdleGpu; otherwise it falls back to best-fit over
+   * the idle list (capacity differences make scores differ).
+   */
+  GpuId SelectIdle(const ClusterState& state, const RequestContext& ctx,
+                   const std::vector<GpuId>& exclude) const;
 
   DiluSchedulerConfig config_;
+  /** Scratch for residency-index lookups (reused across Place calls). */
+  std::vector<GpuId> affinity_scratch_;
 };
 
 }  // namespace dilu::scheduler

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Internal selection helpers shared by the Dilu and baseline
+ * schedulers (not part of the public scheduler API).
+ */
+#ifndef DILU_SCHEDULER_SELECT_UTIL_H_
+#define DILU_SCHEDULER_SELECT_UTIL_H_
+
+#include <algorithm>
+#include <vector>
+
+#include "scheduler/gpu_state.h"
+
+namespace dilu::scheduler::internal {
+
+/** True when `id` was already chosen for an earlier shard. */
+inline bool Excluded(GpuId id, const std::vector<GpuId>& exclude)
+{
+  return std::find(exclude.begin(), exclude.end(), id) != exclude.end();
+}
+
+/**
+ * Lowest-id idle GPU passing `feasible`, skipping `exclude`. Uses the
+ * O(log) min-idle index when capacities are uniform (feasibility is
+ * then identical across idle devices); scans the idle list otherwise.
+ */
+template <typename Feasible>
+GpuId LowestIdleGpu(const ClusterState& state, const Feasible& feasible,
+                    const std::vector<GpuId>& exclude)
+{
+  if (state.uniform_gpu_memory()) {
+    const GpuId min_idle = state.MinIdleGpu();
+    if (min_idle == kInvalidGpu) return kInvalidGpu;
+    if (!feasible(state.gpus()[static_cast<std::size_t>(min_idle)])) {
+      return kInvalidGpu;
+    }
+    if (!Excluded(min_idle, exclude)) return min_idle;
+    // A previous shard took the minimum: scan for the next-lowest id.
+  }
+  GpuId best = kInvalidGpu;
+  for (GpuId id : state.idle_gpus()) {
+    if (Excluded(id, exclude)) continue;
+    if (!feasible(state.gpus()[static_cast<std::size_t>(id)])) continue;
+    if (best == kInvalidGpu || id < best) best = id;
+  }
+  return best;
+}
+
+}  // namespace dilu::scheduler::internal
+
+#endif  // DILU_SCHEDULER_SELECT_UTIL_H_

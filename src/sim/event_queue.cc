@@ -1,17 +1,111 @@
 #include "sim/event_queue.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 
 namespace dilu::sim {
+
+std::uint32_t
+EventQueue::AllocSlot()
+{
+  if (free_head_ != kNoFreeSlot) {
+    const std::uint32_t slot = free_head_;
+    free_head_ = records_[slot].next_free;
+    records_[slot].next_free = kNoFreeSlot;
+    return slot;
+  }
+  DILU_CHECK(records_.size() < kSlotMask);
+  records_.emplace_back();
+  return static_cast<std::uint32_t>(records_.size() - 1);
+}
+
+void
+EventQueue::FreeSlot(std::uint32_t slot)
+{
+  Record& rec = records_[slot];
+  rec.fn.Reset();
+  rec.armed = false;
+  // A stale EventId holds the old generation, so Cancel on it misses.
+  ++rec.generation;
+  rec.next_free = free_head_;
+  free_head_ = slot;
+}
+
+void
+EventQueue::HeapPush(HeapNode node)
+{
+  // Hole percolation: bubble an empty slot up, write the node once.
+  heap_.push_back(node);
+  std::size_t i = heap_.size() - 1;
+  while (i != 0) {
+    const std::size_t parent = (i - 1) / 4;
+    if (!(node < heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = node;
+}
+
+EventQueue::HeapNode
+EventQueue::HeapPop()
+{
+  const HeapNode top = heap_.front();
+  const HeapNode last = heap_.back();
+  heap_.pop_back();
+  const std::size_t n = heap_.size();
+  if (n == 0) return top;
+  // Sift the former last element down through a hole from the root.
+  std::size_t i = 0;
+  for (;;) {
+    const std::size_t first_child = i * 4 + 1;
+    if (first_child >= n) break;
+    std::size_t best = first_child;
+    const std::size_t last_child =
+        first_child + 4 < n ? first_child + 4 : n;
+    for (std::size_t c = first_child + 1; c < last_child; ++c) {
+      if (heap_[c] < heap_[best]) best = c;
+    }
+    if (!(heap_[best] < last)) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = last;
+  return top;
+}
+
+void
+EventQueue::RenumberSeqs()
+{
+  // Sequence numbers only order *coexisting* events, so they can be
+  // compacted whenever the 40-bit space runs out (every ~1.1e12
+  // scheduled events — amortized noise). A sorted array satisfies the
+  // d-ary heap property, so sort-then-relabel also rebuilds the heap.
+  std::sort(heap_.begin(), heap_.end());
+  for (std::size_t i = 0; i < heap_.size(); ++i) {
+    heap_[i].key = (static_cast<std::uint64_t>(i) << kSlotBits)
+        | (heap_[i].key & kSlotMask);
+  }
+  next_seq_ = heap_.size();
+}
 
 EventId
 EventQueue::ScheduleAt(TimeUs when, EventFn fn)
 {
   DILU_CHECK(when >= now_);
-  const EventId id = next_id_++;
-  heap_.push(Entry{when, next_seq_++, id, std::move(fn)});
-  live_.insert(id);
-  return id;
+  const std::uint32_t slot = AllocSlot();
+  Record& rec = records_[slot];
+  rec.fn = std::move(fn);
+  rec.armed = true;
+  ++live_count_;
+  if (heap_.empty()) {
+    next_seq_ = 0;  // nothing coexists: restart the tie-break counter
+  } else if (next_seq_ >= (1ull << (64 - kSlotBits))) {
+    RenumberSeqs();
+  }
+  const std::uint64_t seq = next_seq_++;
+  HeapPush(HeapNode{when, (seq << kSlotBits) | slot});
+  return (static_cast<EventId>(rec.generation) << 32) | slot;
 }
 
 EventId
@@ -25,35 +119,39 @@ void
 EventQueue::Cancel(EventId id)
 {
   // Cancelling a fired (or never-scheduled, or already-cancelled) event
-  // is a no-op, so bookkeeping cannot drift.
-  if (live_.erase(id) > 0) cancelled_.insert(id);
-}
-
-bool
-EventQueue::IsCancelled(EventId id) const
-{
-  return cancelled_.count(id) > 0;
-}
-
-bool
-EventQueue::Empty() const
-{
-  return live_.empty();
+  // is a no-op: those ids carry a generation the slot no longer has (or
+  // an armed == false record).
+  const std::uint32_t slot = static_cast<std::uint32_t>(id & 0xFFFFFFFFu);
+  const std::uint32_t generation = static_cast<std::uint32_t>(id >> 32);
+  if (slot >= records_.size()) return;
+  Record& rec = records_[slot];
+  if (!rec.armed || rec.generation != generation) return;
+  // Tombstone: release the callback now (captures may pin resources);
+  // the slot itself is recycled when the heap entry surfaces.
+  rec.fn.Reset();
+  rec.armed = false;
+  --live_count_;
 }
 
 bool
 EventQueue::RunOne()
 {
   while (!heap_.empty()) {
-    Entry e = heap_.top();
-    heap_.pop();
-    if (IsCancelled(e.id)) {
-      cancelled_.erase(e.id);
+    const HeapNode top = HeapPop();
+    const std::uint32_t slot =
+        static_cast<std::uint32_t>(top.key & kSlotMask);
+    if (!records_[slot].armed) {  // tombstone: reclaim and keep going
+      FreeSlot(slot);
       continue;
     }
-    live_.erase(e.id);
-    now_ = e.when;
-    e.fn();
+    // Move the callback out before invoking it: the callback may
+    // schedule new events, which can grow (reallocate) the slab.
+    EventCallback fn = std::move(records_[slot].fn);
+    records_[slot].armed = false;
+    --live_count_;
+    FreeSlot(slot);
+    now_ = top.when;
+    fn();
     return true;
   }
   return false;
@@ -63,10 +161,11 @@ void
 EventQueue::RunUntil(TimeUs deadline)
 {
   while (!heap_.empty()) {
-    const Entry& top = heap_.top();
-    if (IsCancelled(top.id)) {
-      cancelled_.erase(top.id);
-      heap_.pop();
+    const HeapNode& top = heap_.front();
+    const std::uint32_t slot =
+        static_cast<std::uint32_t>(top.key & kSlotMask);
+    if (!records_[slot].armed) {
+      FreeSlot(static_cast<std::uint32_t>(HeapPop().key & kSlotMask));
       continue;
     }
     // Events scheduled at exactly `deadline` do fire (inclusive bound).

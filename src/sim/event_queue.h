@@ -4,22 +4,157 @@
  *
  * Events are (time, sequence, callback) triples; ties in time break by
  * insertion order so the simulation is deterministic.
+ *
+ * Hot-path design (the simulator fires one event per kernel quantum per
+ * GPU, so this layer dominates large runs):
+ *  - Callbacks live in `EventCallback`, a move-only small-buffer type:
+ *    captures up to kInlineCapacity bytes never touch the heap.
+ *  - Event records are pooled in a slab with a free list; a cancelled
+ *    event is tombstoned in O(1) (its callback is destroyed immediately)
+ *    and its slot is recycled when the heap entry surfaces.
+ *  - The priority queue is a 4-ary implicit heap of 16-byte PODs
+ *    (when + packed seq/slot), so sift operations stay inside one or two
+ *    cache lines and never move callbacks.
+ *
+ * Complexity: ScheduleAt/RunOne are O(log4 n); Cancel is O(1). All three
+ * are allocation-free in steady state (slab and heap storage is reused
+ * once warmed up; only growth beyond the high-water mark allocates).
  */
 #ifndef DILU_SIM_EVENT_QUEUE_H_
 #define DILU_SIM_EVENT_QUEUE_H_
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "common/types.h"
 
 namespace dilu::sim {
 
+/**
+ * Move-only callable with small-buffer optimization.
+ *
+ * Callables whose size is at most kInlineCapacity (and whose alignment
+ * fits std::max_align_t) are stored inline; larger ones fall back to a
+ * single heap allocation. Invoking an empty/moved-from callback is
+ * undefined behavior (it dereferences a null ops table); the queue
+ * never invokes a record it has not just armed.
+ */
+class EventCallback {
+ public:
+  /** Capture budget that stays heap-free (see the zero-alloc test). */
+  static constexpr std::size_t kInlineCapacity = 48;
+
+  EventCallback() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, EventCallback>>>
+  EventCallback(F&& f)  // NOLINT(google-explicit-constructor)
+  {
+    Emplace(std::forward<F>(f));
+  }
+
+  EventCallback(EventCallback&& other) noexcept { MoveFrom(other); }
+
+  EventCallback& operator=(EventCallback&& other) noexcept
+  {
+    if (this != &other) {
+      Reset();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+
+  EventCallback(const EventCallback&) = delete;
+  EventCallback& operator=(const EventCallback&) = delete;
+
+  ~EventCallback() { Reset(); }
+
+  void operator()() { ops_->invoke(storage_); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  /** Destroy the held callable (if any); leaves the callback empty. */
+  void Reset()
+  {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    void (*move)(void* dst, void* src);  ///< relocate: construct + destroy
+    void (*destroy)(void*);
+  };
+
+  template <typename Fn>
+  struct InlineOps {
+    static void Invoke(void* p) { (*static_cast<Fn*>(p))(); }
+    static void Move(void* dst, void* src)
+    {
+      ::new (dst) Fn(std::move(*static_cast<Fn*>(src)));
+      static_cast<Fn*>(src)->~Fn();
+    }
+    static void Destroy(void* p) { static_cast<Fn*>(p)->~Fn(); }
+    static constexpr Ops ops{&Invoke, &Move, &Destroy};
+  };
+
+  template <typename Fn>
+  struct HeapOps {
+    static Fn* Get(const void* p)
+    {
+      Fn* f;
+      std::memcpy(&f, p, sizeof(f));
+      return f;
+    }
+    static void Invoke(void* p) { (*Get(p))(); }
+    static void Move(void* dst, void* src)
+    {
+      std::memcpy(dst, src, sizeof(Fn*));
+    }
+    static void Destroy(void* p) { delete Get(p); }
+    static constexpr Ops ops{&Invoke, &Move, &Destroy};
+  };
+
+  template <typename F>
+  void Emplace(F&& f)
+  {
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineCapacity
+                  && alignof(Fn) <= alignof(std::max_align_t)
+                  && std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+      ops_ = &InlineOps<Fn>::ops;
+    } else {
+      Fn* heap = new Fn(std::forward<F>(f));
+      std::memcpy(storage_, &heap, sizeof(heap));
+      ops_ = &HeapOps<Fn>::ops;
+    }
+  }
+
+  void MoveFrom(EventCallback& other) noexcept
+  {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->move(storage_, other.storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineCapacity];
+  const Ops* ops_ = nullptr;
+};
+
 /** Callback invoked when an event fires. */
-using EventFn = std::function<void()>;
+using EventFn = EventCallback;
 
 /** Handle used to cancel a scheduled event. */
 using EventId = std::uint64_t;
@@ -48,11 +183,16 @@ class EventQueue {
   /** Schedule `fn` to run `delay` after the current time. */
   EventId ScheduleAfter(TimeUs delay, EventFn fn);
 
-  /** Cancel a pending event. Cancelling a fired event is a no-op. */
+  /**
+   * Cancel a pending event in O(1). Cancelling a fired, cancelled or
+   * never-issued id is a no-op (the id's generation no longer matches).
+   * The callback is destroyed immediately; the pooled record is
+   * recycled when its heap entry surfaces (lazy tombstone reclaim).
+   */
   void Cancel(EventId id);
 
   /** True when no runnable events remain. */
-  bool Empty() const;
+  bool Empty() const { return live_count_ == 0; }
 
   /** Fire the next event; returns false if the queue is empty. */
   bool RunOne();
@@ -64,31 +204,55 @@ class EventQueue {
   void RunUntil(TimeUs deadline);
 
   /** Number of pending (non-cancelled) events. */
-  std::size_t PendingCount() const { return live_.size(); }
+  std::size_t PendingCount() const { return live_count_; }
+
+  /**
+   * Number of pooled event records ever allocated (the slab high-water
+   * mark). Exposed so tests can assert slot reuse: steady-state
+   * schedule/fire/cancel traffic must not grow the slab.
+   */
+  std::size_t SlabSize() const { return records_.size(); }
 
  private:
-  struct Entry {
-    TimeUs when;
-    std::uint64_t seq;
-    EventId id;
-    EventFn fn;
+  // Heap entries pack the tie-breaking sequence number and the slab
+  // slot into one word: seq in the high bits makes (when, key) ordering
+  // equal to (when, seq) ordering, and the low bits recover the slot.
+  static constexpr int kSlotBits = 24;
+  static constexpr std::uint64_t kSlotMask = (1ull << kSlotBits) - 1;
+  static constexpr std::uint32_t kNoFreeSlot = 0xFFFFFFFFu;
 
-    bool operator>(const Entry& other) const {
-      if (when != other.when) return when > other.when;
-      return seq > other.seq;
+  struct HeapNode {
+    TimeUs when;
+    std::uint64_t key;  ///< (seq << kSlotBits) | slot
+
+    bool operator<(const HeapNode& o) const
+    {
+      if (when != o.when) return when < o.when;
+      return key < o.key;
     }
   };
+  static_assert(sizeof(HeapNode) == 16, "heap nodes must stay 16 bytes");
 
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap_;
-  // Ids scheduled but not yet fired or cancelled. Lets Cancel() treat
-  // fired/unknown ids as a no-op and makes IsCancelled O(1).
-  std::unordered_set<EventId> live_;
-  std::unordered_set<EventId> cancelled_;
+  struct Record {
+    EventCallback fn;
+    std::uint32_t generation = 1;  ///< bumped when the slot is recycled
+    std::uint32_t next_free = kNoFreeSlot;
+    bool armed = false;  ///< false = tombstone (cancelled) or fired
+  };
+
+  std::uint32_t AllocSlot();
+  void FreeSlot(std::uint32_t slot);
+  void HeapPush(HeapNode node);
+  HeapNode HeapPop();
+  /** Compact sequence numbers when the 40-bit space is exhausted. */
+  void RenumberSeqs();
+
+  std::vector<HeapNode> heap_;    ///< 4-ary implicit min-heap
+  std::vector<Record> records_;   ///< slab of pooled event records
+  std::uint32_t free_head_ = kNoFreeSlot;
+  std::size_t live_count_ = 0;
   TimeUs now_ = 0;
   std::uint64_t next_seq_ = 0;
-  EventId next_id_ = 1;
-
-  bool IsCancelled(EventId id) const;
 };
 
 }  // namespace dilu::sim

@@ -30,6 +30,62 @@ TEST(MetricsHub, SvrCountsViolations)
   EXPECT_DOUBLE_EQ(hub.OverallSvrPercent(), 50.0);
 }
 
+// Contract test for the satellite fix: looking up metrics for an id
+// that was never registered must fail loudly (DILU_CHECK panic), not
+// throw out of std::map::at or silently default-construct.
+TEST(MetricsHubDeathTest, UnregisteredFunctionPanics)
+{
+  MetricsHub hub;
+  hub.RegisterFunction(0, "f", 100.0);
+  EXPECT_DEATH(hub.function(42), "check failed");
+  const MetricsHub& const_hub = hub;
+  EXPECT_DEATH(const_hub.function(42), "check failed");
+}
+
+// The runtime used to hold every request of the whole run alive in its
+// deque; completed requests must be pruned once the metrics hub has
+// consumed them, so memory tracks the outstanding window instead of the
+// trace length.
+TEST(ClusterRuntime, CompletedRequestsArePruned)
+{
+  ClusterConfig cfg;
+  ClusterRuntime rt(cfg);
+  const FunctionId fn = rt.Deploy(InferenceSpec("bert-base"));
+  ASSERT_NE(rt.LaunchInference(fn, /*cold=*/false), kInvalidInstance);
+  rt.AttachArrivals(fn,
+                    std::make_unique<workload::PoissonArrivals>(50.0,
+                                                                Rng(3)),
+                    Sec(30));
+  rt.RunFor(Sec(32));
+  const auto& m = rt.metrics().function(fn);
+  EXPECT_GT(m.completed, 1000);
+  // Everything completed has been consumed and reclaimed; only the
+  // outstanding tail (if any) may remain.
+  EXPECT_LT(rt.pending_request_count(), 64u);
+}
+
+// Dropped requests (no live instances at dispatch time) must not be
+// retained: a record that can never complete would stall the prune
+// cursor for the rest of the run.
+TEST(ClusterRuntime, DroppedRequestsDoNotStallPruning)
+{
+  ClusterConfig cfg;
+  ClusterRuntime rt(cfg);
+  const FunctionId fn = rt.Deploy(InferenceSpec("bert-base"));
+  // No instance yet: everything arriving in the first 5 s is dropped.
+  rt.AttachArrivals(fn,
+                    std::make_unique<workload::PoissonArrivals>(30.0,
+                                                                Rng(5)),
+                    Sec(20));
+  rt.RunFor(Sec(5));
+  EXPECT_EQ(rt.pending_request_count(), 0u);
+  // An instance appears; traffic flows and still gets pruned.
+  ASSERT_NE(rt.LaunchInference(fn, /*cold=*/false), kInvalidInstance);
+  rt.RunFor(Sec(17));
+  EXPECT_GT(rt.metrics().function(fn).completed, 100);
+  EXPECT_LT(rt.pending_request_count(), 64u);
+}
+
 TEST(ClusterRuntime, DeployProfilesSpec)
 {
   ClusterConfig cfg;

@@ -69,6 +69,29 @@ TEST(Percentiles, AddAfterQueryKeepsSorted)
   EXPECT_DOUBLE_EQ(p.P50(), 2.0);
 }
 
+// Regression: a query sorts lazily; Adds AFTER the query must dirty the
+// sorted flag again, or later quantiles read a stale order. Exercises
+// several query -> add -> query rounds with values landing below,
+// inside and above the already-sorted range.
+TEST(Percentiles, ResortsAfterEveryPostQueryAdd)
+{
+  Percentiles p;
+  for (double v : {50.0, 10.0, 90.0}) p.Add(v);
+  EXPECT_DOUBLE_EQ(p.Quantile(0.0), 10.0);
+
+  p.Add(1.0);  // below the sorted minimum
+  EXPECT_DOUBLE_EQ(p.Quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(p.Quantile(1.0), 90.0);
+
+  p.Add(99.0);  // above the sorted maximum
+  EXPECT_DOUBLE_EQ(p.Quantile(1.0), 99.0);
+
+  p.Add(45.0);  // interior
+  // Sorted: 1, 10, 45, 50, 90, 99 -> P50 interpolates 45..50.
+  EXPECT_DOUBLE_EQ(p.P50(), 47.5);
+  EXPECT_EQ(p.count(), 6u);
+}
+
 TEST(TimeWeighted, PiecewiseConstantAverage)
 {
   TimeWeighted tw;

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Steady-state allocation tests for the event core.
+ *
+ * The acceptance bar for the hot-path overhaul: EventQueue::ScheduleAt,
+ * Cancel and RunOne perform ZERO heap allocations in steady state for
+ * callbacks whose captures fit EventCallback::kInlineCapacity (48
+ * bytes). Verified with a global operator-new hook that counts every
+ * allocation in the process — this test must live in its own binary so
+ * the hook cannot interfere with other suites.
+ */
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+#include "sim/event_queue.h"
+
+namespace {
+
+std::size_t g_allocations = 0;
+
+}  // namespace
+
+void* operator new(std::size_t size)
+{
+  ++g_allocations;
+  void* p = std::malloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size)
+{
+  ++g_allocations;
+  void* p = std::malloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace dilu::sim {
+namespace {
+
+/** 40 bytes of captured payload + a counter pointer = 48-byte capture,
+ *  exactly the inline budget. */
+struct Payload {
+  std::uint64_t words[5] = {1, 2, 3, 4, 5};
+};
+static_assert(sizeof(Payload) == 40, "payload sized to fill the budget");
+
+TEST(EventQueueAlloc, SteadyStateScheduleFireCancelIsAllocationFree)
+{
+  EventQueue q;
+  std::uint64_t sink = 0;
+
+  // Warm-up: reach the high-water mark for the slab, the heap array and
+  // the callback storage. Everything after this must come from reuse.
+  constexpr int kOutstanding = 32;
+  for (int round = 0; round < 4; ++round) {
+    EventId ids[kOutstanding];
+    const TimeUs base = q.now();
+    Payload payload;
+    for (int i = 0; i < kOutstanding; ++i) {
+      ids[i] = q.ScheduleAt(base + 1 + i % 9, [payload, &sink] {
+        sink += payload.words[0];
+      });
+    }
+    for (int i = 0; i < kOutstanding; i += 2) q.Cancel(ids[i]);
+    q.RunUntil(base + 16);
+  }
+
+  const std::size_t baseline = g_allocations;
+  for (int round = 0; round < 1000; ++round) {
+    EventId ids[kOutstanding];
+    const TimeUs base = q.now();
+    Payload payload;
+    for (int i = 0; i < kOutstanding; ++i) {
+      ids[i] = q.ScheduleAt(base + 1 + i % 9, [payload, &sink] {
+        sink += payload.words[0];
+      });
+    }
+    for (int i = 0; i < kOutstanding; i += 2) q.Cancel(ids[i]);
+    while (q.RunOne()) {
+    }
+  }
+  EXPECT_EQ(g_allocations, baseline)
+      << "schedule/fire/cancel allocated in steady state";
+  EXPECT_NE(sink, 0u);
+}
+
+TEST(EventQueueAlloc, OversizedCapturesStillWorkViaHeapFallback)
+{
+  EventQueue q;
+  std::uint64_t sink = 0;
+  struct Big {
+    std::uint64_t words[9] = {};  // 72 bytes: over the inline budget
+  };
+  Big big;
+  big.words[8] = 7;
+  const std::size_t baseline = g_allocations;
+  q.ScheduleAt(1, [big, &sink] { sink += big.words[8]; });
+  EXPECT_GT(g_allocations, baseline);  // documented fallback allocates
+  q.RunOne();
+  EXPECT_EQ(sink, 7u);
+}
+
+}  // namespace
+}  // namespace dilu::sim

@@ -112,10 +112,10 @@ TEST_P(TokenBoundsTest, IssuesBounded)
       s.klc_inflation = rng.Uniform(0.0, 1.2);
       samples.push_back(s);
     }
-    auto grants = tm.Tick(samples);
-    for (const auto& [id, g] : grants) {
+    const auto& grants = tm.Tick(samples);
+    for (const rckm::TokenGrant& g : grants) {
       EXPECT_GE(g.tokens, 0.0);
-      EXPECT_LE(g.tokens, max_tokens * 0.8 + 1e-6) << "id " << id;
+      EXPECT_LE(g.tokens, max_tokens * 0.8 + 1e-6) << "id " << g.id;
     }
   }
 }

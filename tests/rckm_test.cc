@@ -19,6 +19,16 @@ InstanceSample MakeSample(InstanceId id, bool slo, double req, double lim,
   return s;
 }
 
+/** Tokens granted to `id` (grants are sample-aligned; find by id). */
+double Tokens(const std::vector<TokenGrant>& grants, InstanceId id)
+{
+  for (const TokenGrant& g : grants) {
+    if (g.id == id) return g.tokens;
+  }
+  ADD_FAILURE() << "no grant for instance " << id;
+  return -1.0;
+}
+
 TEST(KlcMonitor, InflationRelativeToBucketMin)
 {
   KlcMonitor m;
@@ -53,7 +63,7 @@ TEST(TokenManager, SoloNonSloGetsLimit)
 {
   TokenManager tm;
   auto grants = tm.Tick({MakeSample(1, false, 0.4, 0.8, 100.0)});
-  EXPECT_DOUBLE_EQ(grants[1].tokens, 1000.0 * 0.8);
+  EXPECT_DOUBLE_EQ(Tokens(grants, 1), 1000.0 * 0.8);
   EXPECT_EQ(tm.state(), ScalingState::kNone);
 }
 
@@ -71,20 +81,20 @@ TEST(TokenManager, EmergencyScalesInferenceUpAndTrainingDown)
   auto grants = tm.Tick({MakeSample(1, true, 0.5, 1.0, 900.0, 0.6),
                          MakeSample(2, false, 0.4, 0.9, 300.0)});
   EXPECT_EQ(tm.state(), ScalingState::kEmergency);
-  EXPECT_DOUBLE_EQ(grants[1].tokens, 1000.0);  // MaxTokens * limit
-  EXPECT_LT(grants[2].tokens, 1000.0 * 0.4);
+  EXPECT_DOUBLE_EQ(Tokens(grants, 1), 1000.0);  // MaxTokens * limit
+  EXPECT_LT(Tokens(grants, 2), 1000.0 * 0.4);
 }
 
 TEST(TokenManager, IdleInferenceScalesDownToRequest)
 {
   TokenManager tm;
   // Inference launches nothing for a full rate window.
-  std::map<InstanceId, TokenGrant> grants;
+  std::vector<TokenGrant> grants;
   for (int i = 0; i < 10; ++i) {
     grants = tm.Tick({MakeSample(1, true, 0.5, 1.0, 0.0),
                       MakeSample(2, false, 0.4, 0.9, 300.0)});
   }
-  EXPECT_DOUBLE_EQ(grants[1].tokens, 1000.0 * 0.5);  // request
+  EXPECT_DOUBLE_EQ(Tokens(grants, 1), 1000.0 * 0.5);  // request
 }
 
 TEST(TokenManager, TrainingRegrowsInRecovery)
@@ -97,22 +107,22 @@ TEST(TokenManager, TrainingRegrowsInRecovery)
   }
   auto depressed = tm.Tick({MakeSample(1, true, 0.5, 1.0, 900.0, 0.8),
                             MakeSample(2, false, 0.4, 0.9, 300.0)});
-  const double low = depressed[2].tokens;
+  const double low = Tokens(depressed, 2);
   // Inference goes idle: rate window drains over 8 periods -> RECOVERY,
   // and the training budget regrows multiplicatively toward the limit.
-  std::map<InstanceId, TokenGrant> grants;
+  std::vector<TokenGrant> grants;
   for (int i = 0; i < 30; ++i) {
     grants = tm.Tick({MakeSample(1, true, 0.5, 1.0, 0.0),
                       MakeSample(2, false, 0.4, 0.9, 300.0)});
   }
-  EXPECT_GT(grants[2].tokens, low);
-  EXPECT_NEAR(grants[2].tokens, 1000.0 * 0.9, 1e-6);  // back at limit
+  EXPECT_GT(Tokens(grants, 2), low);
+  EXPECT_NEAR(Tokens(grants, 2), 1000.0 * 0.9, 1e-6);  // back at limit
 }
 
 TEST(TokenManager, ContentionHoldsAtRequest)
 {
   TokenManager tm;
-  std::map<InstanceId, TokenGrant> grants;
+  std::vector<TokenGrant> grants;
   for (int i = 0; i < 5; ++i) {
     grants = tm.Tick({MakeSample(1, true, 0.5, 1.0, 200.0),
                       MakeSample(2, true, 0.3, 0.6, 200.0)});
@@ -120,8 +130,8 @@ TEST(TokenManager, ContentionHoldsAtRequest)
   EXPECT_EQ(tm.state(), ScalingState::kContention);
   // Request quota plus the contention cushion, capped at the limit.
   const double cushion = tm.config().slo_cushion;
-  EXPECT_DOUBLE_EQ(grants[1].tokens, std::min(500.0 * cushion, 1000.0));
-  EXPECT_DOUBLE_EQ(grants[2].tokens, std::min(300.0 * cushion, 600.0));
+  EXPECT_DOUBLE_EQ(Tokens(grants, 1), std::min(500.0 * cushion, 1000.0));
+  EXPECT_DOUBLE_EQ(Tokens(grants, 2), std::min(300.0 * cushion, 600.0));
 }
 
 TEST(TokenManager, MaxTokensScalesBudgets)
@@ -130,7 +140,7 @@ TEST(TokenManager, MaxTokensScalesBudgets)
   cfg.max_tokens = 500.0;  // conservative (Fig 18b left side)
   TokenManager tm(cfg);
   auto grants = tm.Tick({MakeSample(1, false, 0.4, 0.8, 10.0)});
-  EXPECT_DOUBLE_EQ(grants[1].tokens, 500.0 * 0.8);
+  EXPECT_DOUBLE_EQ(Tokens(grants, 1), 500.0 * 0.8);
 }
 
 TEST(TokenManager, ForgetClearsEmergencyOwner)

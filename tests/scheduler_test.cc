@@ -48,6 +48,54 @@ TEST(ClusterState, FragmentationMetrics)
   EXPECT_NEAR(state.MemoryFragmentation(), 0.75, 1e-9);
 }
 
+TEST(ClusterState, ResidencyIndexTracksCommitAndRelease)
+{
+  ClusterState state = MakeCluster(4);
+  // fn 7: instance 1 on GPU 0, instance 2 spanning GPUs 1+2.
+  state.Commit(1, 7, {{0, {0.2, 0.4}, 4.0}});
+  state.Commit(2, 7, {{1, {0.1, 0.2}, 4.0}, {2, {0.1, 0.2}, 4.0}});
+  state.Commit(3, 8, {{1, {0.2, 0.4}, 4.0}});
+  EXPECT_EQ(state.GpusHosting({7}), (std::vector<GpuId>{0, 1, 2}));
+  EXPECT_EQ(state.GpusHosting({8}), (std::vector<GpuId>{1}));
+  EXPECT_EQ(state.GpusHosting({7, 8}), (std::vector<GpuId>{0, 1, 2}));
+  EXPECT_TRUE(state.GpusHosting({99}).empty());
+
+  state.Release(2);
+  EXPECT_EQ(state.GpusHosting({7}), (std::vector<GpuId>{0}));
+  // GPU 1 still hosts fn 8 -> stays active; GPU 2 went idle.
+  EXPECT_EQ(state.ActiveGpuCount(), 2);
+}
+
+TEST(ClusterState, ResidencyIndexCountsPerGpuInstances)
+{
+  ClusterState state = MakeCluster(2);
+  // Two instances of the same function on the same GPU: releasing one
+  // must keep the GPU listed until the second leaves too.
+  state.Commit(1, 7, {{0, {0.2, 0.4}, 4.0}});
+  state.Commit(2, 7, {{0, {0.2, 0.4}, 4.0}});
+  state.Release(1);
+  EXPECT_EQ(state.GpusHosting({7}), (std::vector<GpuId>{0}));
+  state.Release(2);
+  EXPECT_TRUE(state.GpusHosting({7}).empty());
+  EXPECT_EQ(state.ActiveGpuCount(), 0);
+}
+
+TEST(ClusterState, ActiveIdleListsAndMinIdleStayConsistent)
+{
+  ClusterState state = MakeCluster(6);
+  EXPECT_EQ(state.MinIdleGpu(), 0);
+  state.Commit(1, 7, {{0, {0.2, 0.4}, 4.0}});
+  state.Commit(2, 8, {{3, {0.2, 0.4}, 4.0}});
+  EXPECT_EQ(state.ActiveGpuCount(), 2);
+  EXPECT_EQ(state.active_gpus().size() + state.idle_gpus().size(), 6u);
+  EXPECT_EQ(state.MinIdleGpu(), 1);
+  state.Commit(3, 9, {{1, {0.2, 0.4}, 4.0}});
+  EXPECT_EQ(state.MinIdleGpu(), 2);
+  state.Release(1);  // GPU 0 idle again
+  EXPECT_EQ(state.MinIdleGpu(), 0);
+  EXPECT_EQ(state.ActiveGpuCount(), 2);
+}
+
 TEST(DiluScheduler, PacksOntoActiveGpuFirst)
 {
   ClusterState state = MakeCluster(4);
