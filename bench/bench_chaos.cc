@@ -1,0 +1,266 @@
+/**
+ * @file
+ * Chaos scenario bench: runs a battery of fault-injection scenarios on
+ * small serving clusters and reports service-level resilience metrics —
+ * time-to-recover, SLO-violation rate, drops and availability — as a
+ * machine-readable JSON report (schema dilu-chaos-bench/1).
+ *
+ * Unlike the hot-path harness (bench_harness), the quantities here are
+ * *simulated* outcomes, not wall-clock timings: they are deterministic
+ * under --seed and diffable across machines, so the JSON doubles as a
+ * regression surface for the fault model.
+ *
+ * Scenarios:
+ *  - gpu_failure_steady:   one GPU dies under steady Poisson load and
+ *                          later returns.
+ *  - node_failure_burst:   a whole node dies mid-burst, recovers.
+ *  - drain_maintenance:    a node is drained (live migration) and
+ *                          undrained.
+ *  - coldstart_inflation_surge: a traffic surge hits while cold starts
+ *                          run 3x slow (registry pressure).
+ *
+ * Flags:
+ *  --quick      shorter simulations (CI smoke)
+ *  --seed N     cluster + workload seed (echoed in the JSON)
+ *  --out FILE   write the JSON report to FILE instead of stdout
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "chaos/chaos_engine.h"
+#include "cluster/cluster.h"
+#include "scaling/global_scaler.h"
+#include "workload/arrival.h"
+#include "workload/azure_traces.h"
+
+namespace {
+
+using namespace dilu;
+
+struct ScenarioResult {
+  std::string name;
+  int faults = 0;
+  int disruptive = 0;
+  int recovered = 0;
+  double mean_ttr_s = 0.0;
+  double max_ttr_s = 0.0;
+  std::int64_t completed = 0;
+  std::int64_t dropped = 0;
+  double svr_percent = 0.0;
+  double availability_percent = 0.0;
+  int recovery_cold_starts = 0;
+};
+
+/** Shared rig: a cluster serving one autoscaled inference function. */
+struct Rig {
+  std::unique_ptr<cluster::ClusterRuntime> rt;
+  FunctionId fn = kInvalidFunction;
+
+  Rig(int nodes, std::uint64_t seed, const std::string& model,
+      int provisioned)
+  {
+    cluster::ClusterConfig cfg;
+    cfg.nodes = nodes;
+    cfg.seed = seed;
+    rt = std::make_unique<cluster::ClusterRuntime>(cfg);
+    core::FunctionSpec spec;
+    spec.model = model;
+    spec.type = TaskType::kInference;
+    fn = rt->Deploy(spec);
+    for (int i = 0; i < provisioned; ++i) {
+      rt->LaunchInference(fn, /*cold=*/false);
+    }
+    rt->EnableAutoscaler(fn, std::make_unique<scaling::DiluLazyScaler>());
+  }
+
+  ScenarioResult Finish(const std::string& name,
+                        const chaos::ChaosEngine& engine) const
+  {
+    const chaos::ChaosVerdict v = engine.Verdict();
+    const cluster::FunctionMetrics& m = rt->metrics().function(fn);
+    ScenarioResult r;
+    r.name = name;
+    r.faults = v.injected;
+    r.disruptive = v.disruptive;
+    r.recovered = v.recovered;
+    r.mean_ttr_s = v.mean_ttr_s;
+    r.max_ttr_s = v.max_ttr_s;
+    r.completed = m.completed;
+    r.dropped = m.dropped;
+    r.svr_percent = m.SvrPercent();
+    r.availability_percent = m.AvailabilityPercent();
+    r.recovery_cold_starts = m.recovery_cold_starts;
+    return r;
+  }
+};
+
+ScenarioResult
+RunGpuFailureSteady(bool quick, std::uint64_t seed)
+{
+  const TimeUs horizon = Sec(quick ? 90 : 180);
+  Rig rig(/*nodes=*/2, seed, "bert-base", /*provisioned=*/2);
+  rig.rt->AttachArrivals(
+      rig.fn,
+      std::make_unique<workload::PoissonArrivals>(40.0, Rng(seed + 1)),
+      horizon);
+
+  chaos::ScenarioSpec spec("gpu_failure_steady");
+  spec.FailGpu(Sec(30), 0).RecoverGpu(Sec(quick ? 60 : 120), 0);
+  chaos::ChaosEngine engine(rig.rt.get(), spec);
+  engine.Arm();
+  rig.rt->RunFor(horizon + Sec(5));
+  return rig.Finish(spec.name(), engine);
+}
+
+ScenarioResult
+RunNodeFailureBurst(bool quick, std::uint64_t seed)
+{
+  const int duration_s = quick ? 120 : 180;
+  Rig rig(/*nodes=*/3, seed, "resnet152", /*provisioned=*/2);
+  workload::BurstySpec bursty;
+  bursty.duration_s = duration_s;
+  bursty.base_rps = 80.0;
+  bursty.burst_scale = 1.6;
+  bursty.burst_len_s = 40;
+  bursty.burst_gap_s = 50;
+  rig.rt->AttachArrivals(
+      rig.fn,
+      std::make_unique<workload::EnvelopeArrivals>(
+          workload::BuildBurstyTrace(bursty), Rng(seed + 2)),
+      Sec(duration_s));
+
+  chaos::ScenarioSpec spec("node_failure_burst");
+  spec.FailNode(Sec(60), 0).RecoverNode(Sec(quick ? 90 : 130), 0);
+  chaos::ChaosEngine engine(rig.rt.get(), spec);
+  engine.Arm();
+  rig.rt->RunFor(Sec(duration_s + 5));
+  return rig.Finish(spec.name(), engine);
+}
+
+ScenarioResult
+RunDrainMaintenance(bool quick, std::uint64_t seed)
+{
+  const TimeUs horizon = Sec(quick ? 90 : 150);
+  Rig rig(/*nodes=*/2, seed, "roberta-large", /*provisioned=*/2);
+  rig.rt->AttachArrivals(
+      rig.fn,
+      std::make_unique<workload::PoissonArrivals>(30.0, Rng(seed + 3)),
+      horizon);
+
+  chaos::ScenarioSpec spec("drain_maintenance");
+  spec.DrainNode(Sec(40), 0).UndrainNode(Sec(quick ? 70 : 100), 0);
+  chaos::ChaosEngine engine(rig.rt.get(), spec);
+  engine.Arm();
+  rig.rt->RunFor(horizon + Sec(5));
+  return rig.Finish(spec.name(), engine);
+}
+
+ScenarioResult
+RunColdstartInflationSurge(bool quick, std::uint64_t seed)
+{
+  const TimeUs horizon = Sec(quick ? 100 : 160);
+  Rig rig(/*nodes=*/2, seed, "bert-base", /*provisioned=*/1);
+  const double base_rps =
+      rig.rt->function(rig.fn).spec.per_instance_rps * 0.8;
+  rig.rt->AttachArrivals(
+      rig.fn,
+      std::make_unique<workload::PoissonArrivals>(base_rps,
+                                                  Rng(seed + 4)),
+      horizon);
+
+  // The surge forces scale-out launches that pay 3x cold starts; a GPU
+  // failure inside the window stacks a recovery launch on top.
+  chaos::ScenarioSpec spec("coldstart_inflation_surge");
+  spec.InflateColdStarts(Sec(20), 3.0, Sec(quick ? 60 : 100))
+      .Surge(Sec(25), rig.fn, base_rps * 1.5, Sec(quick ? 40 : 70))
+      .FailGpu(Sec(35), 0);
+  chaos::ChaosEngine engine(rig.rt.get(), spec);
+  engine.Arm();
+  rig.rt->RunFor(horizon + Sec(5));
+  return rig.Finish(spec.name(), engine);
+}
+
+void
+WriteJson(std::FILE* out, const std::vector<ScenarioResult>& results,
+          bool quick, std::uint64_t seed)
+{
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"schema\": \"dilu-chaos-bench/1\",\n");
+  std::fprintf(out, "  \"seed\": %llu,\n",
+               static_cast<unsigned long long>(seed));
+  std::fprintf(out, "  \"quick\": %s,\n", quick ? "true" : "false");
+  std::fprintf(out, "  \"scenarios\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const ScenarioResult& r = results[i];
+    std::fprintf(
+        out,
+        "    {\"name\": \"%s\", \"faults\": %d, \"disruptive\": %d, "
+        "\"recovered\": %d, \"mean_ttr_s\": %.3f, \"max_ttr_s\": %.3f, "
+        "\"completed\": %lld, \"dropped\": %lld, "
+        "\"svr_percent\": %.3f, \"availability_percent\": %.3f, "
+        "\"recovery_cold_starts\": %d}%s\n",
+        r.name.c_str(), r.faults, r.disruptive, r.recovered, r.mean_ttr_s,
+        r.max_ttr_s, static_cast<long long>(r.completed),
+        static_cast<long long>(r.dropped), r.svr_percent,
+        r.availability_percent, r.recovery_cold_starts,
+        i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+  bool quick = false;
+  std::uint64_t seed = 1;
+  const char* out_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      seed = static_cast<std::uint64_t>(std::strtoull(argv[++i], nullptr,
+                                                      10));
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick] [--seed N] [--out FILE]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  std::vector<ScenarioResult> results;
+  results.push_back(RunGpuFailureSteady(quick, seed));
+  results.push_back(RunNodeFailureBurst(quick, seed));
+  results.push_back(RunDrainMaintenance(quick, seed));
+  results.push_back(RunColdstartInflationSurge(quick, seed));
+  for (const ScenarioResult& r : results) {
+    std::fprintf(stderr,
+                 "%-28s faults=%d recovered=%d/%d ttr=%.1fs svr=%.2f%% "
+                 "drops=%lld avail=%.2f%%\n",
+                 r.name.c_str(), r.faults, r.recovered, r.disruptive,
+                 r.mean_ttr_s, r.svr_percent,
+                 static_cast<long long>(r.dropped),
+                 r.availability_percent);
+  }
+
+  if (out_path != nullptr) {
+    std::FILE* f = std::fopen(out_path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", out_path);
+      return 1;
+    }
+    WriteJson(f, results, quick, seed);
+    std::fclose(f);
+    std::fprintf(stderr, "wrote %s\n", out_path);
+  } else {
+    WriteJson(stdout, results, quick, seed);
+  }
+  return 0;
+}

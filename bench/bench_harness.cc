@@ -21,6 +21,10 @@
  *
  * Flags:
  *  --quick      fewer repetitions (CI smoke; timing still reported)
+ *  --seed N     workload seed for the scheduler suites, echoed into the
+ *               JSON so runs are reproducible and diffable across
+ *               machines (0 = the historical per-suite seeds, keeping
+ *               BENCH_*.json trajectories comparable)
  *  --out FILE   write the JSON report to FILE instead of stdout
  *
  * Each suite runs `reps` times and reports the best (minimum) wall
@@ -30,6 +34,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -164,13 +169,24 @@ BenchResult BenchTokenTick(bool quick)
 
 // --- scheduler suites -------------------------------------------------
 
-BenchResult BenchSchedMicro(bool quick)
+/**
+ * Per-suite workload seed: 0 keeps the historical constants (42/9/7),
+ * so default runs stay diffable against existing BENCH_*.json files;
+ * a user seed derives distinct per-suite streams from one number.
+ */
+std::uint64_t SuiteSeed(std::uint64_t seed, std::uint64_t legacy,
+                        std::uint64_t index)
+{
+  return seed == 0 ? legacy : seed + index;
+}
+
+BenchResult BenchSchedMicro(bool quick, std::uint64_t seed)
 {
   const int reps = quick ? 2 : 5;
   return RunBench("sched_micro_3200", 3200, reps, [&] {
     scheduler::ClusterState cs = bench::MakeFig17Cluster();
     scheduler::DiluScheduler sched;
-    Rng rng(9);
+    Rng rng(SuiteSeed(seed, 9, 1));
     for (InstanceId id = 0; id < 3200; ++id) {
       scheduler::PlacementRequest req;
       req.function = id % 200;
@@ -187,11 +203,11 @@ BenchResult BenchSchedMicro(bool quick)
   });
 }
 
-BenchResult BenchFig17Placement(bool quick)
+BenchResult BenchFig17Placement(bool quick, std::uint64_t seed)
 {
   const int reps = quick ? 2 : 5;
   return RunBench("fig17_placement", 3200, reps, [&] {
-    Rng rng(42);
+    Rng rng(SuiteSeed(seed, 42, 2));
     scheduler::ClusterState state = bench::MakeFig17Cluster();
     scheduler::DiluScheduler sched;
     for (InstanceId id = 0; id < 3200; ++id) {
@@ -208,13 +224,13 @@ BenchResult BenchFig17Placement(bool quick)
   });
 }
 
-BenchResult BenchFig17Churn(bool quick)
+BenchResult BenchFig17Churn(bool quick, std::uint64_t seed)
 {
   const int reps = quick ? 1 : 3;
   const int kSteps = 20;
   // ops = total arrivals across steps 0..20 (10 ramp + 11 churn).
   return RunBench("fig17_churn", 10 * 200 + 11 * 120, reps, [&] {
-    Rng rng(7);
+    Rng rng(SuiteSeed(seed, 7, 3));
     scheduler::ClusterState state = bench::MakeFig17Cluster();
     scheduler::DiluScheduler sched;
     std::vector<InstanceId> live;
@@ -258,11 +274,13 @@ std::string MachineString()
 }
 
 void WriteJson(std::FILE* out, const std::vector<BenchResult>& results,
-               bool quick)
+               bool quick, std::uint64_t seed)
 {
   std::fprintf(out, "{\n");
   std::fprintf(out, "  \"schema\": \"dilu-bench/1\",\n");
   std::fprintf(out, "  \"machine\": \"%s\",\n", MachineString().c_str());
+  std::fprintf(out, "  \"seed\": %llu,\n",
+               static_cast<unsigned long long>(seed));
 #ifdef NDEBUG
   std::fprintf(out, "  \"build\": \"Release\",\n");
 #else
@@ -288,14 +306,19 @@ int
 main(int argc, char** argv)
 {
   bool quick = false;
+  std::uint64_t seed = 0;
   const char* out_path = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
       quick = true;
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      seed = static_cast<std::uint64_t>(std::strtoull(argv[++i], nullptr,
+                                                      10));
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
     } else {
-      std::fprintf(stderr, "usage: %s [--quick] [--out FILE]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--quick] [--seed N] [--out FILE]\n",
+                   argv[0]);
       return 2;
     }
   }
@@ -304,9 +327,9 @@ main(int argc, char** argv)
   results.push_back(BenchEventScheduleFire(quick));
   results.push_back(BenchEventMixedCancel(quick));
   results.push_back(BenchTokenTick(quick));
-  results.push_back(BenchSchedMicro(quick));
-  results.push_back(BenchFig17Placement(quick));
-  results.push_back(BenchFig17Churn(quick));
+  results.push_back(BenchSchedMicro(quick, seed));
+  results.push_back(BenchFig17Placement(quick, seed));
+  results.push_back(BenchFig17Churn(quick, seed));
 
   if (out_path != nullptr) {
     std::FILE* f = std::fopen(out_path, "w");
@@ -314,11 +337,11 @@ main(int argc, char** argv)
       std::fprintf(stderr, "cannot open %s\n", out_path);
       return 1;
     }
-    WriteJson(f, results, quick);
+    WriteJson(f, results, quick, seed);
     std::fclose(f);
     std::fprintf(stderr, "wrote %s\n", out_path);
   } else {
-    WriteJson(stdout, results, quick);
+    WriteJson(stdout, results, quick, seed);
   }
   return 0;
 }

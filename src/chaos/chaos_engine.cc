@@ -1,0 +1,237 @@
+#include "chaos/chaos_engine.h"
+
+#include <algorithm>
+#include <string>
+
+#include "common/logging.h"
+#include "workload/arrival.h"
+
+namespace dilu::chaos {
+namespace {
+
+/** Recovery-watch poll cadence (coarse enough to stay cheap, fine
+ *  enough that TTR resolution is far below any real cold start). */
+constexpr TimeUs kWatchPeriod = Ms(500);
+
+std::string
+Describe(const ScenarioEvent& e)
+{
+  std::string d = ToString(e.kind);
+  if (e.target >= 0) d += " " + std::to_string(e.target);
+  if (e.kind == FaultKind::kTrafficSurge) {
+    d += " fn=" + std::to_string(e.function);
+  }
+  return d;
+}
+
+}  // namespace
+
+ChaosEngine::ChaosEngine(cluster::ClusterRuntime* runtime,
+                         ScenarioSpec spec)
+    : rt_(runtime), spec_(std::move(spec))
+{
+  DILU_CHECK(runtime != nullptr);
+}
+
+void
+ChaosEngine::Arm()
+{
+  if (armed_) return;
+  armed_ = true;
+  sorted_ = spec_.Sorted();
+  outcomes_.resize(sorted_.size());
+  for (std::size_t i = 0; i < sorted_.size(); ++i) {
+    outcomes_[i].event = sorted_[i];
+    if (sorted_[i].at < rt_->now()) {
+      DILU_WARN << "chaos event '" << Describe(sorted_[i])
+                << "' scheduled in the past; skipped";
+      continue;
+    }
+    rt_->simulation().queue().ScheduleAt(sorted_[i].at,
+                                         [this, i] { Inject(i); });
+  }
+}
+
+void
+ChaosEngine::Inject(std::size_t index)
+{
+  const ScenarioEvent& e = sorted_[index];
+  FaultOutcome& out = outcomes_[index];
+  out.injected = true;
+  // Snapshot service levels before the hit so recovery has a target.
+  if (IsDisruptive(e.kind)) BeginRecoveryWatch(index);
+
+  switch (e.kind) {
+    case FaultKind::kGpuFail:
+      out.displaced = rt_->FailGpu(e.target);
+      break;
+    case FaultKind::kGpuRecover:
+      rt_->RecoverGpu(e.target);
+      break;
+    case FaultKind::kNodeFail:
+      out.displaced = rt_->FailNode(e.target);
+      break;
+    case FaultKind::kNodeRecover:
+      rt_->RecoverNode(e.target);
+      break;
+    case FaultKind::kNodeDrain:
+      out.displaced = rt_->DrainNode(e.target);
+      break;
+    case FaultKind::kNodeUndrain:
+      rt_->UndrainNode(e.target);
+      break;
+    case FaultKind::kColdStartInflation: {
+      // Overlapping windows: the newest factor wins immediately, and
+      // an older window's end must not restore nominal mid-way through
+      // a newer window — only the newest epoch's end event resets.
+      rt_->set_coldstart_scale(e.magnitude);
+      rt_->metrics().RecordFault(rt_->now(), "coldstart_inflation",
+                                 "x" + std::to_string(e.magnitude));
+      const std::uint64_t epoch = ++inflation_epoch_;
+      rt_->simulation().queue().ScheduleAt(
+          rt_->now() + e.duration, [this, epoch] {
+            if (epoch != inflation_epoch_) return;  // superseded
+            rt_->set_coldstart_scale(1.0);
+            rt_->metrics().RecordFault(rt_->now(), "coldstart_nominal",
+                                       "inflation window over");
+          });
+      break;
+    }
+    case FaultKind::kTrafficSurge: {
+      // The surge's arrival stream derives its seed from the cluster
+      // seed and the event index: independent of every other stream,
+      // identical across replays.
+      Rng rng(rt_->config().seed * 7919
+              + static_cast<std::uint64_t>(index) * 104729 + 17);
+      rt_->AttachArrivals(
+          e.function,
+          std::make_unique<workload::PoissonArrivals>(e.magnitude, rng),
+          rt_->now() + e.duration);
+      rt_->metrics().RecordFault(
+          rt_->now(), "surge",
+          "fn=" + std::to_string(e.function) + " rps="
+              + std::to_string(e.magnitude));
+      break;
+    }
+  }
+
+  if (IsDisruptive(e.kind)) {
+    // Narrow the snapshot to what the fault actually hit, now that
+    // the kills/migrations for it have executed synchronously.
+    FocusWatchOnAffected();
+  } else {
+    // A non-displacing fault needs no healing: it is its own recovery.
+    out.recovered_at = rt_->now();
+  }
+}
+
+void
+ChaosEngine::BeginRecoveryWatch(std::size_t index)
+{
+  Watch w;
+  w.outcome = index;
+  for (FunctionId fn : rt_->DeployedFunctions()) {
+    const int running = rt_->gateway().RunningCount(fn);
+    if (running > 0) w.pre_running[fn] = running;
+    const auto& f = rt_->function(fn);
+    if (f.spec.type == TaskType::kTraining && f.job
+        && f.job_completed_at < 0) {
+      w.pre_training.push_back(fn);
+    }
+  }
+  watches_.push_back(std::move(w));
+  if (!watch_armed_) {
+    watch_armed_ = true;
+    watch_task_ = rt_->simulation().SchedulePeriodic(
+        rt_->now() + kWatchPeriod, kWatchPeriod, [this] { WatchTick(); });
+  }
+}
+
+void
+ChaosEngine::FocusWatchOnAffected()
+{
+  DILU_CHECK(!watches_.empty());
+  Watch& w = watches_.back();
+  // An inference function is affected iff the fault just cost it
+  // running capacity (kills and drain removals are synchronous).
+  // Keeping unaffected functions in the watch would let an unrelated
+  // autoscaler scale-in block heal detection forever.
+  for (auto it = w.pre_running.begin(); it != w.pre_running.end();) {
+    if (rt_->gateway().RunningCount(it->first) >= it->second) {
+      it = w.pre_running.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+bool
+ChaosEngine::TrainingHealed(FunctionId fn)
+{
+  const auto& f = rt_->function(fn);
+  if (f.job_completed_at >= 0) return true;  // finished meanwhile
+  if (!f.job || f.live_instances.empty()) return false;  // not re-placed
+  // Healed only once every restarted worker finished its cold start:
+  // TTR includes the recovery cold start for training too.
+  for (InstanceId id : f.live_instances) {
+    const runtime::Instance* inst = rt_->instance(id);
+    if (inst == nullptr || !inst->running()) return false;
+  }
+  return true;
+}
+
+void
+ChaosEngine::WatchTick()
+{
+  for (auto it = watches_.begin(); it != watches_.end();) {
+    bool healed = rt_->pending_recovery_count() == 0;
+    if (healed) {
+      for (const auto& [fn, pre] : it->pre_running) {
+        if (rt_->gateway().RunningCount(fn) < pre) {
+          healed = false;
+          break;
+        }
+      }
+    }
+    if (healed) {
+      for (FunctionId fn : it->pre_training) {
+        if (!TrainingHealed(fn)) {
+          healed = false;
+          break;
+        }
+      }
+    }
+    if (healed) {
+      outcomes_[it->outcome].recovered_at = rt_->now();
+      it = watches_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (watches_.empty() && watch_armed_) {
+    rt_->simulation().StopPeriodic(watch_task_);
+    watch_armed_ = false;
+  }
+}
+
+ChaosVerdict
+ChaosEngine::Verdict() const
+{
+  ChaosVerdict v;
+  double ttr_sum_s = 0.0;
+  for (const FaultOutcome& o : outcomes_) {
+    if (!o.injected) continue;
+    ++v.injected;
+    if (!IsDisruptive(o.event.kind)) continue;
+    ++v.disruptive;
+    const TimeUs ttr = o.TimeToRecover();
+    if (ttr < 0) continue;
+    ++v.recovered;
+    ttr_sum_s += ToSec(ttr);
+    v.max_ttr_s = std::max(v.max_ttr_s, ToSec(ttr));
+  }
+  if (v.recovered > 0) v.mean_ttr_s = ttr_sum_s / v.recovered;
+  return v;
+}
+
+}  // namespace dilu::chaos

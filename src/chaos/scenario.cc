@@ -1,0 +1,376 @@
+#include "chaos/scenario.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+
+namespace dilu::chaos {
+
+const char*
+ToString(FaultKind kind)
+{
+  switch (kind) {
+    case FaultKind::kGpuFail: return "fail_gpu";
+    case FaultKind::kGpuRecover: return "recover_gpu";
+    case FaultKind::kNodeFail: return "fail_node";
+    case FaultKind::kNodeRecover: return "recover_node";
+    case FaultKind::kNodeDrain: return "drain_node";
+    case FaultKind::kNodeUndrain: return "undrain_node";
+    case FaultKind::kColdStartInflation: return "inflate_coldstart";
+    case FaultKind::kTrafficSurge: return "surge";
+  }
+  return "?";
+}
+
+bool
+IsDisruptive(FaultKind kind)
+{
+  switch (kind) {
+    case FaultKind::kGpuFail:
+    case FaultKind::kNodeFail:
+    case FaultKind::kNodeDrain:
+      return true;
+    default:
+      return false;
+  }
+}
+
+ScenarioSpec&
+ScenarioSpec::FailGpu(TimeUs at, GpuId gpu)
+{
+  ScenarioEvent e;
+  e.at = at;
+  e.kind = FaultKind::kGpuFail;
+  e.target = gpu;
+  events_.push_back(e);
+  return *this;
+}
+
+ScenarioSpec&
+ScenarioSpec::RecoverGpu(TimeUs at, GpuId gpu)
+{
+  ScenarioEvent e;
+  e.at = at;
+  e.kind = FaultKind::kGpuRecover;
+  e.target = gpu;
+  events_.push_back(e);
+  return *this;
+}
+
+ScenarioSpec&
+ScenarioSpec::FailNode(TimeUs at, NodeId node)
+{
+  ScenarioEvent e;
+  e.at = at;
+  e.kind = FaultKind::kNodeFail;
+  e.target = node;
+  events_.push_back(e);
+  return *this;
+}
+
+ScenarioSpec&
+ScenarioSpec::RecoverNode(TimeUs at, NodeId node)
+{
+  ScenarioEvent e;
+  e.at = at;
+  e.kind = FaultKind::kNodeRecover;
+  e.target = node;
+  events_.push_back(e);
+  return *this;
+}
+
+ScenarioSpec&
+ScenarioSpec::DrainNode(TimeUs at, NodeId node)
+{
+  ScenarioEvent e;
+  e.at = at;
+  e.kind = FaultKind::kNodeDrain;
+  e.target = node;
+  events_.push_back(e);
+  return *this;
+}
+
+ScenarioSpec&
+ScenarioSpec::UndrainNode(TimeUs at, NodeId node)
+{
+  ScenarioEvent e;
+  e.at = at;
+  e.kind = FaultKind::kNodeUndrain;
+  e.target = node;
+  events_.push_back(e);
+  return *this;
+}
+
+ScenarioSpec&
+ScenarioSpec::InflateColdStarts(TimeUs at, double factor, TimeUs duration)
+{
+  ScenarioEvent e;
+  e.at = at;
+  e.kind = FaultKind::kColdStartInflation;
+  e.magnitude = factor;
+  e.duration = duration;
+  events_.push_back(e);
+  return *this;
+}
+
+ScenarioSpec&
+ScenarioSpec::Surge(TimeUs at, FunctionId fn, double extra_rps,
+                    TimeUs duration)
+{
+  ScenarioEvent e;
+  e.at = at;
+  e.kind = FaultKind::kTrafficSurge;
+  e.function = fn;
+  e.magnitude = extra_rps;
+  e.duration = duration;
+  events_.push_back(e);
+  return *this;
+}
+
+std::vector<ScenarioEvent>
+ScenarioSpec::Sorted() const
+{
+  std::vector<ScenarioEvent> sorted = events_;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const ScenarioEvent& a, const ScenarioEvent& b) {
+                     return a.at < b.at;
+                   });
+  return sorted;
+}
+
+namespace {
+
+/** Render a time with the densest exact suffix (1500000 -> "1500ms"). */
+std::string
+FormatTime(TimeUs t)
+{
+  if (t % Sec(1) == 0) return std::to_string(t / Sec(1)) + "s";
+  if (t % Ms(1) == 0) return std::to_string(t / Ms(1)) + "ms";
+  return std::to_string(t) + "us";
+}
+
+/** Render a double without trailing zeros ("2.5", "80"). */
+std::string
+FormatMagnitude(double v)
+{
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+/** Parse "<int><us|ms|s>" into TimeUs. */
+bool
+ParseTime(const std::string& tok, TimeUs* out)
+{
+  std::size_t i = 0;
+  while (i < tok.size()
+         && (std::isdigit(static_cast<unsigned char>(tok[i])) != 0)) {
+    ++i;
+  }
+  if (i == 0 || i == tok.size()) return false;
+  const std::string digits = tok.substr(0, i);
+  const std::string suffix = tok.substr(i);
+  TimeUs value = 0;
+  try {
+    value = static_cast<TimeUs>(std::stoll(digits));
+  } catch (...) {
+    return false;
+  }
+  if (suffix == "us") {
+    *out = Us(value);
+  } else if (suffix == "ms") {
+    *out = Ms(value);
+  } else if (suffix == "s") {
+    *out = Sec(value);
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool
+ParseInt(const std::string& tok, std::int32_t* out)
+{
+  try {
+    std::size_t used = 0;
+    const long v = std::stol(tok, &used);
+    if (used != tok.size()) return false;
+    *out = static_cast<std::int32_t>(v);
+  } catch (...) {
+    return false;
+  }
+  return true;
+}
+
+bool
+ParseDouble(const std::string& tok, double* out)
+{
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(tok, &used);
+    if (used != tok.size()) return false;
+    *out = v;
+  } catch (...) {
+    return false;
+  }
+  return true;
+}
+
+/** Strip "prefix" ("fn=", "rps=", "x") from `tok`; empty on mismatch. */
+std::string
+StripPrefix(const std::string& tok, const std::string& prefix)
+{
+  if (tok.size() <= prefix.size()
+      || tok.compare(0, prefix.size(), prefix) != 0) {
+    return "";
+  }
+  return tok.substr(prefix.size());
+}
+
+bool
+Fail(std::string* error, int line, const std::string& msg)
+{
+  if (error != nullptr) {
+    *error = "line " + std::to_string(line) + ": " + msg;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string
+ScenarioSpec::ToText() const
+{
+  std::ostringstream out;
+  out << "scenario " << (name_.empty() ? "unnamed" : name_) << "\n";
+  for (const ScenarioEvent& e : events_) {
+    out << "at " << FormatTime(e.at) << " " << ToString(e.kind);
+    switch (e.kind) {
+      case FaultKind::kGpuFail:
+      case FaultKind::kGpuRecover:
+      case FaultKind::kNodeFail:
+      case FaultKind::kNodeRecover:
+      case FaultKind::kNodeDrain:
+      case FaultKind::kNodeUndrain:
+        out << " " << e.target;
+        break;
+      case FaultKind::kColdStartInflation:
+        out << " x" << FormatMagnitude(e.magnitude) << " for "
+            << FormatTime(e.duration);
+        break;
+      case FaultKind::kTrafficSurge:
+        out << " fn=" << e.function << " rps="
+            << FormatMagnitude(e.magnitude) << " for "
+            << FormatTime(e.duration);
+        break;
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+bool
+ScenarioSpec::Parse(const std::string& text, ScenarioSpec* out,
+                    std::string* error)
+{
+  ScenarioSpec spec;
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::istringstream toks(line);
+    std::string tok;
+    if (!(toks >> tok) || tok[0] == '#') continue;  // blank / comment
+    if (tok == "scenario") {
+      std::string name;
+      if (!(toks >> name)) {
+        return Fail(error, line_no, "scenario needs a name");
+      }
+      spec.set_name(name);
+      continue;
+    }
+    if (tok != "at") {
+      return Fail(error, line_no, "expected 'at <time> <verb> ...'");
+    }
+    std::string time_tok;
+    std::string verb;
+    if (!(toks >> time_tok >> verb)) {
+      return Fail(error, line_no, "expected 'at <time> <verb> ...'");
+    }
+    TimeUs at = 0;
+    if (!ParseTime(time_tok, &at)) {
+      return Fail(error, line_no,
+                  "bad time '" + time_tok + "' (want <int>us|ms|s)");
+    }
+
+    const auto parse_target = [&](std::int32_t* target) {
+      std::string t;
+      return (toks >> t) && ParseInt(t, target) && *target >= 0;
+    };
+    const auto parse_window = [&](TimeUs* dur) {
+      std::string kw;
+      std::string t;
+      return (toks >> kw >> t) && kw == "for" && ParseTime(t, dur);
+    };
+
+    std::int32_t target = -1;
+    if (verb == "fail_gpu" || verb == "recover_gpu" || verb == "fail_node"
+        || verb == "recover_node" || verb == "drain_node"
+        || verb == "undrain_node") {
+      if (!parse_target(&target)) {
+        return Fail(error, line_no, verb + " needs a non-negative id");
+      }
+      if (verb == "fail_gpu") spec.FailGpu(at, target);
+      if (verb == "recover_gpu") spec.RecoverGpu(at, target);
+      if (verb == "fail_node") spec.FailNode(at, target);
+      if (verb == "recover_node") spec.RecoverNode(at, target);
+      if (verb == "drain_node") spec.DrainNode(at, target);
+      if (verb == "undrain_node") spec.UndrainNode(at, target);
+    } else if (verb == "inflate_coldstart") {
+      std::string factor_tok;
+      double factor = 0.0;
+      TimeUs dur = 0;
+      if (!(toks >> factor_tok)
+          || !ParseDouble(StripPrefix(factor_tok, "x"), &factor)
+          || factor <= 0.0) {
+        return Fail(error, line_no,
+                    "inflate_coldstart needs x<factor> (e.g. x2.5)");
+      }
+      if (!parse_window(&dur)) {
+        return Fail(error, line_no,
+                    "inflate_coldstart needs 'for <time>'");
+      }
+      spec.InflateColdStarts(at, factor, dur);
+    } else if (verb == "surge") {
+      std::string fn_tok;
+      std::string rps_tok;
+      std::int32_t fn = -1;
+      double rps = 0.0;
+      TimeUs dur = 0;
+      if (!(toks >> fn_tok >> rps_tok)
+          || !ParseInt(StripPrefix(fn_tok, "fn="), &fn) || fn < 0
+          || !ParseDouble(StripPrefix(rps_tok, "rps="), &rps)
+          || rps <= 0.0) {
+        return Fail(error, line_no,
+                    "surge needs fn=<id> rps=<rate> (both positive)");
+      }
+      if (!parse_window(&dur)) {
+        return Fail(error, line_no, "surge needs 'for <time>'");
+      }
+      spec.Surge(at, fn, rps, dur);
+    } else {
+      return Fail(error, line_no, "unknown verb '" + verb + "'");
+    }
+    // Reject trailing garbage so typos fail loudly.
+    std::string rest;
+    if (toks >> rest) {
+      return Fail(error, line_no, "unexpected trailing '" + rest + "'");
+    }
+  }
+  if (out != nullptr) *out = std::move(spec);
+  return true;
+}
+
+}  // namespace dilu::chaos

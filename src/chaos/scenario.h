@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Declarative chaos scenarios: what goes wrong, and when.
+ *
+ * A ScenarioSpec is an ordered list of timed fault / recovery / load
+ * events built either through the fluent builder API or parsed from the
+ * scenario text format (one event per line — see Parse). The spec is
+ * pure data: arming it against a running cluster is the ChaosEngine's
+ * job, which keeps scenarios serializable, diffable and replayable.
+ *
+ * Determinism: a spec carries no randomness. Every stochastic element
+ * of a chaos run (surge arrival gaps) draws from Rngs seeded from the
+ * cluster seed and the event index, so the same spec + seed replays
+ * bit-for-bit (the guarantee tests/chaos_test.cc locks in).
+ */
+#ifndef DILU_CHAOS_SCENARIO_H_
+#define DILU_CHAOS_SCENARIO_H_
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace dilu::chaos {
+
+/** What kind of perturbation an event injects. */
+enum class FaultKind {
+  kGpuFail,
+  kGpuRecover,
+  kNodeFail,
+  kNodeRecover,
+  kNodeDrain,
+  kNodeUndrain,
+  kColdStartInflation,  ///< scale cold-start durations for a window
+  kTrafficSurge,        ///< extra Poisson arrivals for a window
+};
+
+/** Scenario-format verb for `kind` (e.g. "fail_node"). */
+const char* ToString(FaultKind kind);
+
+/** True for events that displace instances (TTR is measured for them). */
+bool IsDisruptive(FaultKind kind);
+
+/** One timed event in a scenario. */
+struct ScenarioEvent {
+  TimeUs at = 0;
+  FaultKind kind = FaultKind::kGpuFail;
+  /** GPU or node id for targeted kinds; unused otherwise. */
+  std::int32_t target = -1;
+  /** Surge target function. */
+  FunctionId function = kInvalidFunction;
+  /** Cold-start factor (kColdStartInflation) or extra RPS (surge). */
+  double magnitude = 0.0;
+  /** Window length for inflation / surge. */
+  TimeUs duration = 0;
+};
+
+/** A named, ordered chaos scenario. */
+class ScenarioSpec {
+ public:
+  ScenarioSpec() = default;
+  explicit ScenarioSpec(std::string name) : name_(std::move(name)) {}
+
+  // --- builder API (chainable) ----------------------------------------
+  ScenarioSpec& FailGpu(TimeUs at, GpuId gpu);
+  ScenarioSpec& RecoverGpu(TimeUs at, GpuId gpu);
+  ScenarioSpec& FailNode(TimeUs at, NodeId node);
+  ScenarioSpec& RecoverNode(TimeUs at, NodeId node);
+  ScenarioSpec& DrainNode(TimeUs at, NodeId node);
+  ScenarioSpec& UndrainNode(TimeUs at, NodeId node);
+  ScenarioSpec& InflateColdStarts(TimeUs at, double factor,
+                                  TimeUs duration);
+  ScenarioSpec& Surge(TimeUs at, FunctionId fn, double extra_rps,
+                      TimeUs duration);
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+  const std::vector<ScenarioEvent>& events() const { return events_; }
+  bool empty() const { return events_.empty(); }
+
+  /**
+   * Events ordered by injection time (stable: ties keep insertion
+   * order, so a spec is replayed exactly as authored).
+   */
+  std::vector<ScenarioEvent> Sorted() const;
+
+  /**
+   * Serialize to the scenario text format:
+   *
+   *   # optional comment / blank lines
+   *   scenario <name>
+   *   at 10s fail_node 1
+   *   at 12s surge fn=0 rps=80 for 20s
+   *   at 30s inflate_coldstart x2.5 for 60s
+   *   at 40s recover_node 1
+   *
+   * Times take a us / ms / s suffix. ToText/Parse round-trip.
+   */
+  std::string ToText() const;
+
+  /**
+   * Parse the text format. On failure returns false and leaves a
+   * line-numbered message in `*error` (when non-null); `*out` is only
+   * written on success.
+   */
+  static bool Parse(const std::string& text, ScenarioSpec* out,
+                    std::string* error);
+
+ private:
+  std::string name_;
+  std::vector<ScenarioEvent> events_;
+};
+
+}  // namespace dilu::chaos
+
+#endif  // DILU_CHAOS_SCENARIO_H_

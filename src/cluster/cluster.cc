@@ -61,6 +61,7 @@ ClusterRuntime::ClusterRuntime(ClusterConfig config)
   gpu_group_ = std::make_unique<gpusim::GpuGroup>(
       &sim_, MakeArbiterFactory(config_));
   scheduler_ = MakeScheduler(config_);
+  gateway_.set_metrics(&metrics_);
   for (int n = 0; n < config_.nodes; ++n) {
     Node node;
     node.id = n;
@@ -229,8 +230,9 @@ ClusterRuntime::LaunchInferenceOn(FunctionId fn,
   const InstanceId id = NextInstanceId();
   const TimeUs cold_duration = !cold
       ? 0
-      : (config_.warm_starts ? config_.coldstart.WarmDuration(*f.model)
-                             : config_.coldstart.Duration(*f.model));
+      : ScaledColdStart(config_.warm_starts
+                            ? config_.coldstart.WarmDuration(*f.model)
+                            : config_.coldstart.Duration(*f.model));
   const TimeUs overhead =
       config_.sharing == "fastgs" ? config_.fastgs_overhead : 0;
 
@@ -250,7 +252,14 @@ ClusterRuntime::LaunchInferenceOn(FunctionId fn,
                inf_priority);
   gateway_.AddInstance(fn, inst.get());
   inst->BeginColdStart(cold_duration);
-  if (cold) metrics_.RecordColdStart(fn);
+  if (cold) {
+    if (recovery_launch_) {
+      metrics_.RecordRecoveryColdStart(fn);
+      if (f.policy) f.policy->OnRecoveryLaunch();
+    } else {
+      metrics_.RecordColdStart(fn);
+    }
+  }
 
   InstanceRecord rec;
   rec.function = fn;
@@ -344,7 +353,7 @@ ClusterRuntime::StartTrainingOn(FunctionId fn,
   });
 
   const TimeUs cold_duration =
-      cold ? config_.coldstart.Duration(*f.model) : 0;
+      cold ? ScaledColdStart(config_.coldstart.Duration(*f.model)) : 0;
   for (int w = 0; w < workers; ++w) {
     const InstanceId id = NextInstanceId();
     auto worker = f.job->MakeWorker(id, w);
@@ -353,7 +362,13 @@ ClusterRuntime::StartTrainingOn(FunctionId fn,
     AttachShards(worker.get(), f, {gpus[static_cast<std::size_t>(w)]},
                  mode_quota, static_share, mem, train_priority);
     worker->BeginColdStart(cold_duration);
-    if (cold) metrics_.RecordColdStart(fn);
+    if (cold) {
+      if (recovery_launch_) {
+        metrics_.RecordRecoveryColdStart(fn);
+      } else {
+        metrics_.RecordColdStart(fn);
+      }
+    }
 
     InstanceRecord rec;
     rec.function = fn;
@@ -479,6 +494,7 @@ ClusterRuntime::SampleCluster()
     }
   }
   s.avg_utilization = active == 0 ? 0.0 : util / active;
+  s.schedulable_gpus = state_.SchedulableGpuCount();
   metrics_.AddSample(s);
   max_active_gpus_ = std::max(max_active_gpus_, s.active_gpus);
 }
@@ -487,6 +503,284 @@ void
 ClusterRuntime::RunFor(TimeUs duration)
 {
   sim_.RunFor(duration);
+}
+
+// --- fault injection & recovery ---------------------------------------
+
+TimeUs
+ClusterRuntime::ScaledColdStart(TimeUs base) const
+{
+  if (coldstart_scale_ == 1.0) return base;
+  return static_cast<TimeUs>(static_cast<double>(base)
+                             * coldstart_scale_);
+}
+
+void
+ClusterRuntime::set_coldstart_scale(double scale)
+{
+  DILU_CHECK(scale > 0.0);
+  coldstart_scale_ = scale;
+}
+
+GpuHealth
+ClusterRuntime::gpu_health(GpuId gpu) const
+{
+  return state_.health(gpu);
+}
+
+const Node&
+ClusterRuntime::node(NodeId id) const
+{
+  DILU_CHECK(id >= 0 && static_cast<std::size_t>(id) < nodes_.size());
+  return nodes_[static_cast<std::size_t>(id)];
+}
+
+void
+ClusterRuntime::KillInstance(InstanceId id,
+                             std::vector<workload::Request*>* orphans)
+{
+  auto it = instances_.find(id);
+  if (it == instances_.end() || it->second.released) return;
+  InstanceRecord& rec = it->second;
+  DeployedFunction& f = function(rec.function);
+  DILU_CHECK(f.spec.type == TaskType::kInference);
+  auto* inst =
+      dynamic_cast<runtime::InferenceInstance*>(rec.instance.get());
+  DILU_CHECK(inst != nullptr);
+  // Surrender queued + in-flight work unfinished, then tear down.
+  inst->FailAndDrain(orphans);
+  gateway_.RemoveInstance(f.id, id);
+  ReleaseInstance(id);
+  f.live_instances.erase(std::remove(f.live_instances.begin(),
+                                     f.live_instances.end(), id),
+                         f.live_instances.end());
+}
+
+void
+ClusterRuntime::AbortTraining(DeployedFunction& f)
+{
+  if (!f.job) return;
+  f.job->Abort();
+  // A pending communication-phase event may still hold the job pointer:
+  // park the object instead of destroying it (see retired_jobs_).
+  retired_jobs_.push_back(std::move(f.job));
+  for (InstanceId id : f.live_instances) ReleaseInstance(id);
+  f.live_instances.clear();
+}
+
+bool
+ClusterRuntime::LaunchRecovery(FunctionId fn)
+{
+  DeployedFunction& f = function(fn);
+  if (f.spec.type == TaskType::kTraining) {
+    // Already healed by an earlier retry (or completed meanwhile).
+    if (f.job_completed_at >= 0) return true;
+    if (f.job && !f.live_instances.empty()) return true;
+    recovery_launch_ = true;
+    const bool ok = StartTraining(fn, /*cold=*/true);
+    recovery_launch_ = false;
+    return ok;
+  }
+  recovery_launch_ = true;
+  const bool ok = LaunchInference(fn, /*cold=*/true) != kInvalidInstance;
+  recovery_launch_ = false;
+  return ok;
+}
+
+void
+ClusterRuntime::DeferRecovery(FunctionId fn)
+{
+  pending_recovery_.push_back(fn);
+  if (!recovery_task_armed_) {
+    recovery_task_armed_ = true;
+    recovery_task_ = sim_.SchedulePeriodic(
+        sim_.now() + Sec(1), Sec(1), [this] { RetryPendingRecoveries(); });
+  }
+}
+
+void
+ClusterRuntime::RetryPendingRecoveries()
+{
+  const std::size_t n = pending_recovery_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const FunctionId fn = pending_recovery_.front();
+    pending_recovery_.pop_front();
+    if (!LaunchRecovery(fn)) pending_recovery_.push_back(fn);
+  }
+  if (pending_recovery_.empty() && recovery_task_armed_) {
+    sim_.StopPeriodic(recovery_task_);
+    recovery_task_armed_ = false;
+  }
+}
+
+int
+ClusterRuntime::FailGpus(const std::vector<GpuId>& gpus, const char* kind,
+                         const std::string& target)
+{
+  // Mark every device down before any teardown so recovery placements
+  // triggered below can never land on a GPU failing in the same event.
+  std::vector<GpuId> newly_down;
+  for (GpuId g : gpus) {
+    if (state_.health(g) == GpuHealth::kDown) continue;
+    state_.SetHealth(g, GpuHealth::kDown);
+    newly_down.push_back(g);
+  }
+  if (newly_down.empty()) return 0;
+
+  std::vector<InstanceId> victims;
+  for (GpuId g : newly_down) {
+    for (const gpusim::Attachment& att : gpu_group_->gpu(g).attachments()) {
+      victims.push_back(att.id);
+    }
+  }
+  std::sort(victims.begin(), victims.end());
+  victims.erase(std::unique(victims.begin(), victims.end()),
+                victims.end());
+
+  int displaced = 0;
+  std::vector<FunctionId> needs;  // one entry per replacement to launch
+  std::vector<workload::Request*> orphans;
+  for (InstanceId id : victims) {
+    auto it = instances_.find(id);
+    // Already gone: released earlier, or a sibling worker's job abort
+    // cascaded through this one.
+    if (it == instances_.end() || it->second.released) continue;
+    const FunctionId fn = it->second.function;
+    DeployedFunction& f = function(fn);
+    ++displaced;
+    if (f.spec.type == TaskType::kInference) {
+      KillInstance(id, &orphans);
+    } else {
+      AbortTraining(f);  // lockstep: one lost worker fails the job
+    }
+    needs.push_back(fn);
+  }
+  metrics_.RecordFault(sim_.now(), kind,
+                       target + " displaced="
+                           + std::to_string(displaced));
+  for (FunctionId fn : needs) {
+    if (!LaunchRecovery(fn)) DeferRecovery(fn);
+  }
+  // Re-dispatch the surrendered requests only now, after replacements
+  // exist: when the fault killed a function's last instance, its queue
+  // re-homes behind the recovery cold start instead of dropping.
+  for (workload::Request* r : orphans) gateway_.Redispatch(r);
+  return displaced;
+}
+
+int
+ClusterRuntime::FailGpu(GpuId gpu)
+{
+  return FailGpus({gpu}, "gpu_fail", "gpu=" + std::to_string(gpu));
+}
+
+void
+ClusterRuntime::RecoverGpu(GpuId gpu)
+{
+  if (state_.health(gpu) != GpuHealth::kDown) return;
+  state_.SetHealth(gpu, GpuHealth::kUp);
+  metrics_.RecordFault(sim_.now(), "gpu_recover",
+                       "gpu=" + std::to_string(gpu));
+  if (!pending_recovery_.empty()) RetryPendingRecoveries();
+}
+
+int
+ClusterRuntime::FailNode(NodeId node_id)
+{
+  DILU_CHECK(node_id >= 0
+             && static_cast<std::size_t>(node_id) < nodes_.size());
+  Node& n = nodes_[static_cast<std::size_t>(node_id)];
+  n.health = GpuHealth::kDown;
+  return FailGpus(n.gpus, "node_fail",
+                  "node=" + std::to_string(node_id));
+}
+
+void
+ClusterRuntime::RecoverNode(NodeId node_id)
+{
+  DILU_CHECK(node_id >= 0
+             && static_cast<std::size_t>(node_id) < nodes_.size());
+  Node& n = nodes_[static_cast<std::size_t>(node_id)];
+  if (n.health == GpuHealth::kUp) return;
+  n.health = GpuHealth::kUp;
+  for (GpuId g : n.gpus) {
+    if (state_.health(g) != GpuHealth::kUp) {
+      state_.SetHealth(g, GpuHealth::kUp);
+    }
+  }
+  metrics_.RecordFault(sim_.now(), "node_recover",
+                       "node=" + std::to_string(node_id));
+  if (!pending_recovery_.empty()) RetryPendingRecoveries();
+}
+
+int
+ClusterRuntime::DrainNode(NodeId node_id)
+{
+  DILU_CHECK(node_id >= 0
+             && static_cast<std::size_t>(node_id) < nodes_.size());
+  Node& n = nodes_[static_cast<std::size_t>(node_id)];
+  for (GpuId g : n.gpus) {
+    if (state_.health(g) == GpuHealth::kUp) {
+      state_.SetHealth(g, GpuHealth::kDraining);
+    }
+  }
+  n.health = GpuHealth::kDraining;
+
+  std::vector<InstanceId> residents;
+  for (GpuId g : n.gpus) {
+    for (const gpusim::Attachment& att : gpu_group_->gpu(g).attachments()) {
+      residents.push_back(att.id);
+    }
+  }
+  std::sort(residents.begin(), residents.end());
+  residents.erase(std::unique(residents.begin(), residents.end()),
+                  residents.end());
+
+  int migrated = 0;
+  for (InstanceId id : residents) {
+    auto it = instances_.find(id);
+    if (it == instances_.end() || it->second.released) continue;
+    const FunctionId fn = it->second.function;
+    DeployedFunction& f = function(fn);
+    // Training workers are not migrated: the drain only blocks new
+    // placements; lockstep jobs run to completion where they are.
+    if (f.spec.type != TaskType::kInference) continue;
+    // Replacement first, then graceful removal — the function never
+    // loses capacity it had. If no replacement fits, the instance
+    // stays put (best-effort drain).
+    recovery_launch_ = true;
+    const InstanceId repl = LaunchInference(fn, /*cold=*/true);
+    recovery_launch_ = false;
+    if (repl == kInvalidInstance) continue;
+    gateway_.RemoveInstance(fn, id);  // re-homes its queued requests
+    ReleaseInstance(id);              // in-flight batch flushes
+    f.live_instances.erase(std::remove(f.live_instances.begin(),
+                                       f.live_instances.end(), id),
+                           f.live_instances.end());
+    ++migrated;
+  }
+  metrics_.RecordFault(sim_.now(), "node_drain",
+                       "node=" + std::to_string(node_id) + " migrated="
+                           + std::to_string(migrated));
+  return migrated;
+}
+
+void
+ClusterRuntime::UndrainNode(NodeId node_id)
+{
+  DILU_CHECK(node_id >= 0
+             && static_cast<std::size_t>(node_id) < nodes_.size());
+  Node& n = nodes_[static_cast<std::size_t>(node_id)];
+  if (n.health != GpuHealth::kDraining) return;
+  n.health = GpuHealth::kUp;
+  for (GpuId g : n.gpus) {
+    if (state_.health(g) == GpuHealth::kDraining) {
+      state_.SetHealth(g, GpuHealth::kUp);
+    }
+  }
+  metrics_.RecordFault(sim_.now(), "node_undrain",
+                       "node=" + std::to_string(node_id));
+  if (!pending_recovery_.empty()) RetryPendingRecoveries();
 }
 
 DeployedFunction&
@@ -503,6 +797,15 @@ ClusterRuntime::function(FunctionId fn) const
   auto it = functions_.find(fn);
   DILU_CHECK(it != functions_.end());
   return it->second;
+}
+
+std::vector<FunctionId>
+ClusterRuntime::DeployedFunctions() const
+{
+  std::vector<FunctionId> ids;
+  ids.reserve(functions_.size());
+  for (const auto& [id, f] : functions_) ids.push_back(id);
+  return ids;
 }
 
 runtime::Instance*

@@ -142,9 +142,70 @@ class ClusterRuntime {
   /** Advance the simulation. */
   void RunFor(TimeUs duration);
 
+  // --- fault injection & recovery --------------------------------------
+  //
+  // The chaos engine (src/chaos/) drives these; they are also usable
+  // directly. All of them are deterministic: given the same seed and
+  // injection times, displacement, re-placement and recovery cold
+  // starts replay identically (docs/FAULT_MODEL.md).
+
+  /**
+   * Fail one GPU: it stops accepting placements, every instance with a
+   * shard on it is killed (queued + in-flight requests re-dispatched to
+   * surviving instances or counted as drops), and replacements are
+   * launched through the scheduler as recovery cold starts. Training
+   * jobs lose their progress and restart (no checkpointing is modeled).
+   * Replacements that cannot be placed are retried every second until
+   * capacity returns.
+   * @return the number of displaced instances.
+   */
+  int FailGpu(GpuId gpu);
+
+  /** Return a failed GPU to service (triggers a recovery retry). */
+  void RecoverGpu(GpuId gpu);
+
+  /** Fail every GPU of `node` (whole-server fault). */
+  int FailNode(NodeId node);
+
+  /** Return every GPU of `node` to service. */
+  void RecoverNode(NodeId node);
+
+  /**
+   * Maintenance drain: the node's GPUs stop accepting new placements
+   * and resident inference instances are migrated off (replacement
+   * launched elsewhere first, then the original is removed gracefully —
+   * its queue re-homed, its in-flight batch allowed to finish). An
+   * instance whose replacement cannot be placed stays put (best-effort
+   * drain). Training workers are not migrated; they run to completion.
+   * @return the number of migrated instances.
+   */
+  int DrainNode(NodeId node);
+
+  /** Lift a maintenance drain (GPUs accept placements again). */
+  void UndrainNode(NodeId node);
+
+  GpuHealth gpu_health(GpuId gpu) const;
+  const Node& node(NodeId id) const;
+  std::size_t node_count() const { return nodes_.size(); }
+
+  /**
+   * Scale factor applied to cold-start durations (chaos cold-start
+   * inflation: registry pressure, image-pull storms). 1.0 = nominal.
+   */
+  void set_coldstart_scale(double scale);
+  double coldstart_scale() const { return coldstart_scale_; }
+
+  /** Displaced instances still waiting for capacity to be re-placed. */
+  int pending_recovery_count() const
+  {
+    return static_cast<int>(pending_recovery_.size());
+  }
+
   // --- inspection ------------------------------------------------------
   DeployedFunction& function(FunctionId fn);
   const DeployedFunction& function(FunctionId fn) const;
+  /** Ids of every deployed function, ascending. */
+  std::vector<FunctionId> DeployedFunctions() const;
   runtime::Instance* instance(InstanceId id);
   int DeployedInstanceCount(FunctionId fn) const;
 
@@ -175,6 +236,27 @@ class ClusterRuntime {
   };
 
   InstanceId NextInstanceId() { return next_instance_id_++; }
+  /** Shared body of FailGpu / FailNode: fail a batch of devices. */
+  int FailGpus(const std::vector<GpuId>& gpus, const char* kind,
+               const std::string& target);
+  /**
+   * Abrupt-failure teardown of one inference instance (no flush). The
+   * surrendered requests are appended to `*orphans`; the caller
+   * re-dispatches them after replacements have launched, so they can
+   * queue behind a same-instant recovery cold start instead of
+   * dropping.
+   */
+  void KillInstance(InstanceId id,
+                    std::vector<workload::Request*>* orphans);
+  /** Abort a training job (worker lost); park it in the graveyard. */
+  void AbortTraining(DeployedFunction& f);
+  /** Launch a replacement for a displaced instance / aborted job. */
+  bool LaunchRecovery(FunctionId fn);
+  /** Queue a failed recovery launch and arm the 1 s retry loop. */
+  void DeferRecovery(FunctionId fn);
+  void RetryPendingRecoveries();
+  /** Cold-start duration after chaos inflation. */
+  TimeUs ScaledColdStart(TimeUs base) const;
   SmQuota QuotaForMode(const SmQuota& profiled) const;
   SmRate StaticShareForMode(const SmQuota& profiled) const;
   void ProfileSpec(core::FunctionSpec* spec) const;
@@ -206,6 +288,20 @@ class ClusterRuntime {
   std::map<FunctionId, DeployedFunction> functions_;
   std::map<InstanceId, InstanceRecord> instances_;
   std::deque<std::unique_ptr<workload::Request>> requests_;
+
+  /**
+   * Aborted training jobs parked until process end: a pending
+   * communication-phase event may still reference the job object, so it
+   * must outlive the simulation even after a restart replaced it.
+   */
+  std::vector<std::unique_ptr<runtime::TrainingJob>> retired_jobs_;
+  /** Displaced work awaiting capacity, one entry per needed launch. */
+  std::deque<FunctionId> pending_recovery_;
+  sim::Simulation::TaskId recovery_task_ = 0;
+  bool recovery_task_armed_ = false;
+  /** True while the current launch heals a failure (not demand). */
+  bool recovery_launch_ = false;
+  double coldstart_scale_ = 1.0;
 
   Rng rng_;
   FunctionId next_function_id_ = 0;

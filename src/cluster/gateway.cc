@@ -26,20 +26,28 @@ Gateway::RemoveInstance(FunctionId id, InstanceId instance)
   auto it = functions_.find(id);
   if (it == functions_.end()) return;
   auto& v = it->second.instances;
-  v.erase(std::remove_if(v.begin(), v.end(),
-                         [instance](runtime::InferenceInstance* i) {
-                           return i->client_id() == instance;
-                         }),
-          v.end());
+  runtime::InferenceInstance* removed = nullptr;
+  for (auto i = v.begin(); i != v.end(); ++i) {
+    if ((*i)->client_id() == instance) {
+      removed = *i;
+      v.erase(i);
+      break;
+    }
+  }
+  if (removed == nullptr) return;
+  // Re-home queued work so removal never strands a dispatched request.
+  std::vector<workload::Request*> orphans;
+  removed->TakeQueued(&orphans);
+  for (workload::Request* r : orphans) Redispatch(r);
 }
 
 bool
-Gateway::Dispatch(workload::Request* req)
+Gateway::DispatchInternal(workload::Request* req, bool count_arrival)
 {
   DILU_CHECK(req != nullptr);
   auto it = functions_.find(req->function);
   if (it == functions_.end() || it->second.instances.empty()) return false;
-  it->second.arrivals_since_poll += 1.0;
+  if (count_arrival) it->second.arrivals_since_poll += 1.0;
 
   runtime::InferenceInstance* best = nullptr;
   std::size_t best_depth = std::numeric_limits<std::size_t>::max();
@@ -58,6 +66,31 @@ Gateway::Dispatch(workload::Request* req)
   if (best == nullptr) return false;
   best->Enqueue(req);
   return true;
+}
+
+bool
+Gateway::Dispatch(workload::Request* req)
+{
+  if (DispatchInternal(req, /*count_arrival=*/true)) return true;
+  req->dropped = true;
+  if (metrics_ != nullptr && req->function != kInvalidFunction) {
+    metrics_->RecordDrop(req->function);
+  }
+  return false;
+}
+
+bool
+Gateway::Redispatch(workload::Request* req)
+{
+  if (DispatchInternal(req, /*count_arrival=*/false)) return true;
+  // Nowhere to go: the request dies here. Marking it done lets the
+  // runtime's prune cursor reclaim its record.
+  req->dropped = true;
+  req->done = true;
+  if (metrics_ != nullptr && req->function != kInvalidFunction) {
+    metrics_->RecordDrop(req->function);
+  }
+  return false;
 }
 
 double

@@ -3,6 +3,11 @@
  * Application-layer gateway: dispatches requests to the least-loaded
  * instance of a function and exposes per-second arrival counts to the
  * global scaler (Section 3.1's gateway + load balancer).
+ *
+ * The gateway is also the drop-accounting point of the fault model: a
+ * request that cannot be routed to any instance (none deployed, or the
+ * last one died) is counted against its function in the MetricsHub and
+ * marked `dropped` so record owners can reclaim it.
  */
 #ifndef DILU_CLUSTER_GATEWAY_H_
 #define DILU_CLUSTER_GATEWAY_H_
@@ -10,6 +15,7 @@
 #include <map>
 #include <vector>
 
+#include "cluster/metrics.h"
 #include "runtime/inference_instance.h"
 #include "workload/request.h"
 
@@ -21,17 +27,39 @@ class Gateway {
   /** Register a function (idempotent). */
   void RegisterFunction(FunctionId id);
 
+  /** Wire the metrics hub used for drop accounting (may be null). */
+  void set_metrics(MetricsHub* metrics) { metrics_ = metrics; }
+
   /** Add / remove serving instances. */
   void AddInstance(FunctionId id, runtime::InferenceInstance* instance);
+
+  /**
+   * Unlink `instance` and re-home its queued (not yet batched) requests
+   * onto the remaining instances. Requests that cannot be re-dispatched
+   * (no instances left) are marked dropped — work handed to the gateway
+   * is never stranded in a removed instance's queue. The in-flight
+   * batch is untouched: graceful removal lets it finish (Terminate
+   * flushes it); abrupt failure surrenders it via FailAndDrain before
+   * calling this.
+   */
   void RemoveInstance(FunctionId id, InstanceId instance);
 
   /**
    * Dispatch `req` to the least-loaded *running* instance; if every
    * instance is still cold-starting, pick the least-loaded one anyway
    * (requests queue behind the cold start, paying its latency).
-   * Returns false when the function has no instances at all.
+   * Returns false — and counts a drop — when the function has no
+   * instances at all.
    */
   bool Dispatch(workload::Request* req);
+
+  /**
+   * Re-dispatch a request surrendered by a removed or failed instance.
+   * Does not count a new arrival (the scaler already saw this request).
+   * On failure the request is marked dropped + done and the drop is
+   * counted; returns false.
+   */
+  bool Redispatch(workload::Request* req);
 
   /** Arrivals since the previous Poll (the scaler's 1 Hz sample). */
   double PollArrivals(FunctionId id);
@@ -48,7 +76,11 @@ class Gateway {
     double arrivals_since_poll = 0.0;
   };
 
+  /** Routing core shared by Dispatch / Redispatch. */
+  bool DispatchInternal(workload::Request* req, bool count_arrival);
+
   std::map<FunctionId, Entry> functions_;
+  MetricsHub* metrics_ = nullptr;
 };
 
 }  // namespace dilu::cluster

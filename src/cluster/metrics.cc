@@ -33,10 +33,38 @@ MetricsHub::RecordRequest(FunctionId id, const workload::Request& req)
   if (m.slo_ms > 0.0 && latency_ms > m.slo_ms) ++m.violations;
 }
 
+double
+FunctionMetrics::AvailabilityPercent() const
+{
+  const std::int64_t routed = completed + dropped;
+  if (routed == 0) return 100.0;
+  return 100.0 * static_cast<double>(completed)
+      / static_cast<double>(routed);
+}
+
 void
 MetricsHub::RecordColdStart(FunctionId id)
 {
   ++functions_[id].cold_starts;
+}
+
+void
+MetricsHub::RecordRecoveryColdStart(FunctionId id)
+{
+  ++functions_[id].recovery_cold_starts;
+}
+
+void
+MetricsHub::RecordDrop(FunctionId id)
+{
+  ++functions_[id].dropped;
+}
+
+void
+MetricsHub::RecordFault(TimeUs time, const std::string& kind,
+                        const std::string& detail)
+{
+  faults_.push_back({time, kind, detail});
 }
 
 void
@@ -87,6 +115,36 @@ MetricsHub::TotalColdStarts() const
   int n = 0;
   for (const auto& [id, m] : functions_) n += m.cold_starts;
   return n;
+}
+
+int
+MetricsHub::TotalRecoveryColdStarts() const
+{
+  int n = 0;
+  for (const auto& [id, m] : functions_) n += m.recovery_cold_starts;
+  return n;
+}
+
+std::int64_t
+MetricsHub::TotalDropped() const
+{
+  std::int64_t n = 0;
+  for (const auto& [id, m] : functions_) n += m.dropped;
+  return n;
+}
+
+double
+MetricsHub::OverallAvailabilityPercent() const
+{
+  std::int64_t completed = 0;
+  std::int64_t dropped = 0;
+  for (const auto& [id, m] : functions_) {
+    completed += m.completed;
+    dropped += m.dropped;
+  }
+  if (completed + dropped == 0) return 100.0;
+  return 100.0 * static_cast<double>(completed)
+      / static_cast<double>(completed + dropped);
 }
 
 }  // namespace dilu::cluster

@@ -27,10 +27,21 @@ struct FunctionMetrics {
   Percentiles latency_ms;
   std::int64_t completed = 0;
   std::int64_t violations = 0;
+  /** Requests the gateway could not route to any instance. */
+  std::int64_t dropped = 0;
+  /** Cold starts paid to serve demand (scale-out, provisioning). */
   int cold_starts = 0;
+  /** Cold starts paid to heal the fleet (failure/drain replacements). */
+  int recovery_cold_starts = 0;
 
   /** SLO violation rate in percent. */
   double SvrPercent() const;
+
+  /**
+   * Served share of routed traffic in percent:
+   * 100 * completed / (completed + dropped); 100 with no traffic.
+   */
+  double AvailabilityPercent() const;
 };
 
 /** One periodic cluster snapshot (1 Hz by default). */
@@ -40,6 +51,14 @@ struct ClusterSample {
   double sm_fragmentation = 0.0;   ///< avg unreserved SM share on active GPUs
   double mem_fragmentation = 0.0;  ///< avg free memory fraction on active GPUs
   double avg_utilization = 0.0;    ///< mean granted share across active GPUs
+  int schedulable_gpus = 0;        ///< devices accepting placements (health up)
+};
+
+/** One injected fault or recovery action (the chaos audit log). */
+struct FaultRecord {
+  TimeUs time = 0;
+  std::string kind;    ///< e.g. "gpu_fail", "node_drain", "surge"
+  std::string detail;  ///< target and displacement summary
 };
 
 /** Collects metrics across the whole simulated cluster. */
@@ -52,8 +71,18 @@ class MetricsHub {
   /** Record a completed request against its function's SLO. */
   void RecordRequest(FunctionId id, const workload::Request& req);
 
-  /** Count one cold start for `id`. */
+  /** Count one demand cold start for `id`. */
   void RecordColdStart(FunctionId id);
+
+  /** Count one recovery cold start (failure/drain replacement). */
+  void RecordRecoveryColdStart(FunctionId id);
+
+  /** Count one dropped (unroutable) request for `id`. */
+  void RecordDrop(FunctionId id);
+
+  /** Append one entry to the fault audit log. */
+  void RecordFault(TimeUs time, const std::string& kind,
+                   const std::string& detail);
 
   /** Accumulate reserved GPU time (gpu-seconds) for SGT accounting. */
   void AddGpuTime(double gpu_seconds);
@@ -79,13 +108,25 @@ class MetricsHub {
   /** Aggregate SVR (%) over every function. */
   double OverallSvrPercent() const;
 
-  /** Total cold starts over every function. */
+  /** Total demand cold starts over every function. */
   int TotalColdStarts() const;
+
+  /** Total recovery cold starts over every function. */
+  int TotalRecoveryColdStarts() const;
+
+  /** Total dropped requests over every function. */
+  std::int64_t TotalDropped() const;
+
+  /** Aggregate availability (%) over every function. */
+  double OverallAvailabilityPercent() const;
+
+  const std::vector<FaultRecord>& faults() const { return faults_; }
 
  private:
   std::map<FunctionId, FunctionMetrics> functions_;
   double gpu_seconds_ = 0.0;
   std::vector<ClusterSample> samples_;
+  std::vector<FaultRecord> faults_;
 };
 
 }  // namespace dilu::cluster

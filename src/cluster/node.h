@@ -12,10 +12,17 @@
 
 namespace dilu::cluster {
 
-/** Static description of one node. */
+/**
+ * Description of one node. Health aggregates over the node's GPUs: a
+ * node-level fault (power loss, NIC death, maintenance drain) applies
+ * the same transition to every device it hosts. The authoritative
+ * per-GPU health used by placement lives in scheduler::ClusterState;
+ * this field mirrors the last node-level action for inspection.
+ */
 struct Node {
   NodeId id = 0;
   std::vector<GpuId> gpus;
+  GpuHealth health = GpuHealth::kUp;
 };
 
 }  // namespace dilu::cluster

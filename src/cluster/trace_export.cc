@@ -6,11 +6,13 @@ CsvWriter
 ExportClusterSamples(const MetricsHub& hub)
 {
   CsvWriter csv({"time_s", "active_gpus", "sm_fragmentation",
-                 "mem_fragmentation", "avg_utilization"});
+                 "mem_fragmentation", "avg_utilization",
+                 "schedulable_gpus"});
   for (const ClusterSample& s : hub.samples()) {
     csv.AddRow({ToSec(s.time), static_cast<double>(s.active_gpus),
                 s.sm_fragmentation, s.mem_fragmentation,
-                s.avg_utilization});
+                s.avg_utilization,
+                static_cast<double>(s.schedulable_gpus)});
   }
   return csv;
 }
@@ -19,7 +21,8 @@ CsvWriter
 ExportFunctionMetrics(const MetricsHub& hub)
 {
   CsvWriter csv({"function", "slo_ms", "completed", "p50_ms", "p95_ms",
-                 "svr_percent", "cold_starts"});
+                 "svr_percent", "cold_starts", "recovery_cold_starts",
+                 "dropped", "availability_percent"});
   for (const auto& [id, m] : hub.functions()) {
     (void)id;
     csv.AddTextRow({m.name, std::to_string(m.slo_ms),
@@ -27,7 +30,20 @@ ExportFunctionMetrics(const MetricsHub& hub)
                     std::to_string(m.latency_ms.P50()),
                     std::to_string(m.latency_ms.P95()),
                     std::to_string(m.SvrPercent()),
-                    std::to_string(m.cold_starts)});
+                    std::to_string(m.cold_starts),
+                    std::to_string(m.recovery_cold_starts),
+                    std::to_string(m.dropped),
+                    std::to_string(m.AvailabilityPercent())});
+  }
+  return csv;
+}
+
+CsvWriter
+ExportFaultLog(const MetricsHub& hub)
+{
+  CsvWriter csv({"time_s", "kind", "detail"});
+  for (const FaultRecord& f : hub.faults()) {
+    csv.AddTextRow({std::to_string(ToSec(f.time)), f.kind, f.detail});
   }
   return csv;
 }
@@ -50,6 +66,10 @@ ExportAll(const ClusterRuntime& runtime, const std::string& prefix)
             .WriteFile(prefix + "_samples.csv");
   ok &= ExportFunctionMetrics(runtime.metrics())
             .WriteFile(prefix + "_functions.csv");
+  if (!runtime.metrics().faults().empty()) {
+    ok &= ExportFaultLog(runtime.metrics())
+              .WriteFile(prefix + "_faults.csv");
+  }
   return ok;
 }
 

@@ -16,15 +16,23 @@ namespace dilu::cluster {
 
 /**
  * Cluster snapshots (1 Hz occupancy / fragmentation / utilization) as
- * CSV: time_s, active_gpus, sm_frag, mem_frag, avg_util.
+ * CSV: time_s, active_gpus, sm_frag, mem_frag, avg_util,
+ * schedulable_gpus.
  */
 CsvWriter ExportClusterSamples(const MetricsHub& hub);
 
 /**
  * Per-function serving summary as CSV: function, slo_ms, completed,
- * p50_ms, p95_ms, svr_percent, cold_starts.
+ * p50_ms, p95_ms, svr_percent, cold_starts, recovery_cold_starts,
+ * dropped, availability_percent.
  */
 CsvWriter ExportFunctionMetrics(const MetricsHub& hub);
+
+/**
+ * The fault audit log as CSV: time_s, kind, detail (one row per
+ * injected fault / recovery action).
+ */
+CsvWriter ExportFaultLog(const MetricsHub& hub);
 
 /**
  * A function's autoscaler instance-count series as CSV:
@@ -33,9 +41,9 @@ CsvWriter ExportFunctionMetrics(const MetricsHub& hub);
 CsvWriter ExportInstanceSeries(const DeployedFunction& function);
 
 /**
- * Convenience: write all three exports next to each other using
- * `prefix` ("/tmp/run" -> /tmp/run_samples.csv, _functions.csv, ...).
- * Instance series are written per function that has one.
+ * Convenience: write the exports next to each other using `prefix`
+ * ("/tmp/run" -> /tmp/run_samples.csv, _functions.csv, ...). The fault
+ * log (_faults.csv) is written only when faults were injected.
  * @return true when every file was written.
  */
 bool ExportAll(const ClusterRuntime& runtime, const std::string& prefix);

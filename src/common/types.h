@@ -56,6 +56,29 @@ constexpr FunctionId kInvalidFunction = -1;
 constexpr InstanceId kInvalidInstance = -1;
 constexpr GpuId kInvalidGpu = -1;
 
+/**
+ * Health of a GPU (and, by aggregation, of a node) in the simulated
+ * fleet. `kUp` devices accept new placements; `kDraining` devices keep
+ * serving resident instances but refuse new ones (maintenance drain);
+ * `kDown` devices have failed — their instances are killed and
+ * re-placed by the recovery pipeline (see docs/FAULT_MODEL.md).
+ */
+enum class GpuHealth {
+  kUp,
+  kDraining,
+  kDown,
+};
+
+/** Human-readable health name. */
+inline const char* ToString(GpuHealth h) {
+  switch (h) {
+    case GpuHealth::kUp: return "up";
+    case GpuHealth::kDraining: return "draining";
+    case GpuHealth::kDown: return "down";
+  }
+  return "?";
+}
+
 /** Task type of a DL function. Inference tasks are SLO-sensitive. */
 enum class TaskType {
   kInference,

@@ -28,6 +28,33 @@ InferenceInstance::Enqueue(workload::Request* req)
   batcher_.Push(req);
 }
 
+void
+InferenceInstance::TakeQueued(std::vector<workload::Request*>* out)
+{
+  DILU_CHECK(out != nullptr);
+  while (!batcher_.empty()) {
+    std::vector<workload::Request*> rest =
+        batcher_.PopBatch(static_cast<int>(batcher_.size()));
+    out->insert(out->end(), rest.begin(), rest.end());
+  }
+}
+
+void
+InferenceInstance::FailAndDrain(std::vector<workload::Request*>* out)
+{
+  DILU_CHECK(out != nullptr);
+  // In-flight first: those requests were dispatched earliest, so
+  // re-dispatch preserves arrival order.
+  if (in_flight_) {
+    out->insert(out->end(), batch_.begin(), batch_.end());
+    batch_.clear();
+    in_flight_ = false;
+    progress_ = 0.0;
+  }
+  TakeQueued(out);
+  Instance::Terminate();  // no flush: the work was lost, not finished
+}
+
 TimeUs
 InferenceInstance::BatchWaitBudget() const
 {

@@ -47,6 +47,23 @@ class InferenceInstance : public Instance {
   /** Route a request into this instance's batching queue. */
   void Enqueue(workload::Request* req);
 
+  /**
+   * Surrender every queued (not yet batched) request without completing
+   * it, appending to `*out`. Used by the gateway to re-home work when an
+   * instance is removed gracefully; the in-flight batch (if any) keeps
+   * executing.
+   */
+  void TakeQueued(std::vector<workload::Request*>* out);
+
+  /**
+   * Abrupt failure (GPU/node death): surrender the in-flight batch and
+   * every queued request — none are completed, their progress is lost —
+   * and enter the terminated state. The caller re-dispatches or drops
+   * the surrendered requests; contrast with Terminate(), which models a
+   * graceful shutdown that flushes work as completed.
+   */
+  void FailAndDrain(std::vector<workload::Request*>* out);
+
   /** Register the metrics sink invoked on each completion. */
   void set_request_sink(RequestSink sink) { sink_ = std::move(sink); }
 

@@ -160,6 +160,7 @@ TrainingJob::OnAllComputeDone(TimeUs latest)
   const TimeUs comm_end = std::max(latest, sim_->now())
       + models::TrainingCommPhase(*model_);
   sim_->queue().ScheduleAt(comm_end, [this] {
+    if (finished_) return;  // aborted mid-communication
     ++stats_.iterations_completed;
     if (target_iterations_ > 0
         && stats_.iterations_completed >= target_iterations_) {
@@ -175,6 +176,18 @@ TrainingJob::OnAllComputeDone(TimeUs latest)
     compute_done_count_ = 0;
     for (TrainingInstance* w : worker_ptrs_) w->StartComputePhase();
   });
+}
+
+void
+TrainingJob::Abort()
+{
+  if (finished_) return;
+  finished_ = true;
+  in_compute_ = false;
+  on_finished_ = nullptr;
+  for (TrainingInstance* w : worker_ptrs_) {
+    if (w != nullptr) w->Terminate();
+  }
 }
 
 double

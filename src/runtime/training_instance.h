@@ -103,6 +103,16 @@ class TrainingJob {
   /** Job-completion callback (JCT recording). */
   void set_on_finished(std::function<void()> cb) { on_finished_ = std::move(cb); }
 
+  /**
+   * Abort the job (worker lost to a GPU/node failure): terminates every
+   * worker, drops the completion callback and freezes iteration
+   * accounting. A pending communication-phase event may still fire; it
+   * sees finished_ and does nothing. The aborted job object must stay
+   * alive until the simulation drains that event — the cluster layer
+   * parks it in a graveyard instead of destroying it.
+   */
+  void Abort();
+
   /** Mean throughput in the model's natural unit up to `now`. */
   double ThroughputUnits(TimeUs now) const;
 

@@ -27,6 +27,12 @@ DiluLazyScaler::Decide(double rps_sample, int current,
     window_.Clear();
     return current + 1;
   }
+  if (holdoff_remaining_ > 0) {
+    // A recovery launch is still warming up: the window reflects
+    // degraded service, so a scale-in vote here is noise.
+    --holdoff_remaining_;
+    return current;
+  }
   if (current > config_.min_instances) {
     const double reduced = (current - 1) * per_instance_rps;
     if (window_.CountBelow(reduced) >= config_.phi_in) {
@@ -35,6 +41,12 @@ DiluLazyScaler::Decide(double rps_sample, int current,
     }
   }
   return current;
+}
+
+void
+DiluLazyScaler::OnRecoveryLaunch()
+{
+  holdoff_remaining_ = config_.recovery_holdoff_s;
 }
 
 EagerScaler::EagerScaler() : EagerScaler(Config()) {}

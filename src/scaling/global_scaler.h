@@ -40,6 +40,15 @@ class HorizontalPolicy {
   virtual int Decide(double rps_sample, int current,
                      double per_instance_rps) = 0;
 
+  /**
+   * Notification that a *recovery* instance was just launched for this
+   * function (failure/drain replacement, not a demand scale-out).
+   * Policies may use it to avoid fighting the healing pipeline — e.g.
+   * suppressing scale-in while replacements are still cold-starting.
+   * Default: ignore.
+   */
+  virtual void OnRecoveryLaunch() {}
+
   virtual std::string name() const = 0;
 };
 
@@ -51,17 +60,26 @@ class DiluLazyScaler : public HorizontalPolicy {
     int phi_out = 20;         ///< samples above capacity to scale out
     int phi_in = 30;          ///< samples below (n-1)-capacity to scale in
     int min_instances = 1;
+    /**
+     * Seconds after a recovery launch during which scale-in is
+     * suppressed. A replacement cold-starts for seconds while the
+     * arrival window still reflects degraded service; scaling in on
+     * that stale signal would undo the healing. Scale-out stays live.
+     */
+    int recovery_holdoff_s = 40;
   };
 
   DiluLazyScaler();
   explicit DiluLazyScaler(Config config);
   int Decide(double rps_sample, int current,
              double per_instance_rps) override;
+  void OnRecoveryLaunch() override;
   std::string name() const override { return "dilu-lazy"; }
 
  private:
   Config config_;
   SlidingWindow window_;
+  int holdoff_remaining_ = 0;  ///< scale-in-suppressed samples left
 };
 
 /** Reactive short-window scaling (FaST-GS+ analogue). */

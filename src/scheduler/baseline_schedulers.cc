@@ -17,7 +17,9 @@ ExclusiveScheduler::Place(const PlacementRequest& req, ClusterState& state)
   for (int shard = 0; shard < req.gpus_needed; ++shard) {
     const GpuId chosen = LowestIdleGpu(
         state,
-        [&](const GpuInfo& g) { return req.mem_gb <= g.mem_total_gb; },
+        [&](const GpuInfo& g) {
+          return g.schedulable() && req.mem_gb <= g.mem_total_gb;
+        },
         result.gpus);
     if (chosen == kInvalidGpu) {
       result.ok = false;
@@ -50,7 +52,8 @@ StaticQuotaScheduler::Place(const PlacementRequest& req,
   Placement result;
   for (int shard = 0; shard < req.gpus_needed; ++shard) {
     const auto feasible = [&](const GpuInfo& g) {
-      return g.req_sum + req.quota.request <= capacity_ + 1e-9
+      return g.schedulable()
+          && g.req_sum + req.quota.request <= capacity_ + 1e-9
           && g.mem_used + req.mem_gb <= g.mem_total_gb + 1e-9;
     };
 

@@ -27,6 +27,7 @@ ClusterState::AddGpu(NodeId node, double mem_gb)
   idle_heap_.push_back(info.id);
   std::push_heap(idle_heap_.begin(), idle_heap_.end(),
                  std::greater<GpuId>());
+  ++schedulable_count_;
   return info.id;
 }
 
@@ -102,12 +103,39 @@ ClusterState::SetActive(GpuId id, bool active)
   to.push_back(id);
 
   if (active) {
-    BucketInsert(id);
+    // Unhealthy devices never enter the load buckets (SelectActive must
+    // not see them); SetHealth re-inserts on recovery.
+    if (gpus_[u].schedulable()) BucketInsert(id);
     // Any idle-heap entry goes stale; MinIdleGpu reclaims it lazily
     // (and it revalidates in place if the GPU goes idle again first).
   } else {
-    BucketRemove(id);
-    if (!in_idle_heap_[u]) {
+    if (bucket_of_[u] >= 0) BucketRemove(id);
+    if (gpus_[u].schedulable() && !in_idle_heap_[u]) {
+      in_idle_heap_[u] = 1;
+      idle_heap_.push_back(id);
+      std::push_heap(idle_heap_.begin(), idle_heap_.end(),
+                     std::greater<GpuId>());
+    }
+  }
+}
+
+void
+ClusterState::SetHealth(GpuId id, GpuHealth health)
+{
+  GpuInfo& g = gpu(id);
+  if (g.health == health) return;
+  const bool was_up = g.schedulable();
+  g.health = health;
+  const std::size_t u = static_cast<std::size_t>(id);
+  if (was_up && !g.schedulable()) {
+    --schedulable_count_;
+    if (bucket_of_[u] >= 0) BucketRemove(id);
+    // An idle-heap entry goes stale; MinIdleGpu skips unhealthy tops.
+  } else if (!was_up && g.schedulable()) {
+    ++schedulable_count_;
+    if (g.active()) {
+      if (bucket_of_[u] < 0) BucketInsert(id);
+    } else if (idle_pos_[u] >= 0 && !in_idle_heap_[u]) {
       in_idle_heap_[u] = 1;
       idle_heap_.push_back(id);
       std::push_heap(idle_heap_.begin(), idle_heap_.end(),
@@ -121,7 +149,10 @@ ClusterState::MinIdleGpu() const
 {
   while (!idle_heap_.empty()) {
     const GpuId top = idle_heap_.front();
-    if (idle_pos_[static_cast<std::size_t>(top)] >= 0) return top;
+    if (idle_pos_[static_cast<std::size_t>(top)] >= 0
+        && gpus_[static_cast<std::size_t>(top)].schedulable()) {
+      return top;
+    }
     std::pop_heap(idle_heap_.begin(), idle_heap_.end(),
                   std::greater<GpuId>());
     idle_heap_.pop_back();

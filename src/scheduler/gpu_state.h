@@ -41,9 +41,12 @@ struct GpuInfo {
   double lim_sum = 0.0;   ///< committed sum of limit quotas
   double mem_used = 0.0;  ///< committed memory (GB)
   std::vector<FunctionId> functions;  ///< resident function ids
+  GpuHealth health = GpuHealth::kUp;
 
   bool active() const { return !functions.empty(); }
   double mem_free() const { return mem_total_gb - mem_used; }
+  /** Only healthy devices accept new placements. */
+  bool schedulable() const { return health == GpuHealth::kUp; }
 };
 
 /** One shard's committed resources. */
@@ -86,6 +89,21 @@ class ClusterState {
   void Release(InstanceId instance);
 
   /**
+   * Change a GPU's health. The placement indexes respect health
+   * transitions immediately: leaving `kUp` removes the device from the
+   * load buckets (active GPUs) and hides it from the min-idle answer
+   * (idle GPUs); returning to `kUp` restores it. Committed resources
+   * and residency are untouched — failure handling (killing and
+   * re-placing displaced instances) is the cluster layer's job.
+   */
+  void SetHealth(GpuId id, GpuHealth health);
+
+  GpuHealth health(GpuId id) const { return gpu(id).health; }
+
+  /** Number of GPUs currently accepting placements (health == up). */
+  int SchedulableGpuCount() const { return schedulable_count_; }
+
+  /**
    * GPUs currently hosting any of `functions` (workload affinity),
    * appended to `*out` (cleared first). Served from the residency
    * index: O(sum of the queried functions' resident GPU counts).
@@ -114,8 +132,10 @@ class ClusterState {
   }
 
   /**
-   * Lowest-id idle GPU, or kInvalidGpu when every device is active.
-   * Amortized O(log idle) via a lazy-deletion min-heap.
+   * Lowest-id idle *schedulable* GPU, or kInvalidGpu when every device
+   * is active or unhealthy. Amortized O(log idle) via a lazy-deletion
+   * min-heap (entries for failed or drained devices are reclaimed on
+   * pop and re-pushed when they return to health).
    */
   GpuId MinIdleGpu() const;
 
@@ -171,6 +191,7 @@ class ClusterState {
   mutable std::vector<GpuId> idle_heap_;
   mutable std::vector<char> in_idle_heap_;
   bool uniform_mem_ = true;
+  int schedulable_count_ = 0;
 };
 
 }  // namespace dilu::scheduler

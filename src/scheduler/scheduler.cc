@@ -86,7 +86,12 @@ DiluScheduler::MakeContext(const PlacementRequest& req) const
 bool
 DiluScheduler::Feasible(const GpuInfo& g, const RequestContext& ctx) const
 {
-  return g.req_sum <= ctx.req_cap && g.lim_sum <= ctx.lim_cap
+  // Unhealthy devices are already absent from the load buckets and the
+  // min-idle answer; this check additionally covers candidates arriving
+  // through the residency (affinity) index, which still lists draining
+  // or failed GPUs hosting not-yet-evacuated instances.
+  return g.schedulable() && g.req_sum <= ctx.req_cap
+      && g.lim_sum <= ctx.lim_cap
       && g.mem_used + ctx.mem <= g.mem_total_gb + 1e-9;
 }
 

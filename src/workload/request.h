@@ -20,6 +20,13 @@ struct Request {
   TimeUs started = 0;       ///< batch execution began
   TimeUs completed = 0;     ///< batch execution finished
   bool done = false;
+  /**
+   * The request could not be served: its function had no live instance
+   * (or lost its last one mid-flight) and re-dispatch failed. Dropped
+   * requests are marked done so record owners can reclaim them, but
+   * they never reach the latency metrics.
+   */
+  bool dropped = false;
 
   /** End-to-end latency (only valid once done). */
   TimeUs Latency() const { return completed - arrival; }

@@ -71,6 +71,37 @@ TEST(TraceExport, FunctionMetricsIncludeSvr)
   EXPECT_NE(out.find("100.000000"), std::string::npos);
 }
 
+TEST(TraceExport, FunctionMetricsIncludeDropsAndAvailability)
+{
+  cluster::MetricsHub hub;
+  hub.RegisterFunction(0, "bert", 100.0);
+  workload::Request ok;
+  ok.arrival = 0;
+  ok.completed = Ms(50);
+  hub.RecordRequest(0, ok);
+  hub.RecordDrop(0);
+  hub.RecordRecoveryColdStart(0);
+  const std::string out = cluster::ExportFunctionMetrics(hub).ToString();
+  EXPECT_NE(out.find("dropped"), std::string::npos);
+  EXPECT_NE(out.find("availability_percent"), std::string::npos);
+  EXPECT_NE(out.find("recovery_cold_starts"), std::string::npos);
+  // 1 served / 1 dropped -> 50% availability.
+  EXPECT_NE(out.find("50.000000"), std::string::npos);
+  EXPECT_EQ(hub.function(0).recovery_cold_starts, 1);
+}
+
+TEST(TraceExport, FaultLogRows)
+{
+  cluster::MetricsHub hub;
+  hub.RecordFault(Sec(5), "gpu_fail", "gpu=3 displaced=2");
+  hub.RecordFault(Sec(9), "gpu_recover", "gpu=3");
+  const CsvWriter csv = cluster::ExportFaultLog(hub);
+  EXPECT_EQ(csv.row_count(), 2u);
+  const std::string out = csv.ToString();
+  EXPECT_NE(out.find("gpu_fail"), std::string::npos);
+  EXPECT_NE(out.find("gpu=3 displaced=2"), std::string::npos);
+}
+
 TEST(TraceExport, EndToEndExportAll)
 {
   cluster::ClusterConfig cfg;

@@ -133,5 +133,83 @@ TEST(Gateway, UnknownFunctionHasNoInstances)
   EXPECT_DOUBLE_EQ(gw.PollArrivals(42), 0.0);
 }
 
+TEST(Gateway, FailedDispatchCountsDropInMetrics)
+{
+  Gateway gw;
+  MetricsHub metrics;
+  metrics.RegisterFunction(0, "f", 100.0);
+  gw.set_metrics(&metrics);
+  gw.RegisterFunction(0);
+  workload::Request r;
+  r.function = 0;
+  EXPECT_FALSE(gw.Dispatch(&r));
+  EXPECT_TRUE(r.dropped);
+  EXPECT_EQ(metrics.function(0).dropped, 1);
+  EXPECT_DOUBLE_EQ(metrics.function(0).AvailabilityPercent(), 0.0);
+  EXPECT_EQ(metrics.TotalDropped(), 1);
+}
+
+TEST(Gateway, RemoveInstanceRedispatchesQueuedRequests)
+{
+  Rig rig;
+  rig.AddBoth();
+  // Load instance a with queued work (b takes the spillover).
+  std::vector<workload::Request*> sent;
+  for (int i = 0; i < 6; ++i) {
+    workload::Request* r = rig.NewRequest();
+    sent.push_back(r);
+    ASSERT_TRUE(rig.gateway.Dispatch(r));
+  }
+  ASSERT_EQ(rig.a.queue_depth(), 3u);
+  ASSERT_EQ(rig.b.queue_depth(), 3u);
+
+  rig.gateway.RemoveInstance(0, rig.a.client_id());
+  // a's queue moved to b: nothing stranded, nothing dropped.
+  EXPECT_EQ(rig.a.queue_depth(), 0u);
+  EXPECT_EQ(rig.b.queue_depth(), 6u);
+  for (workload::Request* r : sent) EXPECT_FALSE(r->dropped);
+}
+
+TEST(Gateway, RemoveLastInstanceDropsQueuedRequests)
+{
+  Rig rig;
+  MetricsHub metrics;
+  metrics.RegisterFunction(0, "f", 100.0);
+  rig.gateway.set_metrics(&metrics);
+  rig.a.BeginColdStart(0);
+  rig.gateway.AddInstance(0, &rig.a);
+  std::vector<workload::Request*> sent;
+  for (int i = 0; i < 4; ++i) {
+    workload::Request* r = rig.NewRequest();
+    sent.push_back(r);
+    ASSERT_TRUE(rig.gateway.Dispatch(r));
+  }
+  rig.gateway.RemoveInstance(0, rig.a.client_id());
+  // No survivors: every queued request is dropped — and marked done so
+  // its record owner can reclaim it — never stranded.
+  EXPECT_EQ(metrics.function(0).dropped, 4);
+  for (workload::Request* r : sent) {
+    EXPECT_TRUE(r->dropped);
+    EXPECT_TRUE(r->done);
+  }
+}
+
+TEST(Gateway, RedispatchDoesNotCountArrivals)
+{
+  Rig rig;
+  rig.AddBoth();
+  workload::Request* r = rig.NewRequest();
+  ASSERT_TRUE(rig.gateway.Dispatch(r));
+  EXPECT_DOUBLE_EQ(rig.gateway.PollArrivals(0), 1.0);
+  // Simulate an instance surrendering the request: re-dispatch must not
+  // inflate the scaler's arrival sample.
+  std::vector<workload::Request*> orphans;
+  rig.a.TakeQueued(&orphans);
+  rig.b.TakeQueued(&orphans);
+  ASSERT_EQ(orphans.size(), 1u);
+  EXPECT_TRUE(rig.gateway.Redispatch(orphans[0]));
+  EXPECT_DOUBLE_EQ(rig.gateway.PollArrivals(0), 0.0);
+}
+
 }  // namespace
 }  // namespace dilu::cluster
