@@ -13,11 +13,22 @@
  * Scenarios:
  *  - gpu_failure_steady:   one GPU dies under steady Poisson load and
  *                          later returns.
- *  - node_failure_burst:   a whole node dies mid-burst, recovers.
+ *  - node_failure_burst:   a whole node serving a heavy + a light
+ *                          function dies mid-burst, recovers; the
+ *                          displaced batch is re-placed by the joint
+ *                          (best-fit-decreasing) recovery bin-packer.
+ *  - node_failure_burst_greedy: the same fault with the greedy
+ *                          per-instance recovery path — the joint
+ *                          scenario's TTR must not exceed this one's.
  *  - drain_maintenance:    a node is drained (live migration) and
  *                          undrained.
  *  - coldstart_inflation_surge: a traffic surge hits while cold starts
  *                          run 3x slow (registry pressure).
+ *  - degraded_straggler:   a GPU loses half its SMs and another
+ *                          straggles at 2.5x while serving; both heal.
+ *                          Exercises the degraded-health path end to
+ *                          end (also under --quick, so the CI chaos
+ *                          smoke covers it).
  *
  * Flags:
  *  --quick      shorter simulations (CI smoke)
@@ -61,11 +72,12 @@ struct Rig {
   FunctionId fn = kInvalidFunction;
 
   Rig(int nodes, std::uint64_t seed, const std::string& model,
-      int provisioned)
+      int provisioned, const std::string& recovery = "joint")
   {
     cluster::ClusterConfig cfg;
     cfg.nodes = nodes;
     cfg.seed = seed;
+    cfg.recovery = recovery;
     rt = std::make_unique<cluster::ClusterRuntime>(cfg);
     core::FunctionSpec spec;
     spec.model = model;
@@ -116,11 +128,25 @@ RunGpuFailureSteady(bool quick, std::uint64_t seed)
   return rig.Finish(spec.name(), engine);
 }
 
+/**
+ * A node serving a heavy (llama2-7b) and a light (resnet152) function
+ * dies mid-burst: the displaced batch is heterogeneous, which is where
+ * the joint best-fit-decreasing recovery earns its keep over the
+ * greedy victim-order path (`recovery` selects the policy; the JSON
+ * carries both runs so the TTR gap is diffable).
+ */
 ScenarioResult
-RunNodeFailureBurst(bool quick, std::uint64_t seed)
+RunNodeFailureBurst(bool quick, std::uint64_t seed,
+                    const std::string& recovery,
+                    const std::string& label)
 {
   const int duration_s = quick ? 120 : 180;
-  Rig rig(/*nodes=*/3, seed, "resnet152", /*provisioned=*/2);
+  Rig rig(/*nodes=*/3, seed, "resnet152", /*provisioned=*/2, recovery);
+  core::FunctionSpec heavy;
+  heavy.model = "llama2-7b";
+  heavy.type = TaskType::kInference;
+  const FunctionId heavy_fn = rig.rt->Deploy(heavy);
+  rig.rt->LaunchInference(heavy_fn, /*cold=*/false);
   workload::BurstySpec bursty;
   bursty.duration_s = duration_s;
   bursty.base_rps = 80.0;
@@ -133,11 +159,38 @@ RunNodeFailureBurst(bool quick, std::uint64_t seed)
           workload::BuildBurstyTrace(bursty), Rng(seed + 2)),
       Sec(duration_s));
 
-  chaos::ScenarioSpec spec("node_failure_burst");
+  chaos::ScenarioSpec spec(label);
   spec.FailNode(Sec(60), 0).RecoverNode(Sec(quick ? 90 : 130), 0);
   chaos::ChaosEngine engine(rig.rt.get(), spec);
   engine.Arm();
   rig.rt->RunFor(Sec(duration_s + 5));
+  return rig.Finish(spec.name(), engine);
+}
+
+/**
+ * Degraded-health path end to end: partial SM loss on one GPU, a 2.5x
+ * straggler on another, both healing later. Not disruptive (nothing is
+ * displaced — the KLC/scaler signal absorbs it), so the interesting
+ * outputs are SVR / completed, not TTR.
+ */
+ScenarioResult
+RunDegradedStraggler(bool quick, std::uint64_t seed)
+{
+  const TimeUs horizon = Sec(quick ? 90 : 150);
+  Rig rig(/*nodes=*/2, seed, "bert-base", /*provisioned=*/2);
+  rig.rt->AttachArrivals(
+      rig.fn,
+      std::make_unique<workload::PoissonArrivals>(40.0, Rng(seed + 5)),
+      horizon);
+
+  chaos::ScenarioSpec spec("degraded_straggler");
+  spec.DegradeGpu(Sec(20), 0, 0.5)
+      .StraggleGpu(Sec(30), 1, 2.5)
+      .RecoverGpu(Sec(quick ? 60 : 100), 0)
+      .RecoverGpu(Sec(quick ? 70 : 110), 1);
+  chaos::ChaosEngine engine(rig.rt.get(), spec);
+  engine.Arm();
+  rig.rt->RunFor(horizon + Sec(5));
   return rig.Finish(spec.name(), engine);
 }
 
@@ -237,9 +290,13 @@ main(int argc, char** argv)
 
   std::vector<ScenarioResult> results;
   results.push_back(RunGpuFailureSteady(quick, seed));
-  results.push_back(RunNodeFailureBurst(quick, seed));
+  results.push_back(
+      RunNodeFailureBurst(quick, seed, "joint", "node_failure_burst"));
+  results.push_back(RunNodeFailureBurst(quick, seed, "greedy",
+                                        "node_failure_burst_greedy"));
   results.push_back(RunDrainMaintenance(quick, seed));
   results.push_back(RunColdstartInflationSurge(quick, seed));
+  results.push_back(RunDegradedStraggler(quick, seed));
   for (const ScenarioResult& r : results) {
     std::fprintf(stderr,
                  "%-28s faults=%d recovered=%d/%d ttr=%.1fs svr=%.2f%% "

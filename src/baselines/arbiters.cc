@@ -37,7 +37,7 @@ TgsArbiter::Resolve(gpusim::Gpu& gpu, TimeUs now)
     }
     a.granted = std::min(a.demand, opp);
   }
-  gpusim::SqueezeToCapacity(atts);
+  gpusim::SqueezeToCapacity(atts, gpu.compute_capacity());
 }
 
 void
@@ -73,7 +73,7 @@ FastGsArbiter::Resolve(gpusim::Gpu& gpu, TimeUs now)
       a.granted += budget * (want / unmet);
     }
   }
-  gpusim::SqueezeToCapacity(atts);
+  gpusim::SqueezeToCapacity(atts, gpu.compute_capacity());
 }
 
 }  // namespace dilu::baselines

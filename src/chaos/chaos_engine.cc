@@ -80,6 +80,22 @@ ChaosEngine::Inject(std::size_t index)
     case FaultKind::kNodeUndrain:
       rt_->UndrainNode(e.target);
       break;
+    case FaultKind::kGpuDegrade:
+      // Displaces nothing: resident instances keep running at the
+      // surviving capacity (the KLC/scaler signal reacts, not the
+      // recovery pipeline), so no recovery watch is armed.
+      rt_->DegradeGpu(e.target, e.magnitude);
+      break;
+    case FaultKind::kGpuStraggle:
+      rt_->StraggleGpu(e.target, e.magnitude);
+      break;
+    case FaultKind::kCheckpointEvery:
+      rt_->SetCheckpointPolicy(e.function, e.duration);
+      rt_->metrics().RecordFault(
+          rt_->now(), "checkpoint_policy",
+          "fn=" + std::to_string(e.function) + " every="
+              + std::to_string(ToSec(e.duration)) + "s");
+      break;
     case FaultKind::kColdStartInflation: {
       // Overlapping windows: the newest factor wins immediately, and
       // an older window's end must not restore nominal mid-way through

@@ -17,6 +17,9 @@ ToString(FaultKind kind)
     case FaultKind::kNodeRecover: return "recover_node";
     case FaultKind::kNodeDrain: return "drain_node";
     case FaultKind::kNodeUndrain: return "undrain_node";
+    case FaultKind::kGpuDegrade: return "degrade_gpu";
+    case FaultKind::kGpuStraggle: return "straggle";
+    case FaultKind::kCheckpointEvery: return "checkpoint_every";
     case FaultKind::kColdStartInflation: return "inflate_coldstart";
     case FaultKind::kTrafficSurge: return "surge";
   }
@@ -98,6 +101,42 @@ ScenarioSpec::UndrainNode(TimeUs at, NodeId node)
   e.at = at;
   e.kind = FaultKind::kNodeUndrain;
   e.target = node;
+  events_.push_back(e);
+  return *this;
+}
+
+ScenarioSpec&
+ScenarioSpec::DegradeGpu(TimeUs at, GpuId gpu, double capacity)
+{
+  ScenarioEvent e;
+  e.at = at;
+  e.kind = FaultKind::kGpuDegrade;
+  e.target = gpu;
+  e.magnitude = capacity;
+  events_.push_back(e);
+  return *this;
+}
+
+ScenarioSpec&
+ScenarioSpec::StraggleGpu(TimeUs at, GpuId gpu, double factor)
+{
+  ScenarioEvent e;
+  e.at = at;
+  e.kind = FaultKind::kGpuStraggle;
+  e.target = gpu;
+  e.magnitude = factor;
+  events_.push_back(e);
+  return *this;
+}
+
+ScenarioSpec&
+ScenarioSpec::CheckpointEvery(TimeUs at, FunctionId fn, TimeUs every)
+{
+  ScenarioEvent e;
+  e.at = at;
+  e.kind = FaultKind::kCheckpointEvery;
+  e.function = fn;
+  e.duration = every;
   events_.push_back(e);
   return *this;
 }
@@ -255,6 +294,14 @@ ScenarioSpec::ToText() const
       case FaultKind::kNodeUndrain:
         out << " " << e.target;
         break;
+      case FaultKind::kGpuDegrade:
+      case FaultKind::kGpuStraggle:
+        out << " " << e.target << " x" << FormatMagnitude(e.magnitude);
+        break;
+      case FaultKind::kCheckpointEvery:
+        out << " fn=" << e.function << " every="
+            << FormatTime(e.duration);
+        break;
       case FaultKind::kColdStartInflation:
         out << " x" << FormatMagnitude(e.magnitude) << " for "
             << FormatTime(e.duration);
@@ -328,6 +375,43 @@ ScenarioSpec::Parse(const std::string& text, ScenarioSpec* out,
       if (verb == "recover_node") spec.RecoverNode(at, target);
       if (verb == "drain_node") spec.DrainNode(at, target);
       if (verb == "undrain_node") spec.UndrainNode(at, target);
+    } else if (verb == "degrade_gpu" || verb == "straggle") {
+      std::string factor_tok;
+      double factor = 0.0;
+      if (!parse_target(&target)) {
+        return Fail(error, line_no, verb + " needs a non-negative id");
+      }
+      if (!(toks >> factor_tok)
+          || !ParseDouble(StripPrefix(factor_tok, "x"), &factor)) {
+        return Fail(error, line_no,
+                    verb + " needs x<factor> (e.g. x0.6 / x2.5)");
+      }
+      if (verb == "degrade_gpu") {
+        if (factor <= 0.0 || factor >= 1.0) {
+          return Fail(error, line_no,
+                      "degrade_gpu capacity must be in (0, 1)");
+        }
+        spec.DegradeGpu(at, target, factor);
+      } else {
+        if (factor <= 1.0) {
+          return Fail(error, line_no,
+                      "straggle factor must be > 1 (e.g. x2.5)");
+        }
+        spec.StraggleGpu(at, target, factor);
+      }
+    } else if (verb == "checkpoint_every") {
+      std::string fn_tok;
+      std::string every_tok;
+      std::int32_t fn = -1;
+      TimeUs every = 0;
+      if (!(toks >> fn_tok >> every_tok)
+          || !ParseInt(StripPrefix(fn_tok, "fn="), &fn) || fn < 0
+          || !ParseTime(StripPrefix(every_tok, "every="), &every)
+          || every <= 0) {
+        return Fail(error, line_no,
+                    "checkpoint_every needs fn=<id> every=<time>");
+      }
+      spec.CheckpointEvery(at, fn, every);
     } else if (verb == "inflate_coldstart") {
       std::string factor_tok;
       double factor = 0.0;

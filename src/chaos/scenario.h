@@ -31,6 +31,9 @@ enum class FaultKind {
   kNodeRecover,
   kNodeDrain,
   kNodeUndrain,
+  kGpuDegrade,          ///< partial SM loss: capacity drops, GPU stays up
+  kGpuStraggle,         ///< latency inflation: capacity = 1/factor
+  kCheckpointEvery,     ///< arm periodic training checkpoints for a fn
   kColdStartInflation,  ///< scale cold-start durations for a window
   kTrafficSurge,        ///< extra Poisson arrivals for a window
 };
@@ -68,6 +71,12 @@ class ScenarioSpec {
   ScenarioSpec& RecoverNode(TimeUs at, NodeId node);
   ScenarioSpec& DrainNode(TimeUs at, NodeId node);
   ScenarioSpec& UndrainNode(TimeUs at, NodeId node);
+  /** Degrade `gpu` to `capacity` in (0, 1) of its nominal compute. */
+  ScenarioSpec& DegradeGpu(TimeUs at, GpuId gpu, double capacity);
+  /** Make `gpu` a straggler: latency inflates by `factor` > 1. */
+  ScenarioSpec& StraggleGpu(TimeUs at, GpuId gpu, double factor);
+  /** Arm periodic training checkpoints (`every`) for function `fn`. */
+  ScenarioSpec& CheckpointEvery(TimeUs at, FunctionId fn, TimeUs every);
   ScenarioSpec& InflateColdStarts(TimeUs at, double factor,
                                   TimeUs duration);
   ScenarioSpec& Surge(TimeUs at, FunctionId fn, double extra_rps,
@@ -91,6 +100,9 @@ class ScenarioSpec {
    *   scenario <name>
    *   at 10s fail_node 1
    *   at 12s surge fn=0 rps=80 for 20s
+   *   at 15s degrade_gpu 3 x0.6
+   *   at 20s straggle 5 x2.5
+   *   at 0s checkpoint_every fn=1 every=30s
    *   at 30s inflate_coldstart x2.5 for 60s
    *   at 40s recover_node 1
    *

@@ -58,6 +58,9 @@ MakeScheduler(const ClusterConfig& config)
 ClusterRuntime::ClusterRuntime(ClusterConfig config)
     : config_(std::move(config)), rng_(config_.seed)
 {
+  if (config_.recovery != "joint" && config_.recovery != "greedy") {
+    Fatal("unknown recovery mode: " + config_.recovery);
+  }
   gpu_group_ = std::make_unique<gpusim::GpuGroup>(
       &sim_, MakeArbiterFactory(config_));
   scheduler_ = MakeScheduler(config_);
@@ -344,10 +347,17 @@ ClusterRuntime::StartTrainingOn(FunctionId fn,
   const double mem = f.model->mem_gb_training;
 
   f.job = std::make_unique<runtime::TrainingJob>(
-      fn, f.model, workers, &sim_, f.spec.target_iterations);
+      fn, f.model, workers, &sim_, f.spec.target_iterations,
+      f.resume_iterations);
+  if (f.spec.checkpoint_every > 0) {
+    f.job->set_checkpoint_policy({f.spec.checkpoint_every});
+  }
   f.job->set_on_finished([this, fn] {
     DeployedFunction& fd = function(fn);
     fd.job_completed_at = sim_.now();
+    // The checkpoint baseline is consumed: a later fresh StartTraining
+    // of this function must begin at iteration zero, not resume here.
+    fd.resume_iterations = 0;
     for (InstanceId id : fd.live_instances) ReleaseInstance(id);
     fd.live_instances.clear();
   });
@@ -467,8 +477,17 @@ ClusterRuntime::AutoscaleTick(FunctionId fn)
   const int current = static_cast<int>(f.live_instances.size());
   f.instance_count_series.emplace_back(sim_.now(), current);
   if (current == 0) return;
-  const int desired =
-      f.policy->Decide(rps, current, f.spec.per_instance_rps);
+  // Degradation feeds the supply side of the scaler signal: an
+  // instance on a degraded GPU serves only its capacity factor of the
+  // profiled throughput, so the policy sees the derated mean and scales
+  // out when stragglers eat real capacity.
+  double capacity_sum = 0.0;
+  for (InstanceId id : f.live_instances) {
+    capacity_sum += state_.InstanceCapacityFactor(id);
+  }
+  const double effective_rps =
+      f.spec.per_instance_rps * capacity_sum / current;
+  const int desired = f.policy->Decide(rps, current, effective_rps);
   if (desired > current) {
     LaunchInference(fn, /*cold=*/true);
   } else if (desired < current) {
@@ -495,6 +514,8 @@ ClusterRuntime::SampleCluster()
   }
   s.avg_utilization = active == 0 ? 0.0 : util / active;
   s.schedulable_gpus = state_.SchedulableGpuCount();
+  s.degraded_gpus = state_.DegradedGpuCount();
+  s.effective_capacity = state_.EffectiveCapacity();
   metrics_.AddSample(s);
   max_active_gpus_ = std::max(max_active_gpus_, s.active_gpus);
 }
@@ -560,12 +581,52 @@ void
 ClusterRuntime::AbortTraining(DeployedFunction& f)
 {
   if (!f.job) return;
+  // Progress past the last checkpoint is lost; the snapshot survives
+  // as the resume baseline for the restart.
+  const std::int64_t done = f.job->stats().iterations_completed;
+  const std::int64_t safe = f.job->checkpointed_iterations();
+  f.resume_iterations = safe;
+  metrics_.RecordTrainingRestart(f.id, done - safe);
   f.job->Abort();
   // A pending communication-phase event may still hold the job pointer:
   // park the object instead of destroying it (see retired_jobs_).
   retired_jobs_.push_back(std::move(f.job));
   for (InstanceId id : f.live_instances) ReleaseInstance(id);
   f.live_instances.clear();
+}
+
+double
+ClusterRuntime::RecoveryDemand(FunctionId fn) const
+{
+  const DeployedFunction& f = function(fn);
+  const SmQuota q = QuotaForMode(f.spec.quota);
+  if (f.spec.type == TaskType::kTraining) {
+    // A training restart re-places the whole job.
+    return q.request * std::max(1, f.spec.workers);
+  }
+  return q.request;
+}
+
+void
+ClusterRuntime::OrderRecoveryBatch(std::vector<FunctionId>* needs) const
+{
+  if (config_.recovery != "joint" || needs->size() < 2) return;
+  std::stable_sort(
+      needs->begin(), needs->end(), [this](FunctionId a, FunctionId b) {
+        const double da = RecoveryDemand(a);
+        const double db = RecoveryDemand(b);
+        if (da != db) return da > db;
+        const DeployedFunction& fa = function(a);
+        const DeployedFunction& fb = function(b);
+        const double ma = fa.spec.type == TaskType::kTraining
+            ? fa.model->mem_gb_training
+            : fa.model->mem_gb_inference;
+        const double mb = fb.spec.type == TaskType::kTraining
+            ? fb.model->mem_gb_training
+            : fb.model->mem_gb_inference;
+        if (ma != mb) return ma > mb;
+        return a < b;
+      });
 }
 
 bool
@@ -601,10 +662,14 @@ ClusterRuntime::DeferRecovery(FunctionId fn)
 void
 ClusterRuntime::RetryPendingRecoveries()
 {
-  const std::size_t n = pending_recovery_.size();
-  for (std::size_t i = 0; i < n; ++i) {
-    const FunctionId fn = pending_recovery_.front();
-    pending_recovery_.pop_front();
+  // The whole backlog is one joint batch: re-sorted best-fit-decreasing
+  // each retry so the launches probe freed capacity largest-first
+  // (under "greedy", FIFO order is kept).
+  std::vector<FunctionId> batch(pending_recovery_.begin(),
+                                pending_recovery_.end());
+  pending_recovery_.clear();
+  OrderRecoveryBatch(&batch);
+  for (FunctionId fn : batch) {
     if (!LaunchRecovery(fn)) pending_recovery_.push_back(fn);
   }
   if (pending_recovery_.empty() && recovery_task_armed_) {
@@ -658,6 +723,9 @@ ClusterRuntime::FailGpus(const std::vector<GpuId>& gpus, const char* kind,
   metrics_.RecordFault(sim_.now(), kind,
                        target + " displaced="
                            + std::to_string(displaced));
+  // Joint bin-packing: the fault's whole displaced batch is placed
+  // together, best-fit-decreasing, instead of greedily in victim order.
+  OrderRecoveryBatch(&needs);
   for (FunctionId fn : needs) {
     if (!LaunchRecovery(fn)) DeferRecovery(fn);
   }
@@ -675,13 +743,63 @@ ClusterRuntime::FailGpu(GpuId gpu)
 }
 
 void
+ClusterRuntime::HealGpu(GpuId gpu)
+{
+  state_.SetHealth(gpu, GpuHealth::kUp);  // also resets capacity
+  gpu_group_->gpu(gpu).set_compute_capacity(1.0);
+}
+
+void
 ClusterRuntime::RecoverGpu(GpuId gpu)
 {
-  if (state_.health(gpu) != GpuHealth::kDown) return;
-  state_.SetHealth(gpu, GpuHealth::kUp);
+  const GpuHealth h = state_.health(gpu);
+  if (h != GpuHealth::kDown && h != GpuHealth::kDegraded) return;
+  HealGpu(gpu);
   metrics_.RecordFault(sim_.now(), "gpu_recover",
                        "gpu=" + std::to_string(gpu));
   if (!pending_recovery_.empty()) RetryPendingRecoveries();
+}
+
+void
+ClusterRuntime::DegradeToCapacity(GpuId gpu, double capacity,
+                                  const char* kind,
+                                  const std::string& detail)
+{
+  const GpuHealth h = state_.health(gpu);
+  if (h != GpuHealth::kUp && h != GpuHealth::kDegraded) {
+    DILU_WARN << kind << " ignored: gpu " << gpu << " is "
+              << ToString(h);
+    return;
+  }
+  state_.SetDegraded(gpu, capacity);
+  gpu_group_->gpu(gpu).set_compute_capacity(capacity);
+  metrics_.RecordFault(sim_.now(), kind,
+                       "gpu=" + std::to_string(gpu) + " " + detail);
+}
+
+void
+ClusterRuntime::DegradeGpu(GpuId gpu, double capacity)
+{
+  DILU_CHECK(capacity > 0.0 && capacity < 1.0);
+  DegradeToCapacity(gpu, capacity, "gpu_degrade",
+                    "capacity=" + std::to_string(capacity));
+}
+
+void
+ClusterRuntime::StraggleGpu(GpuId gpu, double factor)
+{
+  DILU_CHECK(factor > 1.0);
+  DegradeToCapacity(gpu, 1.0 / factor, "gpu_straggle",
+                    "x" + std::to_string(factor));
+}
+
+void
+ClusterRuntime::SetCheckpointPolicy(FunctionId fn, TimeUs every)
+{
+  DILU_CHECK(every >= 0);
+  DeployedFunction& f = function(fn);
+  f.spec.checkpoint_every = every;
+  if (f.job) f.job->set_checkpoint_policy({every});
 }
 
 int
@@ -704,9 +822,7 @@ ClusterRuntime::RecoverNode(NodeId node_id)
   if (n.health == GpuHealth::kUp) return;
   n.health = GpuHealth::kUp;
   for (GpuId g : n.gpus) {
-    if (state_.health(g) != GpuHealth::kUp) {
-      state_.SetHealth(g, GpuHealth::kUp);
-    }
+    if (state_.health(g) != GpuHealth::kUp) HealGpu(g);
   }
   metrics_.RecordFault(sim_.now(), "node_recover",
                        "node=" + std::to_string(node_id));
@@ -720,7 +836,8 @@ ClusterRuntime::DrainNode(NodeId node_id)
              && static_cast<std::size_t>(node_id) < nodes_.size());
   Node& n = nodes_[static_cast<std::size_t>(node_id)];
   for (GpuId g : n.gpus) {
-    if (state_.health(g) == GpuHealth::kUp) {
+    const GpuHealth h = state_.health(g);
+    if (h == GpuHealth::kUp || h == GpuHealth::kDegraded) {
       state_.SetHealth(g, GpuHealth::kDraining);
     }
   }
@@ -774,9 +891,9 @@ ClusterRuntime::UndrainNode(NodeId node_id)
   if (n.health != GpuHealth::kDraining) return;
   n.health = GpuHealth::kUp;
   for (GpuId g : n.gpus) {
-    if (state_.health(g) == GpuHealth::kDraining) {
-      state_.SetHealth(g, GpuHealth::kUp);
-    }
+    // Undrain returns the device whole: a degradation that preceded
+    // the drain is considered repaired by the maintenance.
+    if (state_.health(g) == GpuHealth::kDraining) HealGpu(g);
   }
   metrics_.RecordFault(sim_.now(), "node_undrain",
                        "node=" + std::to_string(node_id));

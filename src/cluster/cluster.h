@@ -58,6 +58,17 @@ struct ClusterConfig {
   /** Use warm (cached) starts for scale-out launches. */
   bool warm_starts = false;
 
+  /**
+   * Recovery re-placement policy for instances displaced by one fault:
+   * "joint" (default) collects the whole batch and places it
+   * best-fit-decreasing (largest resource demand first, over the load
+   * buckets), so big replacements grab the scarce post-fault holes
+   * before small ones fragment them; "greedy" keeps the per-instance
+   * order the fault discovered them in (victim-id order). Both fall
+   * back to the 1 s retry queue for the unplaceable remainder.
+   */
+  std::string recovery = "joint";
+
   /** FaST-GS per-iteration bookkeeping overhead on inference. */
   TimeUs fastgs_overhead = Ms(4);
 
@@ -74,6 +85,12 @@ struct DeployedFunction {
   std::unique_ptr<scaling::HorizontalPolicy> policy;
   TimeUs submitted_at = 0;
   TimeUs job_completed_at = -1;  ///< training JCT end
+  /**
+   * Training resume baseline: iterations persisted by the aborted
+   * job's last checkpoint; the next (re)start begins here instead of
+   * zero. 0 until a fault hits (or when no checkpoint policy is set).
+   */
+  std::int64_t resume_iterations = 0;
   /** (time, deployed instance count) samples from the scaler loop. */
   std::vector<std::pair<TimeUs, int>> instance_count_series;
 };
@@ -152,17 +169,50 @@ class ClusterRuntime {
   /**
    * Fail one GPU: it stops accepting placements, every instance with a
    * shard on it is killed (queued + in-flight requests re-dispatched to
-   * surviving instances or counted as drops), and replacements are
-   * launched through the scheduler as recovery cold starts. Training
-   * jobs lose their progress and restart (no checkpointing is modeled).
-   * Replacements that cannot be placed are retried every second until
-   * capacity returns.
+   * surviving instances or counted as drops), and the displaced batch
+   * is re-placed jointly through the scheduler as recovery cold starts
+   * (see ClusterConfig::recovery). Training jobs restart from their
+   * last checkpoint (iteration zero without a checkpoint policy), with
+   * the lost progress accounted in the metrics. Replacements that
+   * cannot be placed are retried every second until capacity returns.
    * @return the number of displaced instances.
    */
   int FailGpu(GpuId gpu);
 
-  /** Return a failed GPU to service (triggers a recovery retry). */
+  /**
+   * Return a failed or degraded GPU to full service (triggers a
+   * recovery retry). Healing restores capacity 1.0.
+   */
   void RecoverGpu(GpuId gpu);
+
+  /**
+   * Degrade a GPU to `capacity` in (0, 1) of its nominal compute
+   * (partial SM loss). The device stays schedulable: resident
+   * instances keep running (squeezed to the surviving capacity, which
+   * inflates their kernel-launch cycles and feeds the KLC/scaler
+   * signal), and the schedulers scale its oversubscription caps by the
+   * capacity. No instance is displaced. A degraded GPU can heal
+   * (RecoverGpu) or escalate to down (FailGpu). No-op on draining or
+   * down devices.
+   */
+  void DegradeGpu(GpuId gpu, double capacity);
+
+  /**
+   * Make a GPU a straggler: every resident instance's latency inflates
+   * by `factor` >= 1. Modeled as DegradeGpu(gpu, 1 / factor) — the
+   * grant squeeze stretches kernel-launch cycles exactly as a slow
+   * device does — but audited as its own fault kind.
+   */
+  void StraggleGpu(GpuId gpu, double factor);
+
+  /**
+   * Arm (or change) periodic training checkpoints for `fn`: the live
+   * job (and every restart) snapshots progress at the first iteration
+   * boundary at least `every` after the previous checkpoint, so a
+   * fault restarts from the snapshot instead of iteration zero.
+   * `every` == 0 disarms. Inference functions ignore it.
+   */
+  void SetCheckpointPolicy(FunctionId fn, TimeUs every);
 
   /** Fail every GPU of `node` (whole-server fault). */
   int FailNode(NodeId node);
@@ -250,6 +300,23 @@ class ClusterRuntime {
                     std::vector<workload::Request*>* orphans);
   /** Abort a training job (worker lost); park it in the graveyard. */
   void AbortTraining(DeployedFunction& f);
+  /** Heal one GPU to full capacity in both the state and the device. */
+  void HealGpu(GpuId gpu);
+  /**
+   * Shared body of DegradeGpu / StraggleGpu: guard the health, mirror
+   * the capacity into the state and the device, audit as `kind`.
+   */
+  void DegradeToCapacity(GpuId gpu, double capacity, const char* kind,
+                         const std::string& detail);
+  /** Whole-instance request-quota demand of one recovery launch. */
+  double RecoveryDemand(FunctionId fn) const;
+  /**
+   * Joint bin-packing order ("joint" recovery): sort a displaced batch
+   * best-fit-decreasing — highest request demand first, memory and
+   * function id as tie-breaks — so each launch's best-fit placement
+   * sees the batch largest-first. No-op under "greedy".
+   */
+  void OrderRecoveryBatch(std::vector<FunctionId>* needs) const;
   /** Launch a replacement for a displaced instance / aborted job. */
   bool LaunchRecovery(FunctionId fn);
   /** Queue a failed recovery launch and arm the 1 s retry loop. */

@@ -61,6 +61,15 @@ MetricsHub::RecordDrop(FunctionId id)
 }
 
 void
+MetricsHub::RecordTrainingRestart(FunctionId id,
+                                  std::int64_t lost_iterations)
+{
+  FunctionMetrics& m = functions_[id];
+  ++m.training_restarts;
+  m.lost_iterations += lost_iterations;
+}
+
+void
 MetricsHub::RecordFault(TimeUs time, const std::string& kind,
                         const std::string& detail)
 {
@@ -130,6 +139,14 @@ MetricsHub::TotalDropped() const
 {
   std::int64_t n = 0;
   for (const auto& [id, m] : functions_) n += m.dropped;
+  return n;
+}
+
+std::int64_t
+MetricsHub::TotalLostIterations() const
+{
+  std::int64_t n = 0;
+  for (const auto& [id, m] : functions_) n += m.lost_iterations;
   return n;
 }
 

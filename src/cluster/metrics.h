@@ -33,6 +33,14 @@ struct FunctionMetrics {
   int cold_starts = 0;
   /** Cold starts paid to heal the fleet (failure/drain replacements). */
   int recovery_cold_starts = 0;
+  /** Training: job restarts forced by faults. */
+  int training_restarts = 0;
+  /**
+   * Training: iterations of progress lost to faults — work done past
+   * the last checkpoint when the job aborted (everything since start,
+   * with no checkpoint policy).
+   */
+  std::int64_t lost_iterations = 0;
 
   /** SLO violation rate in percent. */
   double SvrPercent() const;
@@ -51,7 +59,10 @@ struct ClusterSample {
   double sm_fragmentation = 0.0;   ///< avg unreserved SM share on active GPUs
   double mem_fragmentation = 0.0;  ///< avg free memory fraction on active GPUs
   double avg_utilization = 0.0;    ///< mean granted share across active GPUs
-  int schedulable_gpus = 0;        ///< devices accepting placements (health up)
+  int schedulable_gpus = 0;        ///< devices accepting placements (up/degraded)
+  int degraded_gpus = 0;           ///< devices in the degraded state
+  /** Sum of effective compute capacity over schedulable devices. */
+  double effective_capacity = 0.0;
 };
 
 /** One injected fault or recovery action (the chaos audit log). */
@@ -79,6 +90,12 @@ class MetricsHub {
 
   /** Count one dropped (unroutable) request for `id`. */
   void RecordDrop(FunctionId id);
+
+  /**
+   * Count one fault-forced training restart for `id`, losing
+   * `lost_iterations` of un-checkpointed progress.
+   */
+  void RecordTrainingRestart(FunctionId id, std::int64_t lost_iterations);
 
   /** Append one entry to the fault audit log. */
   void RecordFault(TimeUs time, const std::string& kind,
@@ -116,6 +133,9 @@ class MetricsHub {
 
   /** Total dropped requests over every function. */
   std::int64_t TotalDropped() const;
+
+  /** Total training iterations lost to faults over every function. */
+  std::int64_t TotalLostIterations() const;
 
   /** Aggregate availability (%) over every function. */
   double OverallAvailabilityPercent() const;

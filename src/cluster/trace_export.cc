@@ -7,12 +7,15 @@ ExportClusterSamples(const MetricsHub& hub)
 {
   CsvWriter csv({"time_s", "active_gpus", "sm_fragmentation",
                  "mem_fragmentation", "avg_utilization",
-                 "schedulable_gpus"});
+                 "schedulable_gpus", "degraded_gpus",
+                 "effective_capacity"});
   for (const ClusterSample& s : hub.samples()) {
     csv.AddRow({ToSec(s.time), static_cast<double>(s.active_gpus),
                 s.sm_fragmentation, s.mem_fragmentation,
                 s.avg_utilization,
-                static_cast<double>(s.schedulable_gpus)});
+                static_cast<double>(s.schedulable_gpus),
+                static_cast<double>(s.degraded_gpus),
+                s.effective_capacity});
   }
   return csv;
 }
@@ -22,7 +25,8 @@ ExportFunctionMetrics(const MetricsHub& hub)
 {
   CsvWriter csv({"function", "slo_ms", "completed", "p50_ms", "p95_ms",
                  "svr_percent", "cold_starts", "recovery_cold_starts",
-                 "dropped", "availability_percent"});
+                 "dropped", "availability_percent", "training_restarts",
+                 "lost_iterations"});
   for (const auto& [id, m] : hub.functions()) {
     (void)id;
     csv.AddTextRow({m.name, std::to_string(m.slo_ms),
@@ -33,7 +37,9 @@ ExportFunctionMetrics(const MetricsHub& hub)
                     std::to_string(m.cold_starts),
                     std::to_string(m.recovery_cold_starts),
                     std::to_string(m.dropped),
-                    std::to_string(m.AvailabilityPercent())});
+                    std::to_string(m.AvailabilityPercent()),
+                    std::to_string(m.training_restarts),
+                    std::to_string(m.lost_iterations)});
   }
   return csv;
 }

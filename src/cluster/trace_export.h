@@ -17,14 +17,14 @@ namespace dilu::cluster {
 /**
  * Cluster snapshots (1 Hz occupancy / fragmentation / utilization) as
  * CSV: time_s, active_gpus, sm_frag, mem_frag, avg_util,
- * schedulable_gpus.
+ * schedulable_gpus, degraded_gpus, effective_capacity.
  */
 CsvWriter ExportClusterSamples(const MetricsHub& hub);
 
 /**
  * Per-function serving summary as CSV: function, slo_ms, completed,
  * p50_ms, p95_ms, svr_percent, cold_starts, recovery_cold_starts,
- * dropped, availability_percent.
+ * dropped, availability_percent, training_restarts, lost_iterations.
  */
 CsvWriter ExportFunctionMetrics(const MetricsHub& hub);
 

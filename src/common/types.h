@@ -58,13 +58,17 @@ constexpr GpuId kInvalidGpu = -1;
 
 /**
  * Health of a GPU (and, by aggregation, of a node) in the simulated
- * fleet. `kUp` devices accept new placements; `kDraining` devices keep
- * serving resident instances but refuse new ones (maintenance drain);
- * `kDown` devices have failed — their instances are killed and
- * re-placed by the recovery pipeline (see docs/FAULT_MODEL.md).
+ * fleet. `kUp` devices accept new placements; `kDegraded` devices lost
+ * part of their compute (partial SM loss) or straggle (latency
+ * inflation) but stay schedulable at reduced effective capacity;
+ * `kDraining` devices keep serving resident instances but refuse new
+ * ones (maintenance drain); `kDown` devices have failed — their
+ * instances are killed and re-placed by the recovery pipeline (see
+ * docs/FAULT_MODEL.md).
  */
 enum class GpuHealth {
   kUp,
+  kDegraded,
   kDraining,
   kDown,
 };
@@ -73,6 +77,7 @@ enum class GpuHealth {
 inline const char* ToString(GpuHealth h) {
   switch (h) {
     case GpuHealth::kUp: return "up";
+    case GpuHealth::kDegraded: return "degraded";
     case GpuHealth::kDraining: return "draining";
     case GpuHealth::kDown: return "down";
   }

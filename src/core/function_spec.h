@@ -39,6 +39,13 @@ struct FunctionSpec {
   std::int64_t target_iterations = 0;
 
   /**
+   * Training: checkpoint interval in simulated time (0 = never). A
+   * fault restarts the job from the last checkpoint instead of
+   * iteration zero; see runtime::CheckpointPolicy.
+   */
+  TimeUs checkpoint_every = 0;
+
+  /**
    * Functions whose instances exhibit high workload affinity with this
    * one (Principle 1); the scheduler prefers collocating with them.
    */

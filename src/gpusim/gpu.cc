@@ -122,12 +122,19 @@ ShareArbiter::OnDetach(Gpu& gpu, InstanceId id)
 }
 
 void
-SqueezeToCapacity(std::vector<Attachment>& atts)
+Gpu::set_compute_capacity(double capacity)
+{
+  DILU_CHECK(capacity > 0.0 && capacity <= 1.0);
+  compute_capacity_ = capacity;
+}
+
+void
+SqueezeToCapacity(std::vector<Attachment>& atts, double capacity)
 {
   double total = 0.0;
   for (const Attachment& a : atts) total += a.granted;
-  if (total <= 1.0 + 1e-12) return;
-  const double factor = 1.0 / total;
+  if (total <= capacity + 1e-12) return;
+  const double factor = capacity / total;
   for (Attachment& a : atts) a.granted *= factor;
 }
 
@@ -143,7 +150,8 @@ StaticArbiter::Resolve(Gpu& gpu, TimeUs now)
     granted_total += a.granted;
     if (a.demand > 0.0) active_static += a.static_share;
   }
-  if (granted_total > 1.0 + 1e-12 && active_static > 0.0) {
+  if (granted_total > gpu.compute_capacity() + 1e-12
+      && active_static > 0.0) {
     // Oversubscribed MPS partitions: each active process's effective
     // parallelism degrades toward its quota's proportional share, and
     // the uncoordinated kernel launches thrash caches/DRAM with a cost
@@ -157,7 +165,7 @@ StaticArbiter::Resolve(Gpu& gpu, TimeUs now)
       a.granted = std::min(a.granted, fair) * efficiency;
     }
   }
-  SqueezeToCapacity(atts);
+  SqueezeToCapacity(atts, gpu.compute_capacity());
 }
 
 }  // namespace dilu::gpusim

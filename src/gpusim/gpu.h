@@ -101,6 +101,17 @@ class Gpu {
   double memory_used_gb() const;
   bool occupied() const { return !attachments_.empty(); }
 
+  /**
+   * Effective compute capacity in (0, 1]: 1.0 nominal; lower while the
+   * device is degraded (partial SM loss, or 1/straggle-factor for a
+   * straggler's latency inflation). Arbiters squeeze their grants to
+   * this ceiling, so resident instances slow down proportionally —
+   * which is exactly the kernel-launch-cycle inflation the KLC monitor
+   * (and through it Algorithm 2 and the scaler) observes.
+   */
+  double compute_capacity() const { return compute_capacity_; }
+  void set_compute_capacity(double capacity);
+
   /** Attach an instance shard; fails (Fatal) on memory overflow. */
   void Attach(const Attachment& att);
 
@@ -141,6 +152,7 @@ class Gpu {
  private:
   GpuId id_;
   double memory_capacity_gb_;
+  double compute_capacity_ = 1.0;
   std::vector<Attachment> attachments_;
   double used_share_ = 0.0;
   TimeWeighted utilization_;
@@ -183,8 +195,13 @@ class StaticArbiter : public ShareArbiter {
   std::string name() const override { return "static-mps"; }
 };
 
-/** Squeeze grants proportionally so their sum fits device capacity. */
-void SqueezeToCapacity(std::vector<Attachment>& atts);
+/**
+ * Squeeze grants proportionally so their sum fits `capacity`. Pass the
+ * device's `Gpu::compute_capacity()` (no default on purpose: every
+ * arbiter must honor degradation, and forgetting the argument should
+ * not compile).
+ */
+void SqueezeToCapacity(std::vector<Attachment>& atts, double capacity);
 
 }  // namespace dilu::gpusim
 

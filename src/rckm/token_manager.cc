@@ -262,7 +262,7 @@ DiluArbiter::Resolve(gpusim::Gpu& gpu, TimeUs now)
     const double cap = grants[i].tokens / models::kBlocksPerQuantum;
     atts[i].granted = std::min(atts[i].demand, cap);
   }
-  gpusim::SqueezeToCapacity(atts);
+  gpusim::SqueezeToCapacity(atts, gpu.compute_capacity());
 }
 
 void

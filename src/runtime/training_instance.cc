@@ -13,8 +13,8 @@ TrainingStats::Throughput(TimeUs now, int batch, int workers) const
   if (started_at < 0) return 0.0;
   const TimeUs end = finished_at >= 0 ? finished_at : now;
   if (end <= started_at) return 0.0;
-  return static_cast<double>(iterations_completed) * batch * workers
-      / ToSec(end - started_at);
+  return static_cast<double>(iterations_completed - resumed_from) * batch
+      * workers / ToSec(end - started_at);
 }
 
 TrainingInstance::TrainingInstance(InstanceId id, FunctionId function,
@@ -101,7 +101,8 @@ TrainingInstance::BlocksLaunchedLastQuantum(int slot) const
 TrainingJob::TrainingJob(FunctionId function,
                          const models::ModelProfile* model, int workers,
                          sim::Simulation* sim,
-                         std::int64_t target_iterations)
+                         std::int64_t target_iterations,
+                         std::int64_t start_iterations)
     : function_(function),
       model_(model),
       workers_(workers),
@@ -110,6 +111,13 @@ TrainingJob::TrainingJob(FunctionId function,
 {
   DILU_CHECK(model != nullptr);
   DILU_CHECK(workers >= 1);
+  DILU_CHECK(start_iterations >= 0);
+  stats_.iterations_completed = start_iterations;
+  stats_.resumed_from = start_iterations;
+  // The resume baseline is itself checkpointed state: a second fault
+  // before the first new checkpoint restarts from here again.
+  checkpointed_iterations_ = start_iterations;
+  last_checkpoint_at_ = sim->now();
   worker_ptrs_.assign(static_cast<std::size_t>(workers), nullptr);
 }
 
@@ -162,6 +170,15 @@ TrainingJob::OnAllComputeDone(TimeUs latest)
   sim_->queue().ScheduleAt(comm_end, [this] {
     if (finished_) return;  // aborted mid-communication
     ++stats_.iterations_completed;
+    // Checkpoint at iteration boundaries: the first boundary at least
+    // `every` after the previous snapshot persists the progress. Tied
+    // to simulated time (not the wall clock), so replays are exact.
+    if (checkpoint_.every > 0
+        && sim_->now() - last_checkpoint_at_ >= checkpoint_.every) {
+      checkpointed_iterations_ = stats_.iterations_completed;
+      last_checkpoint_at_ = sim_->now();
+      ++stats_.checkpoints_taken;
+    }
     if (target_iterations_ > 0
         && stats_.iterations_completed >= target_iterations_) {
       finished_ = true;

@@ -61,13 +61,34 @@ class TrainingInstance : public Instance {
   TimeUs compute_finished_at_ = 0;
 };
 
+/**
+ * Periodic checkpointing for training jobs. With `every` > 0 the job
+ * snapshots its progress at the first iteration boundary at least
+ * `every` after the previous checkpoint; a fault then restarts from
+ * the last snapshot instead of iteration zero, and only the work since
+ * it is lost (accounted by the cluster metrics). `every` == 0 models
+ * no checkpointing — a fault loses everything (the pre-checkpoint
+ * behaviour).
+ */
+struct CheckpointPolicy {
+  TimeUs every = 0;
+};
+
 /** Aggregate statistics for a training job. */
 struct TrainingStats {
   std::int64_t iterations_completed = 0;
+  /** Iterations inherited from a checkpoint (0 for a fresh job). */
+  std::int64_t resumed_from = 0;
+  /** Checkpoints taken by this job object (resets on restart). */
+  std::int64_t checkpoints_taken = 0;
   TimeUs started_at = -1;
   TimeUs finished_at = -1;
 
-  /** Mean samples/s between start and `now` (or completion). */
+  /**
+   * Mean samples/s between start and `now` (or completion), counting
+   * only iterations this job object executed (not the checkpointed
+   * baseline a restart resumed from).
+   */
   double Throughput(TimeUs now, int batch, int workers) const;
 };
 
@@ -80,9 +101,15 @@ struct TrainingStats {
  */
 class TrainingJob {
  public:
+  /**
+   * @param start_iterations  resume baseline: the job begins with this
+   *        many iterations already counted (a restart from a
+   *        checkpoint); still finishes at `target_iterations` total.
+   */
   TrainingJob(FunctionId function, const models::ModelProfile* model,
               int workers, sim::Simulation* sim,
-              std::int64_t target_iterations = 0);
+              std::int64_t target_iterations = 0,
+              std::int64_t start_iterations = 0);
 
   /** Create worker `index` (ownership shared with caller/cluster). */
   std::unique_ptr<TrainingInstance> MakeWorker(InstanceId id, int index);
@@ -102,6 +129,28 @@ class TrainingJob {
 
   /** Job-completion callback (JCT recording). */
   void set_on_finished(std::function<void()> cb) { on_finished_ = std::move(cb); }
+
+  /**
+   * Arm (or change) the checkpoint policy. Effective from the next
+   * iteration boundary; the interval is measured from the last
+   * checkpoint (or job creation).
+   */
+  void set_checkpoint_policy(const CheckpointPolicy& policy)
+  {
+    checkpoint_ = policy;
+  }
+  const CheckpointPolicy& checkpoint_policy() const { return checkpoint_; }
+
+  /**
+   * Progress safe against a fault: the iteration count at the last
+   * checkpoint (the resume baseline when no checkpoint fired yet). A
+   * restart launched with this as `start_iterations` loses exactly
+   * iterations_completed - checkpointed_iterations() of work.
+   */
+  std::int64_t checkpointed_iterations() const
+  {
+    return checkpointed_iterations_;
+  }
 
   /**
    * Abort the job (worker lost to a GPU/node failure): terminates every
@@ -131,6 +180,9 @@ class TrainingJob {
   bool in_compute_ = false;
   bool finished_ = false;
   TrainingStats stats_;
+  CheckpointPolicy checkpoint_;
+  std::int64_t checkpointed_iterations_ = 0;
+  TimeUs last_checkpoint_at_ = 0;
   std::function<void()> on_finished_;
 };
 

@@ -35,7 +35,11 @@ class HorizontalPolicy {
   /**
    * Feed one per-second RPS sample; returns the desired instance count
    * given `current` deployed (including still-cold) instances.
-   * @param per_instance_rps  profiled serving throughput per instance
+   * @param per_instance_rps  profiled serving throughput per instance.
+   *        The cluster layer derates this by the fleet's degraded-GPU
+   *        capacity factors (a straggler-hosted instance serves less
+   *        than profiled), so policies automatically scale out when
+   *        degradation eats real capacity — no policy change needed.
    */
   virtual int Decide(double rps_sample, int current,
                      double per_instance_rps) = 0;

@@ -18,7 +18,10 @@ ExclusiveScheduler::Place(const PlacementRequest& req, ClusterState& state)
     const GpuId chosen = LowestIdleGpu(
         state,
         [&](const GpuInfo& g) {
-          return g.schedulable() && req.mem_gb <= g.mem_total_gb;
+          // Exclusive hands out whole devices; a degraded GPU no longer
+          // has a whole device to give, so it is skipped until healed.
+          return g.schedulable() && g.capacity >= 1.0
+              && req.mem_gb <= g.mem_total_gb;
         },
         result.gpus);
     if (chosen == kInvalidGpu) {
@@ -52,8 +55,10 @@ StaticQuotaScheduler::Place(const PlacementRequest& req,
   Placement result;
   for (int shard = 0; shard < req.gpus_needed; ++shard) {
     const auto feasible = [&](const GpuInfo& g) {
+      // The static-quota budget scales with the device's surviving
+      // capacity (g.capacity < 1 on degraded GPUs).
       return g.schedulable()
-          && g.req_sum + req.quota.request <= capacity_ + 1e-9
+          && g.req_sum + req.quota.request <= capacity_ * g.capacity + 1e-9
           && g.mem_used + req.mem_gb <= g.mem_total_gb + 1e-9;
     };
 

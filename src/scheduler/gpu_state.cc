@@ -28,6 +28,7 @@ ClusterState::AddGpu(NodeId node, double mem_gb)
   std::push_heap(idle_heap_.begin(), idle_heap_.end(),
                  std::greater<GpuId>());
   ++schedulable_count_;
+  effective_capacity_ += info.capacity;
   return info.id;
 }
 
@@ -125,7 +126,20 @@ ClusterState::SetHealth(GpuId id, GpuHealth health)
   GpuInfo& g = gpu(id);
   if (g.health == health) return;
   const bool was_up = g.schedulable();
+  if (g.health == GpuHealth::kDegraded) --degraded_count_;
+  if (was_up) effective_capacity_ -= g.capacity;
   g.health = health;
+  // Only healing (entering up) restores the whole device; a degraded
+  // device that drains or dies keeps its recorded capacity so the
+  // scaler derate stays honest while residents run out. Entering
+  // degraded through SetHealth keeps the current capacity (SetDegraded
+  // is the API that carries a new one).
+  if (health == GpuHealth::kDegraded) {
+    ++degraded_count_;
+  } else if (health == GpuHealth::kUp) {
+    g.capacity = 1.0;
+  }
+  if (g.schedulable()) effective_capacity_ += g.capacity;
   const std::size_t u = static_cast<std::size_t>(id);
   if (was_up && !g.schedulable()) {
     --schedulable_count_;
@@ -142,6 +156,35 @@ ClusterState::SetHealth(GpuId id, GpuHealth health)
                      std::greater<GpuId>());
     }
   }
+}
+
+void
+ClusterState::SetDegraded(GpuId id, double capacity)
+{
+  DILU_CHECK(capacity > 0.0 && capacity <= 1.0);
+  GpuInfo& g = gpu(id);
+  DILU_CHECK(g.schedulable());
+  if (g.health != GpuHealth::kDegraded) {
+    ++degraded_count_;
+    g.health = GpuHealth::kDegraded;
+  }
+  effective_capacity_ += capacity - g.capacity;
+  g.capacity = capacity;
+  // Schedulability is unchanged, so every placement index (buckets,
+  // min-idle heap, active/idle lists) keeps its membership; only the
+  // schedulers' per-candidate cap changes.
+}
+
+double
+ClusterState::InstanceCapacityFactor(InstanceId instance) const
+{
+  auto it = placements_.find(instance);
+  if (it == placements_.end()) return 1.0;
+  double factor = 1.0;
+  for (const ShardCommit& s : it->second.shards) {
+    factor = std::min(factor, gpu(s.gpu).capacity);
+  }
+  return factor;
 }
 
 GpuId

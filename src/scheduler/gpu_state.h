@@ -42,11 +42,22 @@ struct GpuInfo {
   double mem_used = 0.0;  ///< committed memory (GB)
   std::vector<FunctionId> functions;  ///< resident function ids
   GpuHealth health = GpuHealth::kUp;
+  /**
+   * Effective compute capacity as a fraction of the nominal device:
+   * 1.0 while healthy; (0, 1) while degraded (partial SM loss, or the
+   * reciprocal of a straggler's latency inflation). Schedulers scale
+   * their oversubscription caps by it, so a degraded device keeps
+   * accepting placements — just fewer of them.
+   */
+  SmRate capacity = 1.0;
 
   bool active() const { return !functions.empty(); }
   double mem_free() const { return mem_total_gb - mem_used; }
-  /** Only healthy devices accept new placements. */
-  bool schedulable() const { return health == GpuHealth::kUp; }
+  /** Up and degraded devices accept new placements. */
+  bool schedulable() const
+  {
+    return health == GpuHealth::kUp || health == GpuHealth::kDegraded;
+  }
 };
 
 /** One shard's committed resources. */
@@ -90,18 +101,54 @@ class ClusterState {
 
   /**
    * Change a GPU's health. The placement indexes respect health
-   * transitions immediately: leaving `kUp` removes the device from the
-   * load buckets (active GPUs) and hides it from the min-idle answer
-   * (idle GPUs); returning to `kUp` restores it. Committed resources
-   * and residency are untouched — failure handling (killing and
-   * re-placing displaced instances) is the cluster layer's job.
+   * transitions immediately: leaving the schedulable states (up,
+   * degraded) removes the device from the load buckets (active GPUs)
+   * and hides it from the min-idle answer (idle GPUs); returning
+   * restores it. Entering `kUp` resets capacity to 1.0 (a recovered
+   * device is whole again). Committed resources and residency are
+   * untouched — failure handling (killing and re-placing displaced
+   * instances) is the cluster layer's job. To enter the degraded state
+   * use SetDegraded, which also carries the capacity.
    */
   void SetHealth(GpuId id, GpuHealth health);
 
+  /**
+   * Mark a schedulable GPU degraded at `capacity` in (0, 1]: it stays
+   * in every placement index (the device still accepts work), but
+   * schedulers scale its oversubscription caps by the capacity.
+   * Re-degrading an already-degraded device just updates the capacity.
+   * Requires the GPU to be up or degraded (escalation to down and
+   * healing go through SetHealth).
+   */
+  void SetDegraded(GpuId id, double capacity);
+
   GpuHealth health(GpuId id) const { return gpu(id).health; }
 
-  /** Number of GPUs currently accepting placements (health == up). */
+  /** Effective capacity of a GPU (1.0 unless degraded). */
+  double capacity(GpuId id) const { return gpu(id).capacity; }
+
+  /** Number of GPUs currently accepting placements (up or degraded). */
   int SchedulableGpuCount() const { return schedulable_count_; }
+
+  /** Number of GPUs currently in the degraded state. */
+  int DegradedGpuCount() const { return degraded_count_; }
+
+  /**
+   * Sum of effective compute capacity over schedulable GPUs, in device
+   * units: a 16-GPU fleet with one device degraded to 0.6 reports 15.6.
+   * This is the supply-side signal degradation feeds to the scaler and
+   * the 1 Hz cluster samples.
+   */
+  double EffectiveCapacity() const { return effective_capacity_; }
+
+  /**
+   * Minimum effective capacity over the GPUs hosting `instance`'s
+   * shards (lockstep shards run at the slowest device), 1.0 when the
+   * instance has no recorded placement. The cluster layer uses it to
+   * derate a degraded instance's serving throughput in the scaler
+   * signal.
+   */
+  double InstanceCapacityFactor(InstanceId instance) const;
 
   /**
    * GPUs currently hosting any of `functions` (workload affinity),
@@ -192,6 +239,9 @@ class ClusterState {
   mutable std::vector<char> in_idle_heap_;
   bool uniform_mem_ = true;
   int schedulable_count_ = 0;
+  int degraded_count_ = 0;
+  /** Sum of capacity over schedulable GPUs (see EffectiveCapacity). */
+  double effective_capacity_ = 0.0;
 };
 
 }  // namespace dilu::scheduler

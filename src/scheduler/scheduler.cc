@@ -75,6 +75,8 @@ DiluScheduler::MakeContext(const PlacementRequest& req) const
   ctx.mem = req.mem_gb;
   ctx.alpha = config_.alpha;
   ctx.beta = config_.beta;
+  ctx.omega = config_.omega;
+  ctx.gamma = config_.gamma;
   // Algorithm 1 line 25 minimizes the residual-fragmentation score
   // alpha*(1 - new_req) + beta*(1 - new_mem_ratio); its request-only
   // terms are constant per call, so selection equivalently maximizes
@@ -90,9 +92,20 @@ DiluScheduler::Feasible(const GpuInfo& g, const RequestContext& ctx) const
   // min-idle answer; this check additionally covers candidates arriving
   // through the residency (affinity) index, which still lists draining
   // or failed GPUs hosting not-yet-evacuated instances.
-  return g.schedulable() && g.req_sum <= ctx.req_cap
-      && g.lim_sum <= ctx.lim_cap
-      && g.mem_used + ctx.mem <= g.mem_total_gb + 1e-9;
+  if (!g.schedulable()
+      || g.mem_used + ctx.mem > g.mem_total_gb + 1e-9) {
+    return false;
+  }
+  if (g.capacity >= 1.0) {  // whole device: the common, pre-hoisted path
+    return g.req_sum <= ctx.req_cap && g.lim_sum <= ctx.lim_cap;
+  }
+  // Degraded device: oversubscription budgets scale with the surviving
+  // capacity. The bucket prune in SelectActive uses the whole-device
+  // cap, which is strictly looser, so it can never wrongly skip a
+  // bucket containing a feasible degraded GPU.
+  const double lost = 1.0 - g.capacity;
+  return g.req_sum <= ctx.req_cap - ctx.omega * lost
+      && g.lim_sum <= ctx.lim_cap - ctx.gamma * lost;
 }
 
 GpuId

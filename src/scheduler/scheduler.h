@@ -94,11 +94,20 @@ class DiluScheduler : public Scheduler {
    * large-scale placement pass).
    */
   struct RequestContext {
-    double req_cap = 0.0;  ///< feasible iff req_sum <= req_cap
-    double lim_cap = 0.0;  ///< feasible iff lim_sum <= lim_cap
+    double req_cap = 0.0;  ///< feasible iff req_sum <= req_cap (whole GPU)
+    double lim_cap = 0.0;  ///< feasible iff lim_sum <= lim_cap (whole GPU)
     double mem = 0.0;      ///< per-shard memory to add
     double alpha = 0.0;
     double beta = 0.0;
+    /**
+     * Cap slack lost per unit of missing capacity: a GPU degraded to
+     * capacity c tightens the caps to req_cap - omega*(1-c) and
+     * lim_cap - gamma*(1-c) (i.e. the oversubscription budget scales
+     * with the surviving SMs). Whole devices skip the subtraction, so
+     * the fault-free path stays two compares per candidate.
+     */
+    double omega = 0.0;
+    double gamma = 0.0;
   };
 
   RequestContext MakeContext(const PlacementRequest& req) const;

@@ -32,10 +32,16 @@ GpuId LowestIdleGpu(const ClusterState& state, const Feasible& feasible,
     const GpuId min_idle = state.MinIdleGpu();
     if (min_idle == kInvalidGpu) return kInvalidGpu;
     if (!feasible(state.gpus()[static_cast<std::size_t>(min_idle)])) {
-      return kInvalidGpu;
+      // With whole devices only, idle GPUs are interchangeable and an
+      // infeasible minimum means all are infeasible. A degraded idle
+      // device breaks that symmetry (its caps are tighter), so fall
+      // through to the scan instead of giving up.
+      if (state.DegradedGpuCount() == 0) return kInvalidGpu;
+    } else if (!Excluded(min_idle, exclude)) {
+      return min_idle;
     }
-    if (!Excluded(min_idle, exclude)) return min_idle;
-    // A previous shard took the minimum: scan for the next-lowest id.
+    // A previous shard took the minimum (or the minimum is degraded):
+    // scan for the lowest-id feasible idle device.
   }
   GpuId best = kInvalidGpu;
   for (GpuId id : state.idle_gpus()) {

@@ -13,6 +13,7 @@
 
 #include "chaos/chaos_engine.h"
 #include "cluster/trace_export.h"
+#include "invariant_audit.h"
 #include "scaling/global_scaler.h"
 #include "scheduler/baseline_schedulers.h"
 #include "workload/arrival.h"
@@ -141,6 +142,9 @@ TEST(Scenario, TextRoundTrip)
       .UndrainNode(Sec(60), 2)
       .FailGpu(Sec(70), 3)
       .RecoverGpu(Sec(80), 3)
+      .DegradeGpu(Sec(82), 4, 0.6)
+      .StraggleGpu(Sec(84), 5, 2.5)
+      .CheckpointEvery(Sec(86), 1, Sec(30))
       .RecoverNode(Sec(90), 1);
   const std::string text = spec.ToText();
 
@@ -186,6 +190,9 @@ TEST(Scenario, ParseRejectsMalformedLines)
       "at 10s inflate_coldstart 2.5 for 5s",  // missing x prefix
       "at 10s surge fn=0 rps=10 for 5s extra",  // trailing garbage
       "fail_gpu 0",                  // missing 'at'
+      "at 10s degrade_gpu 0 x1.2",   // capacity above 1
+      "at 10s straggle 0 x0.8",      // inflation below 1
+      "at 10s checkpoint_every fn=0 every=0s",  // non-positive interval
   };
   for (const char* text : bad) {
     std::string error;
@@ -208,6 +215,7 @@ TEST(FaultInjection, GpuFailureDisplacesAndReplaces)
   ASSERT_EQ(rt.gateway().RunningCount(fn), 1);
 
   const int displaced = rt.FailGpu(0);  // first placement lands on GPU 0
+  testing::AuditFleet(rt.state(), rt);
   EXPECT_EQ(displaced, 1);
   EXPECT_EQ(rt.gpu_health(0), GpuHealth::kDown);
   // A replacement exists immediately (cold-starting), off GPU 0.
@@ -219,6 +227,7 @@ TEST(FaultInjection, GpuFailureDisplacesAndReplaces)
   // After the cold start it serves again.
   rt.RunFor(Sec(30));
   EXPECT_EQ(rt.gateway().RunningCount(fn), 1);
+  testing::AuditFleet(rt.state(), rt);
   // Idempotent: failing a dead GPU displaces nothing.
   EXPECT_EQ(rt.FailGpu(0), 0);
 }
@@ -253,6 +262,7 @@ TEST(FaultInjection, NodeFailureKillsEveryResidentGpu)
   ASSERT_NE(rt.LaunchInference(a, false), kInvalidInstance);
   ASSERT_NE(rt.LaunchInference(b, false), kInvalidInstance);
   const int displaced = rt.FailNode(0);
+  testing::AuditFleet(rt.state(), rt);
   EXPECT_EQ(displaced, 2);
   EXPECT_EQ(rt.node(0).health, GpuHealth::kDown);
   for (GpuId g : rt.node(0).gpus) {
@@ -265,6 +275,7 @@ TEST(FaultInjection, NodeFailureKillsEveryResidentGpu)
   for (GpuId g : rt.node(0).gpus) {
     EXPECT_FALSE(rt.state().gpu(g).active());
   }
+  testing::AuditFleet(rt.state(), rt);
 }
 
 TEST(FaultInjection, DrainMigratesInstancesOffTheNode)
@@ -275,6 +286,7 @@ TEST(FaultInjection, DrainMigratesInstancesOffTheNode)
   const FunctionId fn = rt.Deploy(InferenceSpec("bert-base"));
   ASSERT_NE(rt.LaunchInference(fn, false), kInvalidInstance);
   const int migrated = rt.DrainNode(0);
+  testing::AuditFleet(rt.state(), rt);
   EXPECT_EQ(migrated, 1);
   EXPECT_EQ(rt.node(0).health, GpuHealth::kDraining);
   // The replacement pays a recovery cold start on node 1.
@@ -289,6 +301,7 @@ TEST(FaultInjection, DrainMigratesInstancesOffTheNode)
   EXPECT_EQ(rt.node(0).health, GpuHealth::kUp);
   EXPECT_EQ(rt.state().SchedulableGpuCount(),
             static_cast<int>(rt.state().gpu_count()));
+  testing::AuditFleet(rt.state(), rt);
 }
 
 TEST(FaultInjection, TrainingJobRestartsAfterWorkerLoss)
@@ -310,7 +323,9 @@ TEST(FaultInjection, TrainingJobRestartsAfterWorkerLoss)
 
   rt.FailGpu(0);  // one worker dies; lockstep job cannot continue
   ASSERT_TRUE(rt.function(fn).job != nullptr);
-  // Restarted from scratch (no checkpointing modeled).
+  // Restarted from scratch: no checkpoint policy was armed, so the
+  // resume baseline is iteration zero (tests/invariants_test.cc covers
+  // the checkpointed path).
   EXPECT_EQ(rt.function(fn).job->stats().iterations_completed, 0);
   EXPECT_EQ(rt.DeployedInstanceCount(fn), 2);
   EXPECT_EQ(rt.metrics().function(fn).recovery_cold_starts, 2);
@@ -502,9 +517,10 @@ TEST(ChaosEngine, NonDisruptiveEventsNeedNoRecovery)
 }
 
 /**
- * Acceptance anchor: the same node-failure-during-burst scenario run
- * twice with the same seed produces byte-identical metrics and trace
- * output.
+ * Acceptance anchor: the same node-failure-during-burst scenario —
+ * with degraded-GPU, straggler and checkpointed-training events armed
+ * alongside the failure — run twice with the same seed produces
+ * byte-identical metrics and trace output.
  */
 std::string
 NodeFailureBurstTrace(std::uint64_t seed)
@@ -517,6 +533,13 @@ NodeFailureBurstTrace(std::uint64_t seed)
   rt.LaunchInference(fn, false);
   rt.LaunchInference(fn, false);
   rt.EnableAutoscaler(fn, std::make_unique<scaling::DiluLazyScaler>());
+  core::FunctionSpec train;
+  train.model = "bert-base";
+  train.type = TaskType::kTraining;
+  train.workers = 2;
+  train.target_iterations = 2000000;
+  const FunctionId job = rt.Deploy(train);
+  EXPECT_TRUE(rt.StartTraining(job, /*cold=*/false));
   workload::BurstySpec bursty;
   bursty.duration_s = 90;
   bursty.base_rps = 80.0;
@@ -527,12 +550,18 @@ NodeFailureBurstTrace(std::uint64_t seed)
                     Sec(90));
 
   chaos::ScenarioSpec spec("node_failure_burst");
-  spec.FailNode(Sec(30), 0)
+  spec.CheckpointEvery(Sec(5), job, Sec(10))
+      .DegradeGpu(Sec(20), 8, 0.5)
+      .StraggleGpu(Sec(25), 9, 2.0)
+      .FailNode(Sec(30), 0)
       .Surge(Sec(35), fn, 40.0, Sec(20))
-      .RecoverNode(Sec(70), 0);
+      .RecoverNode(Sec(70), 0)
+      .RecoverGpu(Sec(75), 8)
+      .RecoverGpu(Sec(75), 9);
   chaos::ChaosEngine engine(&rt, spec);
   engine.Arm();
   rt.RunFor(Sec(95));
+  testing::AuditFleet(rt.state(), rt);
 
   std::string trace = cluster::ExportClusterSamples(rt.metrics()).ToString();
   trace += cluster::ExportFunctionMetrics(rt.metrics()).ToString();
@@ -549,9 +578,13 @@ TEST(ChaosEngine, NodeFailureDuringBurstIsDeterministic)
   const std::string run1 = NodeFailureBurstTrace(11);
   const std::string run2 = NodeFailureBurstTrace(11);
   EXPECT_EQ(run1, run2);
-  // The trace is not trivially empty: faults and drops were recorded.
+  // The trace is not trivially empty: faults and drops were recorded,
+  // and the degraded/checkpoint verbs actually fired.
   EXPECT_NE(run1.find("node_fail"), std::string::npos);
   EXPECT_NE(run1.find("node_recover"), std::string::npos);
+  EXPECT_NE(run1.find("gpu_degrade"), std::string::npos);
+  EXPECT_NE(run1.find("gpu_straggle"), std::string::npos);
+  EXPECT_NE(run1.find("checkpoint_policy"), std::string::npos);
 }
 
 // --- gateway / scaler fault behaviors --------------------------------

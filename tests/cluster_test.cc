@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include "cluster/cluster.h"
+#include "invariant_audit.h"
 
 namespace dilu::cluster {
 namespace {
@@ -113,6 +114,7 @@ TEST(ClusterRuntime, LaunchAttachesAndServes)
   const auto& m = rt.metrics().function(fn);
   EXPECT_GT(m.completed, 300);
   EXPECT_LT(m.SvrPercent(), 5.0);
+  dilu::testing::AuditFleet(rt.state(), rt);
 }
 
 TEST(ClusterRuntime, ColdLaunchCountsColdStart)
@@ -137,6 +139,7 @@ TEST(ClusterRuntime, ScaleInReleasesResources)
   EXPECT_TRUE(rt.ScaleInOne(fn));
   EXPECT_EQ(rt.DeployedInstanceCount(fn), 1);
   EXPECT_FALSE(rt.ScaleInOne(fn));  // never below one
+  dilu::testing::AuditFleet(rt.state(), rt);
 }
 
 TEST(ClusterRuntime, TrainingRunsToTarget)
@@ -202,6 +205,7 @@ TEST(ClusterRuntime, AutoscalerAddsInstancesUnderLoad)
   rt.RunFor(Sec(60));
   EXPECT_GE(rt.DeployedInstanceCount(fn), 2);
   EXPECT_FALSE(rt.function(fn).instance_count_series.empty());
+  dilu::testing::AuditFleet(rt.state(), rt);
 }
 
 TEST(ClusterRuntime, SamplesClusterEverySecond)

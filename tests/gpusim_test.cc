@@ -129,8 +129,24 @@ TEST(SqueezeToCapacity, NoOpUnderCapacity)
   FakeClient a(1);
   gpu.Attach(MakeAttachment(&a, 0.4));
   gpu.attachments()[0].granted = 0.4;
-  SqueezeToCapacity(gpu.attachments());
+  SqueezeToCapacity(gpu.attachments(), gpu.compute_capacity());
   EXPECT_DOUBLE_EQ(gpu.attachments()[0].granted, 0.4);
+}
+
+TEST(SqueezeToCapacity, SqueezesToDegradedCapacity)
+{
+  Gpu gpu(0, 40.0);
+  gpu.set_compute_capacity(0.5);
+  FakeClient a(1);
+  FakeClient b(2);
+  gpu.Attach(MakeAttachment(&a, 0.4));
+  gpu.Attach(MakeAttachment(&b, 0.4));
+  gpu.attachments()[0].granted = 0.4;
+  gpu.attachments()[1].granted = 0.4;
+  SqueezeToCapacity(gpu.attachments(), gpu.compute_capacity());
+  // 0.8 total squeezed proportionally into the surviving half-device.
+  EXPECT_DOUBLE_EQ(gpu.attachments()[0].granted, 0.25);
+  EXPECT_DOUBLE_EQ(gpu.attachments()[1].granted, 0.25);
 }
 
 TEST(GpuGroup, TickDeliversGrantsAndAdvancesClientsOnce)

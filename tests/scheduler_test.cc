@@ -1,6 +1,7 @@
 /** @file Unit tests for Algorithm 1 and the baseline schedulers. */
 #include <gtest/gtest.h>
 
+#include "invariant_audit.h"
 #include "scheduler/baseline_schedulers.h"
 #include "scheduler/gpu_state.h"
 #include "scheduler/scheduler.h"
@@ -94,6 +95,7 @@ TEST(ClusterState, ActiveIdleListsAndMinIdleStayConsistent)
   state.Release(1);  // GPU 0 idle again
   EXPECT_EQ(state.MinIdleGpu(), 0);
   EXPECT_EQ(state.ActiveGpuCount(), 2);
+  dilu::testing::AuditState(state);
 }
 
 TEST(DiluScheduler, PacksOntoActiveGpuFirst)
@@ -231,6 +233,35 @@ TEST(ExclusiveScheduler, FailsWithoutIdleGpu)
   state.Commit(100, 1, {{0, {1.0, 1.0}, 8.0}});
   auto p = sched.Place(MakeRequest(2, 1.0, 1.0, 8.0), state);
   EXPECT_FALSE(p.ok);
+}
+
+TEST(ExclusiveScheduler, SkipsDegradedDevices)
+{
+  ClusterState state = MakeCluster(2);
+  state.SetDegraded(0, 0.9);
+  ExclusiveScheduler sched;
+  // Exclusive hands out whole devices; a 90%-device is not whole.
+  auto p = sched.Place(MakeRequest(1, 1.0, 1.0, 8.0), state);
+  ASSERT_TRUE(p.ok);
+  EXPECT_EQ(p.gpus[0], 1);
+  dilu::testing::AuditState(state);
+}
+
+TEST(StaticQuotaScheduler, DegradedCapacityScalesTheBudget)
+{
+  ClusterState state = MakeCluster(2);
+  state.SetDegraded(0, 0.5);
+  StaticQuotaScheduler sched("static-test", 1.0);
+  // 0.4 fits the half-device budget (1.0 * 0.5)...
+  auto p1 = sched.Place(MakeRequest(1, 0.4, 0.4, 8.0), state);
+  ASSERT_TRUE(p1.ok);
+  EXPECT_EQ(p1.gpus[0], 0);
+  state.Commit(100, 1, {{0, {0.4, 0.4}, 8.0}});
+  // ... but the next 0.2 would breach it and spills to the whole GPU.
+  auto p2 = sched.Place(MakeRequest(2, 0.2, 0.2, 8.0), state);
+  ASSERT_TRUE(p2.ok);
+  EXPECT_EQ(p2.gpus[0], 1);
+  dilu::testing::AuditState(state);
 }
 
 TEST(StaticQuotaScheduler, PacksWithinCapacity)
