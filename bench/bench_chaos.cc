@@ -5,10 +5,12 @@
  * time-to-recover, SLO-violation rate, drops and availability — as a
  * machine-readable JSON report (schema dilu-chaos-bench/1).
  *
- * Unlike the hot-path harness (bench_harness), the quantities here are
- * *simulated* outcomes, not wall-clock timings: they are deterministic
- * under --seed and diffable across machines, so the JSON doubles as a
- * regression surface for the fault model.
+ * Every scenario is an ExperimentSpec executed by the Experiment
+ * driver (src/experiment/) — the same declarative surface as the
+ * checked-in experiments/ gallery and `dilu_run` — so this file only
+ * declares *what* each scenario is, not how to wire it. The quantities
+ * are *simulated* outcomes, not wall-clock timings: deterministic
+ * under --seed and diffable across machines.
  *
  * Scenarios:
  *  - gpu_failure_steady:   one GPU dies under steady Poisson load and
@@ -26,31 +28,22 @@
  *                          run 3x slow (registry pressure).
  *  - degraded_straggler:   a GPU loses half its SMs and another
  *                          straggles at 2.5x while serving; both heal.
- *                          Exercises the degraded-health path end to
- *                          end (also under --quick, so the CI chaos
- *                          smoke covers it).
  *
- * Flags:
- *  --quick      shorter simulations (CI smoke)
- *  --seed N     cluster + workload seed (echoed in the JSON)
- *  --out FILE   write the JSON report to FILE instead of stdout
+ * Flags: --quick (CI smoke), --seed N (echoed in the JSON), --out FILE.
  */
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
-#include <memory>
 #include <string>
 #include <vector>
 
-#include "chaos/chaos_engine.h"
-#include "cluster/cluster.h"
-#include "scaling/global_scaler.h"
-#include "workload/arrival.h"
-#include "workload/azure_traces.h"
+#include "bench_util.h"
+#include "experiment/experiment.h"
+#include "models/model_catalog.h"
 
 namespace {
 
 using namespace dilu;
+using experiment::ArrivalKind;
+using experiment::ExperimentSpec;
 
 struct ScenarioResult {
   std::string name;
@@ -66,66 +59,43 @@ struct ScenarioResult {
   int recovery_cold_starts = 0;
 };
 
-/** Shared rig: a cluster serving one autoscaled inference function. */
-struct Rig {
-  std::unique_ptr<cluster::ClusterRuntime> rt;
-  FunctionId fn = kInvalidFunction;
-
-  Rig(int nodes, std::uint64_t seed, const std::string& model,
-      int provisioned, const std::string& recovery = "joint")
-  {
-    cluster::ClusterConfig cfg;
-    cfg.nodes = nodes;
-    cfg.seed = seed;
-    cfg.recovery = recovery;
-    rt = std::make_unique<cluster::ClusterRuntime>(cfg);
-    core::FunctionSpec spec;
-    spec.model = model;
-    spec.type = TaskType::kInference;
-    fn = rt->Deploy(spec);
-    for (int i = 0; i < provisioned; ++i) {
-      rt->LaunchInference(fn, /*cold=*/false);
-    }
-    rt->EnableAutoscaler(fn, std::make_unique<scaling::DiluLazyScaler>());
-  }
-
-  ScenarioResult Finish(const std::string& name,
-                        const chaos::ChaosEngine& engine) const
-  {
-    const chaos::ChaosVerdict v = engine.Verdict();
-    const cluster::FunctionMetrics& m = rt->metrics().function(fn);
-    ScenarioResult r;
-    r.name = name;
-    r.faults = v.injected;
-    r.disruptive = v.disruptive;
-    r.recovered = v.recovered;
-    r.mean_ttr_s = v.mean_ttr_s;
-    r.max_ttr_s = v.max_ttr_s;
-    r.completed = m.completed;
-    r.dropped = m.dropped;
-    r.svr_percent = m.SvrPercent();
-    r.availability_percent = m.AvailabilityPercent();
-    r.recovery_cold_starts = m.recovery_cold_starts;
-    return r;
-  }
-};
-
+/** Execute a spec and project the primary (first) function's metrics. */
 ScenarioResult
-RunGpuFailureSteady(bool quick, std::uint64_t seed)
+RunScenario(ExperimentSpec spec, std::uint64_t seed)
+{
+  experiment::RunOptions opts;
+  opts.seed = seed;
+  experiment::Experiment exp(std::move(spec), opts);
+  const experiment::ExperimentResult res = exp.Run();
+  const experiment::FunctionResult& fn = res.functions.front();
+  ScenarioResult r;
+  r.name = res.experiment;
+  r.faults = res.chaos.injected;
+  r.disruptive = res.chaos.disruptive;
+  r.recovered = res.chaos.recovered;
+  r.mean_ttr_s = res.chaos.mean_ttr_s;
+  r.max_ttr_s = res.chaos.max_ttr_s;
+  r.completed = fn.completed;
+  r.dropped = fn.dropped;
+  r.svr_percent = fn.svr_percent;
+  r.availability_percent = fn.availability_percent;
+  r.recovery_cold_starts = fn.recovery_cold_starts;
+  return r;
+}
+
+ExperimentSpec
+GpuFailureSteady(bool quick)
 {
   const TimeUs horizon = Sec(quick ? 90 : 180);
-  Rig rig(/*nodes=*/2, seed, "bert-base", /*provisioned=*/2);
-  rig.rt->AttachArrivals(
-      rig.fn,
-      std::make_unique<workload::PoissonArrivals>(40.0, Rng(seed + 1)),
-      horizon);
-
-  chaos::ScenarioSpec spec("gpu_failure_steady");
-  spec.FailGpu(Sec(30), 0).RecoverGpu(Sec(quick ? 60 : 120), 0);
-  chaos::ChaosEngine engine(rig.rt.get(), spec);
-  engine.Arm();
-  rig.rt->RunFor(horizon + Sec(5));
-  return rig.Finish(spec.name(), engine);
+  ExperimentSpec s("gpu_failure_steady");
+  s.cluster().nodes = 2;
+  auto& d = s.AddInference("bert-base");
+  d.provision = 2;
+  d.scaler = "dilu-lazy";
+  s.AddPoisson(0, 40.0, horizon);
+  s.chaos().FailGpu(Sec(30), 0).RecoverGpu(Sec(quick ? 60 : 120), 0);
+  s.RunFor(horizon + Sec(5));
+  return s;
 }
 
 /**
@@ -135,36 +105,64 @@ RunGpuFailureSteady(bool quick, std::uint64_t seed)
  * greedy victim-order path (`recovery` selects the policy; the JSON
  * carries both runs so the TTR gap is diffable).
  */
-ScenarioResult
-RunNodeFailureBurst(bool quick, std::uint64_t seed,
-                    const std::string& recovery,
-                    const std::string& label)
+ExperimentSpec
+NodeFailureBurst(bool quick, const std::string& recovery,
+                 const std::string& label)
 {
   const int duration_s = quick ? 120 : 180;
-  Rig rig(/*nodes=*/3, seed, "resnet152", /*provisioned=*/2, recovery);
-  core::FunctionSpec heavy;
-  heavy.model = "llama2-7b";
-  heavy.type = TaskType::kInference;
-  const FunctionId heavy_fn = rig.rt->Deploy(heavy);
-  rig.rt->LaunchInference(heavy_fn, /*cold=*/false);
-  workload::BurstySpec bursty;
-  bursty.duration_s = duration_s;
-  bursty.base_rps = 80.0;
-  bursty.burst_scale = 1.6;
-  bursty.burst_len_s = 40;
-  bursty.burst_gap_s = 50;
-  rig.rt->AttachArrivals(
-      rig.fn,
-      std::make_unique<workload::EnvelopeArrivals>(
-          workload::BuildBurstyTrace(bursty), Rng(seed + 2)),
-      Sec(duration_s));
+  ExperimentSpec s(label);
+  s.cluster().nodes = 3;
+  s.cluster().recovery = recovery;
+  auto& light = s.AddInference("resnet152");
+  light.provision = 2;
+  light.scaler = "dilu-lazy";
+  s.AddInference("llama2-7b").provision = 1;
+  auto& w = s.AddTrace(0, ArrivalKind::kBursty, 80.0, Sec(duration_s));
+  w.scale = 1.6;
+  w.burst_len = Sec(40);
+  w.burst_gap = Sec(50);
+  s.chaos().FailNode(Sec(60), 0).RecoverNode(Sec(quick ? 90 : 130), 0);
+  s.RunFor(Sec(duration_s + 5));
+  return s;
+}
 
-  chaos::ScenarioSpec spec(label);
-  spec.FailNode(Sec(60), 0).RecoverNode(Sec(quick ? 90 : 130), 0);
-  chaos::ChaosEngine engine(rig.rt.get(), spec);
-  engine.Arm();
-  rig.rt->RunFor(Sec(duration_s + 5));
-  return rig.Finish(spec.name(), engine);
+ExperimentSpec
+DrainMaintenance(bool quick)
+{
+  const TimeUs horizon = Sec(quick ? 90 : 150);
+  ExperimentSpec s("drain_maintenance");
+  s.cluster().nodes = 2;
+  auto& d = s.AddInference("roberta-large");
+  d.provision = 2;
+  d.scaler = "dilu-lazy";
+  s.AddPoisson(0, 30.0, horizon);
+  s.chaos().DrainNode(Sec(40), 0).UndrainNode(Sec(quick ? 70 : 100), 0);
+  s.RunFor(horizon + Sec(5));
+  return s;
+}
+
+ExperimentSpec
+ColdstartInflationSurge(bool quick)
+{
+  const TimeUs horizon = Sec(quick ? 100 : 160);
+  // Load sized against the profiled single-instance capacity so the
+  // surge forces scale-out launches that pay 3x cold starts; a GPU
+  // failure inside the window stacks a recovery launch on top.
+  const double base_rps =
+      profiler::ProfiledServingRps(models::GetModel("bert-base")) * 0.8;
+
+  ExperimentSpec s("coldstart_inflation_surge");
+  s.cluster().nodes = 2;
+  auto& d = s.AddInference("bert-base");
+  d.provision = 1;
+  d.scaler = "dilu-lazy";
+  s.AddPoisson(0, base_rps, horizon);
+  s.chaos()
+      .InflateColdStarts(Sec(20), 3.0, Sec(quick ? 60 : 100))
+      .Surge(Sec(25), 0, base_rps * 1.5, Sec(quick ? 40 : 70))
+      .FailGpu(Sec(35), 0);
+  s.RunFor(horizon + Sec(5));
+  return s;
 }
 
 /**
@@ -173,68 +171,23 @@ RunNodeFailureBurst(bool quick, std::uint64_t seed,
  * displaced — the KLC/scaler signal absorbs it), so the interesting
  * outputs are SVR / completed, not TTR.
  */
-ScenarioResult
-RunDegradedStraggler(bool quick, std::uint64_t seed)
+ExperimentSpec
+DegradedStraggler(bool quick)
 {
   const TimeUs horizon = Sec(quick ? 90 : 150);
-  Rig rig(/*nodes=*/2, seed, "bert-base", /*provisioned=*/2);
-  rig.rt->AttachArrivals(
-      rig.fn,
-      std::make_unique<workload::PoissonArrivals>(40.0, Rng(seed + 5)),
-      horizon);
-
-  chaos::ScenarioSpec spec("degraded_straggler");
-  spec.DegradeGpu(Sec(20), 0, 0.5)
+  ExperimentSpec s("degraded_straggler");
+  s.cluster().nodes = 2;
+  auto& d = s.AddInference("bert-base");
+  d.provision = 2;
+  d.scaler = "dilu-lazy";
+  s.AddPoisson(0, 40.0, horizon);
+  s.chaos()
+      .DegradeGpu(Sec(20), 0, 0.5)
       .StraggleGpu(Sec(30), 1, 2.5)
       .RecoverGpu(Sec(quick ? 60 : 100), 0)
       .RecoverGpu(Sec(quick ? 70 : 110), 1);
-  chaos::ChaosEngine engine(rig.rt.get(), spec);
-  engine.Arm();
-  rig.rt->RunFor(horizon + Sec(5));
-  return rig.Finish(spec.name(), engine);
-}
-
-ScenarioResult
-RunDrainMaintenance(bool quick, std::uint64_t seed)
-{
-  const TimeUs horizon = Sec(quick ? 90 : 150);
-  Rig rig(/*nodes=*/2, seed, "roberta-large", /*provisioned=*/2);
-  rig.rt->AttachArrivals(
-      rig.fn,
-      std::make_unique<workload::PoissonArrivals>(30.0, Rng(seed + 3)),
-      horizon);
-
-  chaos::ScenarioSpec spec("drain_maintenance");
-  spec.DrainNode(Sec(40), 0).UndrainNode(Sec(quick ? 70 : 100), 0);
-  chaos::ChaosEngine engine(rig.rt.get(), spec);
-  engine.Arm();
-  rig.rt->RunFor(horizon + Sec(5));
-  return rig.Finish(spec.name(), engine);
-}
-
-ScenarioResult
-RunColdstartInflationSurge(bool quick, std::uint64_t seed)
-{
-  const TimeUs horizon = Sec(quick ? 100 : 160);
-  Rig rig(/*nodes=*/2, seed, "bert-base", /*provisioned=*/1);
-  const double base_rps =
-      rig.rt->function(rig.fn).spec.per_instance_rps * 0.8;
-  rig.rt->AttachArrivals(
-      rig.fn,
-      std::make_unique<workload::PoissonArrivals>(base_rps,
-                                                  Rng(seed + 4)),
-      horizon);
-
-  // The surge forces scale-out launches that pay 3x cold starts; a GPU
-  // failure inside the window stacks a recovery launch on top.
-  chaos::ScenarioSpec spec("coldstart_inflation_surge");
-  spec.InflateColdStarts(Sec(20), 3.0, Sec(quick ? 60 : 100))
-      .Surge(Sec(25), rig.fn, base_rps * 1.5, Sec(quick ? 40 : 70))
-      .FailGpu(Sec(35), 0);
-  chaos::ChaosEngine engine(rig.rt.get(), spec);
-  engine.Arm();
-  rig.rt->RunFor(horizon + Sec(5));
-  return rig.Finish(spec.name(), engine);
+  s.RunFor(horizon + Sec(5));
+  return s;
 }
 
 void
@@ -270,33 +223,20 @@ WriteJson(std::FILE* out, const std::vector<ScenarioResult>& results,
 int
 main(int argc, char** argv)
 {
-  bool quick = false;
-  std::uint64_t seed = 1;
-  const char* out_path = nullptr;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--quick") == 0) {
-      quick = true;
-    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
-      seed = static_cast<std::uint64_t>(std::strtoull(argv[++i], nullptr,
-                                                      10));
-    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
-      out_path = argv[++i];
-    } else {
-      std::fprintf(stderr, "usage: %s [--quick] [--seed N] [--out FILE]\n",
-                   argv[0]);
-      return 2;
-    }
-  }
+  bench::CliOptions opts;
+  if (!bench::ParseCli(argc, argv, &opts, /*default_seed=*/1)) return 2;
+  const bool quick = opts.quick;
 
   std::vector<ScenarioResult> results;
-  results.push_back(RunGpuFailureSteady(quick, seed));
-  results.push_back(
-      RunNodeFailureBurst(quick, seed, "joint", "node_failure_burst"));
-  results.push_back(RunNodeFailureBurst(quick, seed, "greedy",
-                                        "node_failure_burst_greedy"));
-  results.push_back(RunDrainMaintenance(quick, seed));
-  results.push_back(RunColdstartInflationSurge(quick, seed));
-  results.push_back(RunDegradedStraggler(quick, seed));
+  results.push_back(RunScenario(GpuFailureSteady(quick), opts.seed));
+  results.push_back(RunScenario(
+      NodeFailureBurst(quick, "joint", "node_failure_burst"), opts.seed));
+  results.push_back(RunScenario(
+      NodeFailureBurst(quick, "greedy", "node_failure_burst_greedy"),
+      opts.seed));
+  results.push_back(RunScenario(DrainMaintenance(quick), opts.seed));
+  results.push_back(RunScenario(ColdstartInflationSurge(quick), opts.seed));
+  results.push_back(RunScenario(DegradedStraggler(quick), opts.seed));
   for (const ScenarioResult& r : results) {
     std::fprintf(stderr,
                  "%-28s faults=%d recovered=%d/%d ttr=%.1fs svr=%.2f%% "
@@ -307,17 +247,7 @@ main(int argc, char** argv)
                  r.availability_percent);
   }
 
-  if (out_path != nullptr) {
-    std::FILE* f = std::fopen(out_path, "w");
-    if (f == nullptr) {
-      std::fprintf(stderr, "cannot open %s\n", out_path);
-      return 1;
-    }
-    WriteJson(f, results, quick, seed);
-    std::fclose(f);
-    std::fprintf(stderr, "wrote %s\n", out_path);
-  } else {
-    WriteJson(stdout, results, quick, seed);
-  }
-  return 0;
+  return bench::EmitReport(opts, [&](std::FILE* f) {
+    WriteJson(f, results, quick, opts.seed);
+  });
 }

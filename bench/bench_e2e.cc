@@ -5,10 +5,12 @@
  *
  * Workload (Section 5.4): four training functions submitted at
  * staggered times (two 2-worker, two 4-worker) plus three inference
- * functions driven by bursty, periodic and Poisson workloads with
+ * functions driven by bursty, periodic and bursty workloads with
  * autoscaling. Systems: Exclusive, INFless+-l, INFless+-r, Dilu and the
  * ablations -RC (no resource complementarity), -WA (no workload
- * affinity), -VS (no vertical scaling).
+ * affinity), -VS (no vertical scaling). Each system run is one
+ * declarative ExperimentSpec executed by the Experiment driver — the
+ * seven runs differ only in the spec's cluster line.
  *
  * Fig 15: inference SVR, normalized training JCT, max occupied GPUs.
  * Fig 16: aggregate throughput per occupied GPU, normalized to
@@ -19,10 +21,15 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "experiment/experiment.h"
 
 namespace {
 
 using namespace dilu;
+using experiment::ArrivalKind;
+using experiment::ExperimentSpec;
+
+constexpr TimeUs kDuration = Sec(600);
 
 struct E2eResult {
   double svr_mean = 0.0;
@@ -34,102 +41,82 @@ struct E2eResult {
   double train_units = 0.0;    ///< aggregate training units/s
 };
 
-core::SystemConfig ConfigFor(const std::string& name)
+ExperimentSpec
+SpecFor(const std::string& name)
 {
-  if (name == "exclusive") return core::SystemConfig::Preset("exclusive");
-  if (name == "infless+-l") return core::SystemConfig::Preset("infless-l");
-  if (name == "infless+-r") return core::SystemConfig::Preset("infless-r");
-  core::SystemConfig cfg = core::SystemConfig::Preset("dilu");
-  if (name == "-RC") cfg.cluster.sched.resource_complementarity = false;
-  if (name == "-WA") cfg.cluster.sched.workload_affinity = false;
-  if (name == "-VS") cfg.cluster.sharing = "static";
-  return cfg;
-}
-
-E2eResult RunSystem(const std::string& name)
-{
-  core::SystemConfig cfg = ConfigFor(name);
-  cfg.cluster.nodes = 5;  // the paper's 5 x 4-GPU testbed
-  core::System system(cfg);
-  const std::string policy =
+  ExperimentSpec s("e2e_" + name);
+  s.cluster().nodes = 5;  // the paper's 5 x 4-GPU testbed
+  if (name == "exclusive") {
+    s.cluster().preset = "exclusive";
+  } else if (name == "infless+-l") {
+    s.cluster().preset = "infless-l";
+  } else if (name == "infless+-r") {
+    s.cluster().preset = "infless-r";
+  } else {
+    if (name == "-RC") s.cluster().resource_complementarity = false;
+    if (name == "-WA") s.cluster().workload_affinity = false;
+    if (name == "-VS") s.cluster().sharing = "static";
+  }
+  const std::string scaler =
       (name == "infless+-l" || name == "infless+-r") ? "keep-alive"
                                                      : "dilu-lazy";
 
   // Training functions: two 2-worker, two 4-worker, staggered.
-  struct TrainDef {
-    const char* model;
-    int workers;
-    std::int64_t iters;
-    TimeUs submit;
-  };
-  const TrainDef train_defs[] = {
-      {"bert-base", 2, 700, Sec(0)},
-      {"roberta-large", 2, 450, Sec(30)},
-      {"gpt2-large", 4, 300, Sec(60)},
-      {"vgg19", 4, 400, Sec(90)},
-  };
-  std::vector<FunctionId> train_fns;
-  for (const TrainDef& d : train_defs) {
-    const FunctionId fn =
-        system.DeployTraining(d.model, d.workers, d.iters);
-    train_fns.push_back(fn);
-    system.runtime().simulation().queue().ScheduleAt(
-        d.submit, [&system, fn] { system.StartTraining(fn, true); });
-  }
+  s.AddTraining("bert-base", 2, 700).start = Sec(0);
+  s.AddTraining("roberta-large", 2, 450).start = Sec(30);
+  s.AddTraining("gpt2-large", 4, 300).start = Sec(60);
+  s.AddTraining("vgg19", 4, 400).start = Sec(90);
 
-  // Inference functions with distinct workload archetypes.
-  const TimeUs duration = Sec(600);
+  // Inference functions with distinct workload archetypes, sized so
+  // demand peaks near (not far beyond) one instance's capacity; bursts
+  // beyond it exercise the co-scaling path.
   struct InfDef {
     const char* model;
-    workload::TraceKind kind;
+    ArrivalKind kind;
     double base_rps;
   };
-  // Workloads sized so demand peaks near (not far beyond) one
-  // instance's capacity; bursts beyond it exercise the co-scaling path.
   const InfDef inf_defs[] = {
-      {"resnet152", workload::TraceKind::kBursty, 60.0},
-      {"roberta-large", workload::TraceKind::kPeriodic, 40.0},
-      {"gpt2-large", workload::TraceKind::kBursty, 10.0},
+      {"resnet152", ArrivalKind::kBursty, 60.0},
+      {"roberta-large", ArrivalKind::kPeriodic, 40.0},
+      {"gpt2-large", ArrivalKind::kBursty, 10.0},
   };
-  std::vector<FunctionId> inf_fns;
-  int seed = 3;
+  int fn = 4;
+  std::uint64_t seed = 3;
   for (const InfDef& d : inf_defs) {
-    const FunctionId fn = system.DeployInference(d.model);
-    system.Provision(fn, 1);
-    system.EnableCoScaling(fn, policy);
-    workload::TraceSpec spec;
-    spec.duration_s = 600;
-    spec.base_rps = d.base_rps;
-    spec.seed = static_cast<std::uint64_t>(seed++);
-    system.DriveEnvelope(fn, workload::BuildTrace(d.kind, spec),
-                         duration);
-    inf_fns.push_back(fn);
+    auto& dep = s.AddInference(d.model);
+    dep.provision = 1;
+    dep.scaler = scaler;
+    s.AddTrace(fn++, d.kind, d.base_rps, kDuration).seed = seed++;
   }
+  s.RunFor(kDuration + Sec(30));
+  return s;
+}
 
-  system.RunFor(duration + Sec(30));
+E2eResult
+RunSystem(const std::string& name)
+{
+  experiment::Experiment exp(SpecFor(name));
+  const experiment::ExperimentResult res = exp.Run();
 
   E2eResult r;
   Accumulator svr;
+  Accumulator jct;
   long long completed = 0;
-  for (FunctionId fn : inf_fns) {
-    const auto rep = system.MakeInferenceReport(fn);
-    svr.Add(rep.svr_percent);
-    completed += rep.completed;
+  for (const experiment::FunctionResult& f : res.functions) {
+    if (f.type == TaskType::kTraining) {
+      if (f.jct_s > 0) jct.Add(f.jct_s);
+      r.train_units += f.throughput_units;
+    } else {
+      svr.Add(f.svr_percent);
+      completed += f.completed;
+    }
   }
   r.svr_mean = svr.mean();
   r.svr_max = svr.max();
-  Accumulator jct;
-  for (FunctionId fn : train_fns) {
-    const auto rep = system.MakeTrainingReport(fn);
-    if (rep.jct_s > 0) jct.Add(rep.jct_s);
-    r.train_units += rep.throughput_units;
-  }
   r.jct_mean_s = jct.mean();
-  r.max_gpus = system.runtime().max_active_gpus();
-  const auto& samples = system.runtime().metrics().samples();
-  for (const auto& smp : samples) r.avg_gpus += smp.active_gpus;
-  r.avg_gpus /= std::max<std::size_t>(1, samples.size());
-  r.inf_rps_served = static_cast<double>(completed) / ToSec(duration);
+  r.max_gpus = res.max_gpus;
+  r.avg_gpus = res.avg_gpus;
+  r.inf_rps_served = static_cast<double>(completed) / ToSec(kDuration);
   return r;
 }
 

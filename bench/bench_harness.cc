@@ -305,43 +305,18 @@ void WriteJson(std::FILE* out, const std::vector<BenchResult>& results,
 int
 main(int argc, char** argv)
 {
-  bool quick = false;
-  std::uint64_t seed = 0;
-  const char* out_path = nullptr;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--quick") == 0) {
-      quick = true;
-    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
-      seed = static_cast<std::uint64_t>(std::strtoull(argv[++i], nullptr,
-                                                      10));
-    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
-      out_path = argv[++i];
-    } else {
-      std::fprintf(stderr, "usage: %s [--quick] [--seed N] [--out FILE]\n",
-                   argv[0]);
-      return 2;
-    }
-  }
+  bench::CliOptions opts;
+  if (!bench::ParseCli(argc, argv, &opts)) return 2;
 
   std::vector<BenchResult> results;
-  results.push_back(BenchEventScheduleFire(quick));
-  results.push_back(BenchEventMixedCancel(quick));
-  results.push_back(BenchTokenTick(quick));
-  results.push_back(BenchSchedMicro(quick, seed));
-  results.push_back(BenchFig17Placement(quick, seed));
-  results.push_back(BenchFig17Churn(quick, seed));
+  results.push_back(BenchEventScheduleFire(opts.quick));
+  results.push_back(BenchEventMixedCancel(opts.quick));
+  results.push_back(BenchTokenTick(opts.quick));
+  results.push_back(BenchSchedMicro(opts.quick, opts.seed));
+  results.push_back(BenchFig17Placement(opts.quick, opts.seed));
+  results.push_back(BenchFig17Churn(opts.quick, opts.seed));
 
-  if (out_path != nullptr) {
-    std::FILE* f = std::fopen(out_path, "w");
-    if (f == nullptr) {
-      std::fprintf(stderr, "cannot open %s\n", out_path);
-      return 1;
-    }
-    WriteJson(f, results, quick, seed);
-    std::fclose(f);
-    std::fprintf(stderr, "wrote %s\n", out_path);
-  } else {
-    WriteJson(stdout, results, quick, seed);
-  }
-  return 0;
+  return bench::EmitReport(opts, [&](std::FILE* f) {
+    WriteJson(f, results, opts.quick, opts.seed);
+  });
 }

@@ -10,6 +10,8 @@
 #define DILU_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <map>
 #include <string>
 #include <vector>
@@ -21,6 +23,64 @@
 #include "workload/azure_traces.h"
 
 namespace dilu::bench {
+
+/** The shared report-emitting bench CLI: --quick / --seed N / --out F. */
+struct CliOptions {
+  bool quick = false;
+  std::uint64_t seed = 0;
+  const char* out = nullptr;
+};
+
+/**
+ * Parse the shared flags (every unknown argument is a usage error).
+ * `default_seed` seeds --seed when absent (bench_harness keeps 0 =
+ * legacy per-suite seeds; bench_chaos uses 1). Returns false after
+ * printing usage.
+ */
+inline bool
+ParseCli(int argc, char** argv, CliOptions* opts,
+         std::uint64_t default_seed = 0)
+{
+  opts->seed = default_seed;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      opts->quick = true;
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      opts->seed = static_cast<std::uint64_t>(
+          std::strtoull(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      opts->out = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick] [--seed N] [--out FILE]\n",
+                   argv[0]);
+      return false;
+    }
+  }
+  return true;
+}
+
+/**
+ * Run `write(FILE*)` against --out (announcing the path on stderr) or
+ * stdout. Returns the process exit code.
+ */
+template <typename WriteFn>
+inline int
+EmitReport(const CliOptions& opts, WriteFn&& write)
+{
+  if (opts.out != nullptr) {
+    std::FILE* f = std::fopen(opts.out, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", opts.out);
+      return 1;
+    }
+    write(f);
+    std::fclose(f);
+    std::fprintf(stderr, "wrote %s\n", opts.out);
+  } else {
+    write(stdout);
+  }
+  return 0;
+}
 
 /** One instance drawn from the paper's 2:2:6 Fig 17 type mix. */
 struct MixInstance {

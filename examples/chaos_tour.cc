@@ -2,66 +2,57 @@
  * @file
  * Chaos tour: a whole node dies in the middle of a traffic burst.
  *
- * Walks the fault-injection pipeline end to end: a declarative scenario
- * (built here with the fluent API; the same spec round-trips through
- * the text format) arms GPU health transitions against a serving
- * cluster, the gateway re-homes the dead instances' queues, the
+ * The entire walkthrough — cluster, deployment, bursty workload, the
+ * fault schedule and the run — is one declarative ExperimentSpec
+ * (mirrored by experiments/chaos_burst.exp). The driver arms the chaos
+ * engine, the gateway re-homes the dead instances' queues, the
  * scheduler re-places displaced instances on surviving nodes as
- * recovery cold starts, and the chaos engine measures the time until
- * the fleet is back at pre-fault strength.
+ * recovery cold starts, and the verdict reports the time until the
+ * fleet is back at pre-fault strength.
  *
  *   $ ./build/examples/chaos_tour
  */
 #include <cstdio>
 
-#include "chaos/chaos_engine.h"
-#include "cluster/trace_export.h"
-#include "core/system.h"
-#include "workload/azure_traces.h"
+#include "experiment/experiment.h"
 
 int
 main()
 {
   using namespace dilu;
 
-  core::SystemConfig cfg;
-  cfg.cluster.nodes = 3;  // 12 GPUs; node 0 will die
-  core::System system(cfg);
-  cluster::ClusterRuntime& rt = system.runtime();
-
-  const FunctionId fn = system.DeployInference("resnet152");
-  system.Provision(fn, 2);
-  system.EnableCoScaling(fn);
-
+  experiment::ExperimentSpec spec("node-failure-during-burst");
+  spec.cluster().nodes = 3;  // 12 GPUs; node 0 will die
+  auto& fn = spec.AddInference("resnet152");
+  fn.provision = 2;
+  fn.scaler = "dilu-lazy";
   // A bursty trace keeps the gateway busy while the fleet degrades.
-  workload::BurstySpec bursty;
-  bursty.duration_s = 180;
-  bursty.base_rps = 80.0;
-  bursty.burst_scale = 1.6;
-  bursty.burst_len_s = 40;
-  bursty.burst_gap_s = 50;
-  system.DriveEnvelope(fn, workload::BuildBurstyTrace(bursty), Sec(180));
+  auto& w =
+      spec.AddTrace(0, experiment::ArrivalKind::kBursty, 80.0, Sec(180));
+  w.scale = 1.6;
+  w.burst_len = Sec(40);
+  w.burst_gap = Sec(50);
+  // The fault: node 0 dies 60 s in (mid-burst), comes back at 130 s.
+  spec.chaos().FailNode(Sec(60), 0).RecoverNode(Sec(130), 0);
+  spec.RunFor(Sec(185));
+  spec.ExportTo("/tmp/dilu_chaos_tour");
+  std::printf("=== spec ===\n%s\n", spec.ToText().c_str());
 
-  // The scenario: node 0 dies 60 s in (mid-burst), comes back at 130 s.
-  chaos::ScenarioSpec spec("node-failure-during-burst");
-  spec.FailNode(Sec(60), 0).RecoverNode(Sec(130), 0);
-  std::printf("=== scenario ===\n%s\n", spec.ToText().c_str());
+  experiment::Experiment exp(std::move(spec));
 
-  chaos::ChaosEngine engine(&rt, spec);
-  engine.Arm();
-
+  // Watch the fleet heal while the experiment runs.
+  cluster::ClusterRuntime& rt = exp.runtime();
   std::printf("%6s %9s %8s %9s %8s\n", "t(s)", "healthy", "running",
               "pending", "dropped");
-  rt.simulation().SchedulePeriodic(Sec(10), Sec(10), [&] {
+  rt.simulation().SchedulePeriodic(Sec(10), Sec(10), [&rt] {
     std::printf("%6d %9d %8d %9d %8lld\n",
                 static_cast<int>(ToSec(rt.now())),
                 rt.state().SchedulableGpuCount(),
-                rt.gateway().RunningCount(fn),
-                rt.pending_recovery_count(),
+                rt.gateway().RunningCount(0), rt.pending_recovery_count(),
                 static_cast<long long>(rt.metrics().TotalDropped()));
   });
 
-  system.RunFor(Sec(185));
+  const experiment::ExperimentResult result = exp.Run();
 
   std::printf("\n=== fault log ===\n");
   for (const auto& f : rt.metrics().faults()) {
@@ -69,21 +60,21 @@ main()
                 f.detail.c_str());
   }
 
-  const auto verdict = engine.Verdict();
-  const auto& m = rt.metrics().function(fn);
+  const experiment::FunctionResult& m = result.functions.front();
   std::printf("\n=== verdict ===\n");
   std::printf("faults injected: %d (disruptive %d, recovered %d)\n",
-              verdict.injected, verdict.disruptive, verdict.recovered);
+              result.chaos.injected, result.chaos.disruptive,
+              result.chaos.recovered);
   std::printf("time to recover: mean %.1f s, max %.1f s\n",
-              verdict.mean_ttr_s, verdict.max_ttr_s);
+              result.chaos.mean_ttr_s, result.chaos.max_ttr_s);
   std::printf("served %lld requests, dropped %lld "
               "(availability %.2f%%)\n",
               static_cast<long long>(m.completed),
               static_cast<long long>(m.dropped),
-              m.AvailabilityPercent());
+              m.availability_percent);
   std::printf("SVR %.2f%%; cold starts: %d demand + %d recovery\n",
-              m.SvrPercent(), m.cold_starts, m.recovery_cold_starts);
-  if (cluster::ExportAll(rt, "/tmp/dilu_chaos_tour")) {
+              m.svr_percent, m.cold_starts, m.recovery_cold_starts);
+  if (result.export_ok) {
     std::printf("traces exported to /tmp/dilu_chaos_tour_*.csv\n");
   }
   return 0;

@@ -1,41 +1,45 @@
 /**
  * @file
- * Quickstart: deploy one inference function on a Dilu cluster, drive it
- * with a Poisson workload, and print the serving report.
+ * Quickstart: one inference function on a Dilu cluster under Poisson
+ * traffic, declared as an ExperimentSpec (the same spec ships as
+ * experiments/quickstart.exp for `dilu_run`).
  *
  *   $ ./build/examples/quickstart
  */
 #include <cstdio>
 
-#include "core/system.h"
+#include "experiment/experiment.h"
 
 int
 main()
 {
   using namespace dilu;
 
-  // A one-node, four-GPU Dilu deployment with default policies
-  // (RCKM vertical scaling + Algorithm 1 scheduling + lazy co-scaling).
-  core::System system;
+  // The whole experiment is data: a one-node Dilu deployment (default
+  // policies: RCKM vertical scaling + Algorithm 1 scheduling + lazy
+  // co-scaling), RoBERTa-large with one warm instance, 60 s of Poisson
+  // traffic at 30 requests/s.
+  experiment::ExperimentSpec spec("quickstart");
+  auto& fn = spec.AddInference("roberta-large");
+  fn.provision = 1;
+  fn.scaler = "dilu-lazy";
+  spec.AddPoisson(0, 30.0, Sec(60));
+  spec.RunFor(Sec(62));
+  std::printf("=== spec (dilu_run runs this from a file) ===\n%s\n",
+              spec.ToText().c_str());
 
-  // Deploy RoBERTa-large for inference. The Hybrid Growth Search
-  // profiles it on deploy: batch size, <request, limit> SM quotas and
-  // per-instance serving throughput all come from the profiler.
-  const FunctionId fn = system.DeployInference("roberta-large");
-  const auto& spec = system.runtime().function(fn).spec;
+  experiment::Experiment exp(std::move(spec));
+  const experiment::ExperimentResult result = exp.Run();
+
+  // The Hybrid Growth Search profiled the model on deploy: batch size,
+  // <request, limit> SM quotas and per-instance serving throughput.
+  const auto& profiled = exp.runtime().function(0).spec;
   std::printf("profiled roberta-large: IBS=%d request=%.0f%% limit=%.0f%% "
               "capacity=%.1f rps/instance\n",
-              spec.ibs, spec.quota.request * 100, spec.quota.limit * 100,
-              spec.per_instance_rps);
+              profiled.ibs, profiled.quota.request * 100,
+              profiled.quota.limit * 100, profiled.per_instance_rps);
 
-  // One warm instance, 60 s of Poisson traffic at 30 requests/s, with
-  // Dilu's lazy co-scaling watching the workload.
-  system.Provision(fn, 1);
-  system.EnableCoScaling(fn);
-  system.DrivePoisson(fn, 30.0, Sec(60));
-  system.RunFor(Sec(62));
-
-  const core::InferenceReport r = system.MakeInferenceReport(fn);
+  const experiment::FunctionResult& r = result.functions.front();
   std::printf("\nserved %lld requests\n",
               static_cast<long long>(r.completed));
   std::printf("latency p50/p95 = %.1f / %.1f ms (SLO %.0f ms)\n", r.p50_ms,
@@ -43,7 +47,7 @@ main()
   std::printf("SLO violation rate = %.2f%%, cold starts = %d\n",
               r.svr_percent, r.cold_starts);
   std::printf("occupied GPUs = %d of %zu\n",
-              system.runtime().state().ActiveGpuCount(),
-              system.runtime().gpus().gpu_count());
+              exp.runtime().state().ActiveGpuCount(),
+              exp.runtime().gpus().gpu_count());
   return 0;
 }

@@ -1,55 +1,50 @@
 /**
  * @file
  * Serverless burst demo: the adaptive 2D co-scaling loop on a bursty
- * Azure-style trace. Watch fast vertical scale-up absorb the first
- * seconds of each surge while lazy scale-out launches new instances
- * only for sustained load — and lazy scale-in avoids thrashing.
+ * Azure-style trace, declared as an ExperimentSpec (mirrored by
+ * experiments/serverless_burst.exp). Watch fast vertical scale-up
+ * absorb the first seconds of each surge while lazy scale-out launches
+ * new instances only for sustained load — and lazy scale-in avoids
+ * thrashing.
  *
  *   $ ./build/examples/serverless_burst
  */
 #include <cstdio>
 
-#include "core/system.h"
-#include "workload/azure_traces.h"
+#include "experiment/experiment.h"
 
 int
 main()
 {
   using namespace dilu;
-  core::SystemConfig cfg;
-  cfg.cluster.nodes = 2;
-  core::System system(cfg);
 
-  const FunctionId fn = system.DeployInference("resnet152");
-  system.Provision(fn, 1);
-  system.EnableCoScaling(fn);
+  experiment::ExperimentSpec spec("serverless_burst");
+  spec.cluster().nodes = 2;
+  auto& fn = spec.AddInference("resnet152");
+  fn.provision = 1;
+  fn.scaler = "dilu-lazy";
+  auto& w =
+      spec.AddTrace(0, experiment::ArrivalKind::kBursty, 100.0, Sec(300));
+  w.scale = 1.8;
+  w.burst_len = Sec(45);
+  w.burst_gap = Sec(80);
+  spec.RunFor(Sec(305));
 
-  workload::BurstySpec spec;
-  spec.duration_s = 300;
-  spec.base_rps = 100.0;
-  spec.burst_scale = 1.8;
-  spec.burst_len_s = 45;
-  spec.burst_gap_s = 80;
-  const auto env = workload::BuildBurstyTrace(spec);
-  system.DriveEnvelope(fn, env, Sec(300));
-
-  std::printf("%6s %10s %10s\n", "t(s)", "rps", "instances");
-  auto& rt = system.runtime();
-  rt.simulation().SchedulePeriodic(Sec(10), Sec(10), [&] {
-    const int sec = static_cast<int>(ToSec(rt.now()));
-    const double rps =
-        sec < spec.duration_s ? env[static_cast<std::size_t>(sec)] : 0.0;
-    std::printf("%6d %10.0f %10d\n", sec, rps,
-                rt.DeployedInstanceCount(fn));
+  experiment::Experiment exp(std::move(spec));
+  auto& rt = exp.runtime();
+  std::printf("%6s %10s\n", "t(s)", "instances");
+  rt.simulation().SchedulePeriodic(Sec(10), Sec(10), [&rt] {
+    std::printf("%6d %10d\n", static_cast<int>(ToSec(rt.now())),
+                rt.DeployedInstanceCount(0));
   });
 
-  system.RunFor(Sec(305));
+  const experiment::ExperimentResult result = exp.Run();
 
-  const auto r = system.MakeInferenceReport(fn);
+  const experiment::FunctionResult& r = result.functions.front();
   std::printf("\nserved %lld requests; p50/p95 = %.0f/%.0f ms; "
               "SVR %.2f%%; cold starts %d\n",
               static_cast<long long>(r.completed), r.p50_ms, r.p95_ms,
               r.svr_percent, r.cold_starts);
-  std::printf("peak GPUs occupied: %d\n", rt.max_active_gpus());
+  std::printf("peak GPUs occupied: %d\n", result.max_gpus);
   return 0;
 }

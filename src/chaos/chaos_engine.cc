@@ -90,11 +90,14 @@ ChaosEngine::Inject(std::size_t index)
       rt_->StraggleGpu(e.target, e.magnitude);
       break;
     case FaultKind::kCheckpointEvery:
-      rt_->SetCheckpointPolicy(e.function, e.duration);
+      rt_->SetCheckpointPolicy(e.function, e.duration, e.save_cost);
       rt_->metrics().RecordFault(
           rt_->now(), "checkpoint_policy",
           "fn=" + std::to_string(e.function) + " every="
-              + std::to_string(ToSec(e.duration)) + "s");
+              + std::to_string(ToSec(e.duration)) + "s"
+              + (e.save_cost > 0
+                     ? " save=" + std::to_string(ToSec(e.save_cost)) + "s"
+                     : ""));
       break;
     case FaultKind::kColdStartInflation: {
       // Overlapping windows: the newest factor wins immediately, and

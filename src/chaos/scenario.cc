@@ -1,9 +1,9 @@
 #include "chaos/scenario.h"
 
 #include <algorithm>
-#include <cctype>
-#include <cstdio>
 #include <sstream>
+
+#include "common/spec_text.h"
 
 namespace dilu::chaos {
 
@@ -130,13 +130,15 @@ ScenarioSpec::StraggleGpu(TimeUs at, GpuId gpu, double factor)
 }
 
 ScenarioSpec&
-ScenarioSpec::CheckpointEvery(TimeUs at, FunctionId fn, TimeUs every)
+ScenarioSpec::CheckpointEvery(TimeUs at, FunctionId fn, TimeUs every,
+                              TimeUs save_cost)
 {
   ScenarioEvent e;
   e.at = at;
   e.kind = FaultKind::kCheckpointEvery;
   e.function = fn;
   e.duration = every;
+  e.save_cost = save_cost;
   events_.push_back(e);
   return *this;
 }
@@ -178,105 +180,41 @@ ScenarioSpec::Sorted() const
   return sorted;
 }
 
-namespace {
-
-/** Render a time with the densest exact suffix (1500000 -> "1500ms"). */
 std::string
-FormatTime(TimeUs t)
+FormatEventLine(const ScenarioEvent& e)
 {
-  if (t % Sec(1) == 0) return std::to_string(t / Sec(1)) + "s";
-  if (t % Ms(1) == 0) return std::to_string(t / Ms(1)) + "ms";
-  return std::to_string(t) + "us";
-}
-
-/** Render a double without trailing zeros ("2.5", "80"). */
-std::string
-FormatMagnitude(double v)
-{
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%g", v);
-  return buf;
-}
-
-/** Parse "<int><us|ms|s>" into TimeUs. */
-bool
-ParseTime(const std::string& tok, TimeUs* out)
-{
-  std::size_t i = 0;
-  while (i < tok.size()
-         && (std::isdigit(static_cast<unsigned char>(tok[i])) != 0)) {
-    ++i;
+  using spec_text::FormatDouble;
+  using spec_text::FormatTime;
+  std::ostringstream out;
+  out << "at " << FormatTime(e.at) << " " << ToString(e.kind);
+  switch (e.kind) {
+    case FaultKind::kGpuFail:
+    case FaultKind::kGpuRecover:
+    case FaultKind::kNodeFail:
+    case FaultKind::kNodeRecover:
+    case FaultKind::kNodeDrain:
+    case FaultKind::kNodeUndrain:
+      out << " " << e.target;
+      break;
+    case FaultKind::kGpuDegrade:
+    case FaultKind::kGpuStraggle:
+      out << " " << e.target << " x" << FormatDouble(e.magnitude);
+      break;
+    case FaultKind::kCheckpointEvery:
+      out << " fn=" << e.function << " every=" << FormatTime(e.duration);
+      if (e.save_cost > 0) out << " save=" << FormatTime(e.save_cost);
+      break;
+    case FaultKind::kColdStartInflation:
+      out << " x" << FormatDouble(e.magnitude) << " for "
+          << FormatTime(e.duration);
+      break;
+    case FaultKind::kTrafficSurge:
+      out << " fn=" << e.function << " rps=" << FormatDouble(e.magnitude)
+          << " for " << FormatTime(e.duration);
+      break;
   }
-  if (i == 0 || i == tok.size()) return false;
-  const std::string digits = tok.substr(0, i);
-  const std::string suffix = tok.substr(i);
-  TimeUs value = 0;
-  try {
-    value = static_cast<TimeUs>(std::stoll(digits));
-  } catch (...) {
-    return false;
-  }
-  if (suffix == "us") {
-    *out = Us(value);
-  } else if (suffix == "ms") {
-    *out = Ms(value);
-  } else if (suffix == "s") {
-    *out = Sec(value);
-  } else {
-    return false;
-  }
-  return true;
+  return out.str();
 }
-
-bool
-ParseInt(const std::string& tok, std::int32_t* out)
-{
-  try {
-    std::size_t used = 0;
-    const long v = std::stol(tok, &used);
-    if (used != tok.size()) return false;
-    *out = static_cast<std::int32_t>(v);
-  } catch (...) {
-    return false;
-  }
-  return true;
-}
-
-bool
-ParseDouble(const std::string& tok, double* out)
-{
-  try {
-    std::size_t used = 0;
-    const double v = std::stod(tok, &used);
-    if (used != tok.size()) return false;
-    *out = v;
-  } catch (...) {
-    return false;
-  }
-  return true;
-}
-
-/** Strip "prefix" ("fn=", "rps=", "x") from `tok`; empty on mismatch. */
-std::string
-StripPrefix(const std::string& tok, const std::string& prefix)
-{
-  if (tok.size() <= prefix.size()
-      || tok.compare(0, prefix.size(), prefix) != 0) {
-    return "";
-  }
-  return tok.substr(prefix.size());
-}
-
-bool
-Fail(std::string* error, int line, const std::string& msg)
-{
-  if (error != nullptr) {
-    *error = "line " + std::to_string(line) + ": " + msg;
-  }
-  return false;
-}
-
-}  // namespace
 
 std::string
 ScenarioSpec::ToText() const
@@ -284,37 +222,146 @@ ScenarioSpec::ToText() const
   std::ostringstream out;
   out << "scenario " << (name_.empty() ? "unnamed" : name_) << "\n";
   for (const ScenarioEvent& e : events_) {
-    out << "at " << FormatTime(e.at) << " " << ToString(e.kind);
-    switch (e.kind) {
-      case FaultKind::kGpuFail:
-      case FaultKind::kGpuRecover:
-      case FaultKind::kNodeFail:
-      case FaultKind::kNodeRecover:
-      case FaultKind::kNodeDrain:
-      case FaultKind::kNodeUndrain:
-        out << " " << e.target;
-        break;
-      case FaultKind::kGpuDegrade:
-      case FaultKind::kGpuStraggle:
-        out << " " << e.target << " x" << FormatMagnitude(e.magnitude);
-        break;
-      case FaultKind::kCheckpointEvery:
-        out << " fn=" << e.function << " every="
-            << FormatTime(e.duration);
-        break;
-      case FaultKind::kColdStartInflation:
-        out << " x" << FormatMagnitude(e.magnitude) << " for "
-            << FormatTime(e.duration);
-        break;
-      case FaultKind::kTrafficSurge:
-        out << " fn=" << e.function << " rps="
-            << FormatMagnitude(e.magnitude) << " for "
-            << FormatTime(e.duration);
-        break;
-    }
-    out << "\n";
+    out << FormatEventLine(e) << "\n";
   }
   return out.str();
+}
+
+bool
+ScenarioSpec::ParseEventLine(const std::string& line, int line_no,
+                             ScenarioSpec* spec, std::string* error)
+{
+  using spec_text::Fail;
+  using spec_text::ParseDouble;
+  using spec_text::ParseInt;
+  using spec_text::ParseTime;
+  using spec_text::StripPrefix;
+
+  std::istringstream toks(line);
+  std::string tok;
+  if (!(toks >> tok) || tok != "at") {
+    return Fail(error, line_no, "expected 'at <time> <verb> ...'");
+  }
+  std::string time_tok;
+  std::string verb;
+  if (!(toks >> time_tok >> verb)) {
+    return Fail(error, line_no, "expected 'at <time> <verb> ...'");
+  }
+  TimeUs at = 0;
+  if (!ParseTime(time_tok, &at)) {
+    return Fail(error, line_no,
+                "bad time '" + time_tok + "' (want <int>us|ms|s)");
+  }
+
+  const auto parse_target = [&](std::int32_t* target) {
+    std::string t;
+    return (toks >> t) && ParseInt(t, target) && *target >= 0;
+  };
+  const auto parse_window = [&](TimeUs* dur) {
+    std::string kw;
+    std::string t;
+    return (toks >> kw >> t) && kw == "for" && ParseTime(t, dur);
+  };
+
+  std::int32_t target = -1;
+  if (verb == "fail_gpu" || verb == "recover_gpu" || verb == "fail_node"
+      || verb == "recover_node" || verb == "drain_node"
+      || verb == "undrain_node") {
+    if (!parse_target(&target)) {
+      return Fail(error, line_no, verb + " needs a non-negative id");
+    }
+    if (verb == "fail_gpu") spec->FailGpu(at, target);
+    if (verb == "recover_gpu") spec->RecoverGpu(at, target);
+    if (verb == "fail_node") spec->FailNode(at, target);
+    if (verb == "recover_node") spec->RecoverNode(at, target);
+    if (verb == "drain_node") spec->DrainNode(at, target);
+    if (verb == "undrain_node") spec->UndrainNode(at, target);
+  } else if (verb == "degrade_gpu" || verb == "straggle") {
+    std::string factor_tok;
+    double factor = 0.0;
+    if (!parse_target(&target)) {
+      return Fail(error, line_no, verb + " needs a non-negative id");
+    }
+    if (!(toks >> factor_tok)
+        || !ParseDouble(StripPrefix(factor_tok, "x"), &factor)) {
+      return Fail(error, line_no,
+                  verb + " needs x<factor> (e.g. x0.6 / x2.5)");
+    }
+    if (verb == "degrade_gpu") {
+      if (factor <= 0.0 || factor >= 1.0) {
+        return Fail(error, line_no,
+                    "degrade_gpu capacity must be in (0, 1)");
+      }
+      spec->DegradeGpu(at, target, factor);
+    } else {
+      if (factor <= 1.0) {
+        return Fail(error, line_no,
+                    "straggle factor must be > 1 (e.g. x2.5)");
+      }
+      spec->StraggleGpu(at, target, factor);
+    }
+  } else if (verb == "checkpoint_every") {
+    std::string fn_tok;
+    std::string every_tok;
+    std::int32_t fn = -1;
+    TimeUs every = 0;
+    if (!(toks >> fn_tok >> every_tok)
+        || !ParseInt(StripPrefix(fn_tok, "fn="), &fn) || fn < 0
+        || !ParseTime(StripPrefix(every_tok, "every="), &every)
+        || every <= 0) {
+      return Fail(error, line_no,
+                  "checkpoint_every needs fn=<id> every=<time>");
+    }
+    // Optional save=<time>: the snapshot pauses the job this long.
+    TimeUs save = 0;
+    std::string save_tok;
+    if (toks >> save_tok) {
+      if (!ParseTime(StripPrefix(save_tok, "save="), &save) || save <= 0) {
+        return Fail(error, line_no,
+                    "checkpoint_every save=<time> must be positive");
+      }
+    }
+    spec->CheckpointEvery(at, fn, every, save);
+  } else if (verb == "inflate_coldstart") {
+    std::string factor_tok;
+    double factor = 0.0;
+    TimeUs dur = 0;
+    if (!(toks >> factor_tok)
+        || !ParseDouble(StripPrefix(factor_tok, "x"), &factor)
+        || factor <= 0.0) {
+      return Fail(error, line_no,
+                  "inflate_coldstart needs x<factor> (e.g. x2.5)");
+    }
+    if (!parse_window(&dur)) {
+      return Fail(error, line_no, "inflate_coldstart needs 'for <time>'");
+    }
+    spec->InflateColdStarts(at, factor, dur);
+  } else if (verb == "surge") {
+    std::string fn_tok;
+    std::string rps_tok;
+    std::int32_t fn = -1;
+    double rps = 0.0;
+    TimeUs dur = 0;
+    if (!(toks >> fn_tok >> rps_tok)
+        || !ParseInt(StripPrefix(fn_tok, "fn="), &fn) || fn < 0
+        || !ParseDouble(StripPrefix(rps_tok, "rps="), &rps)
+        || rps <= 0.0) {
+      return Fail(error, line_no,
+                  "surge needs fn=<id> rps=<rate> (both positive)");
+    }
+    if (!parse_window(&dur)) {
+      return Fail(error, line_no, "surge needs 'for <time>'");
+    }
+    spec->Surge(at, fn, rps, dur);
+  } else {
+    return Fail(error, line_no, "unknown verb '" + verb + "'");
+  }
+  // Reject trailing garbage so typos fail loudly.
+  std::string rest;
+  if (toks >> rest) {
+    return Fail(error, line_no, "unexpected trailing '" + rest + "'");
+  }
+  return true;
 }
 
 bool
@@ -327,131 +374,24 @@ ScenarioSpec::Parse(const std::string& text, ScenarioSpec* out,
   int line_no = 0;
   while (std::getline(in, line)) {
     ++line_no;
+    line = spec_text::StripComment(line);
     std::istringstream toks(line);
     std::string tok;
-    if (!(toks >> tok) || tok[0] == '#') continue;  // blank / comment
+    if (!(toks >> tok)) continue;  // blank (or comment-only) line
     if (tok == "scenario") {
       std::string name;
       if (!(toks >> name)) {
-        return Fail(error, line_no, "scenario needs a name");
+        return spec_text::Fail(error, line_no, "scenario needs a name");
+      }
+      std::string rest;
+      if (toks >> rest) {
+        return spec_text::Fail(error, line_no,
+                               "unexpected trailing '" + rest + "'");
       }
       spec.set_name(name);
       continue;
     }
-    if (tok != "at") {
-      return Fail(error, line_no, "expected 'at <time> <verb> ...'");
-    }
-    std::string time_tok;
-    std::string verb;
-    if (!(toks >> time_tok >> verb)) {
-      return Fail(error, line_no, "expected 'at <time> <verb> ...'");
-    }
-    TimeUs at = 0;
-    if (!ParseTime(time_tok, &at)) {
-      return Fail(error, line_no,
-                  "bad time '" + time_tok + "' (want <int>us|ms|s)");
-    }
-
-    const auto parse_target = [&](std::int32_t* target) {
-      std::string t;
-      return (toks >> t) && ParseInt(t, target) && *target >= 0;
-    };
-    const auto parse_window = [&](TimeUs* dur) {
-      std::string kw;
-      std::string t;
-      return (toks >> kw >> t) && kw == "for" && ParseTime(t, dur);
-    };
-
-    std::int32_t target = -1;
-    if (verb == "fail_gpu" || verb == "recover_gpu" || verb == "fail_node"
-        || verb == "recover_node" || verb == "drain_node"
-        || verb == "undrain_node") {
-      if (!parse_target(&target)) {
-        return Fail(error, line_no, verb + " needs a non-negative id");
-      }
-      if (verb == "fail_gpu") spec.FailGpu(at, target);
-      if (verb == "recover_gpu") spec.RecoverGpu(at, target);
-      if (verb == "fail_node") spec.FailNode(at, target);
-      if (verb == "recover_node") spec.RecoverNode(at, target);
-      if (verb == "drain_node") spec.DrainNode(at, target);
-      if (verb == "undrain_node") spec.UndrainNode(at, target);
-    } else if (verb == "degrade_gpu" || verb == "straggle") {
-      std::string factor_tok;
-      double factor = 0.0;
-      if (!parse_target(&target)) {
-        return Fail(error, line_no, verb + " needs a non-negative id");
-      }
-      if (!(toks >> factor_tok)
-          || !ParseDouble(StripPrefix(factor_tok, "x"), &factor)) {
-        return Fail(error, line_no,
-                    verb + " needs x<factor> (e.g. x0.6 / x2.5)");
-      }
-      if (verb == "degrade_gpu") {
-        if (factor <= 0.0 || factor >= 1.0) {
-          return Fail(error, line_no,
-                      "degrade_gpu capacity must be in (0, 1)");
-        }
-        spec.DegradeGpu(at, target, factor);
-      } else {
-        if (factor <= 1.0) {
-          return Fail(error, line_no,
-                      "straggle factor must be > 1 (e.g. x2.5)");
-        }
-        spec.StraggleGpu(at, target, factor);
-      }
-    } else if (verb == "checkpoint_every") {
-      std::string fn_tok;
-      std::string every_tok;
-      std::int32_t fn = -1;
-      TimeUs every = 0;
-      if (!(toks >> fn_tok >> every_tok)
-          || !ParseInt(StripPrefix(fn_tok, "fn="), &fn) || fn < 0
-          || !ParseTime(StripPrefix(every_tok, "every="), &every)
-          || every <= 0) {
-        return Fail(error, line_no,
-                    "checkpoint_every needs fn=<id> every=<time>");
-      }
-      spec.CheckpointEvery(at, fn, every);
-    } else if (verb == "inflate_coldstart") {
-      std::string factor_tok;
-      double factor = 0.0;
-      TimeUs dur = 0;
-      if (!(toks >> factor_tok)
-          || !ParseDouble(StripPrefix(factor_tok, "x"), &factor)
-          || factor <= 0.0) {
-        return Fail(error, line_no,
-                    "inflate_coldstart needs x<factor> (e.g. x2.5)");
-      }
-      if (!parse_window(&dur)) {
-        return Fail(error, line_no,
-                    "inflate_coldstart needs 'for <time>'");
-      }
-      spec.InflateColdStarts(at, factor, dur);
-    } else if (verb == "surge") {
-      std::string fn_tok;
-      std::string rps_tok;
-      std::int32_t fn = -1;
-      double rps = 0.0;
-      TimeUs dur = 0;
-      if (!(toks >> fn_tok >> rps_tok)
-          || !ParseInt(StripPrefix(fn_tok, "fn="), &fn) || fn < 0
-          || !ParseDouble(StripPrefix(rps_tok, "rps="), &rps)
-          || rps <= 0.0) {
-        return Fail(error, line_no,
-                    "surge needs fn=<id> rps=<rate> (both positive)");
-      }
-      if (!parse_window(&dur)) {
-        return Fail(error, line_no, "surge needs 'for <time>'");
-      }
-      spec.Surge(at, fn, rps, dur);
-    } else {
-      return Fail(error, line_no, "unknown verb '" + verb + "'");
-    }
-    // Reject trailing garbage so typos fail loudly.
-    std::string rest;
-    if (toks >> rest) {
-      return Fail(error, line_no, "unexpected trailing '" + rest + "'");
-    }
+    if (!ParseEventLine(line, line_no, &spec, error)) return false;
   }
   if (out != nullptr) *out = std::move(spec);
   return true;

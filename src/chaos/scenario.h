@@ -54,9 +54,14 @@ struct ScenarioEvent {
   FunctionId function = kInvalidFunction;
   /** Cold-start factor (kColdStartInflation) or extra RPS (surge). */
   double magnitude = 0.0;
-  /** Window length for inflation / surge. */
+  /** Window length for inflation / surge; interval for checkpoints. */
   TimeUs duration = 0;
+  /** kCheckpointEvery: pause the job this long per snapshot. */
+  TimeUs save_cost = 0;
 };
+
+/** Canonical text for one event ("at 10s fail_node 1", no newline). */
+std::string FormatEventLine(const ScenarioEvent& e);
 
 /** A named, ordered chaos scenario. */
 class ScenarioSpec {
@@ -75,8 +80,13 @@ class ScenarioSpec {
   ScenarioSpec& DegradeGpu(TimeUs at, GpuId gpu, double capacity);
   /** Make `gpu` a straggler: latency inflates by `factor` > 1. */
   ScenarioSpec& StraggleGpu(TimeUs at, GpuId gpu, double factor);
-  /** Arm periodic training checkpoints (`every`) for function `fn`. */
-  ScenarioSpec& CheckpointEvery(TimeUs at, FunctionId fn, TimeUs every);
+  /**
+   * Arm periodic training checkpoints (`every`) for function `fn`.
+   * `save_cost` > 0 additionally pauses the job for that duration at
+   * each snapshot (the save is not free; see CheckpointPolicy).
+   */
+  ScenarioSpec& CheckpointEvery(TimeUs at, FunctionId fn, TimeUs every,
+                                TimeUs save_cost = 0);
   ScenarioSpec& InflateColdStarts(TimeUs at, double factor,
                                   TimeUs duration);
   ScenarioSpec& Surge(TimeUs at, FunctionId fn, double extra_rps,
@@ -96,13 +106,13 @@ class ScenarioSpec {
   /**
    * Serialize to the scenario text format:
    *
-   *   # optional comment / blank lines
+   *   # comments (whole-line or trailing) and blank lines are skipped
    *   scenario <name>
-   *   at 10s fail_node 1
+   *   at 10s fail_node 1        # node zero dies
    *   at 12s surge fn=0 rps=80 for 20s
    *   at 15s degrade_gpu 3 x0.6
    *   at 20s straggle 5 x2.5
-   *   at 0s checkpoint_every fn=1 every=30s
+   *   at 0s checkpoint_every fn=1 every=30s save=500ms
    *   at 30s inflate_coldstart x2.5 for 60s
    *   at 40s recover_node 1
    *
@@ -117,6 +127,18 @@ class ScenarioSpec {
    */
   static bool Parse(const std::string& text, ScenarioSpec* out,
                     std::string* error);
+
+  /**
+   * Parse one comment-stripped event line ("at 10s fail_node 1") and
+   * append it to `*spec`. The experiment loader embeds scenario lines
+   * under its own `chaos` directive and reuses the grammar through
+   * this; `line_no` is the caller's line number, so errors point at the
+   * real file location. On failure returns false with a line-numbered
+   * `*error` (a trailing-garbage failure may leave the event appended —
+   * callers discard the spec on any failure).
+   */
+  static bool ParseEventLine(const std::string& line, int line_no,
+                             ScenarioSpec* spec, std::string* error);
 
  private:
   std::string name_;

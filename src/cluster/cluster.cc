@@ -65,6 +65,14 @@ ClusterRuntime::ClusterRuntime(ClusterConfig config)
       &sim_, MakeArbiterFactory(config_));
   scheduler_ = MakeScheduler(config_);
   gateway_.set_metrics(&metrics_);
+  // A dropped request is a closed-loop client's completion signal too:
+  // without this, a fault that eats a request would wedge the client.
+  // Only requests the closed loop itself issued continue the loop —
+  // an open-loop drop (chaos surge, mixed stream) must not spawn a
+  // phantom client.
+  gateway_.set_drop_hook([this](const workload::Request& r) {
+    if (r.closed_loop) ScheduleClosedLoopIssue(r.function);
+  });
   for (int n = 0; n < config_.nodes; ++n) {
     Node node;
     node.id = n;
@@ -245,9 +253,16 @@ ClusterRuntime::LaunchInferenceOn(FunctionId fn,
   inst->set_quota(shard_quota);
   inst->set_request_sink([this, fn](const workload::Request& r) {
     metrics_.RecordRequest(fn, r);
+    // Read before pruning: `r` lives in requests_, and the prune below
+    // frees finished records — including, in the common FIFO case, the
+    // one `r` refers to.
+    const bool closed_loop = r.closed_loop;
     // The metrics hub has consumed the request; reclaim finished
     // records so week-long traces don't hold every request alive.
     PruneCompletedRequests();
+    // A closed-loop client's completion continues its loop; open-loop
+    // completions on the same function do not.
+    if (closed_loop) ScheduleClosedLoopIssue(fn);
   });
 
   const int inf_priority = f.spec.priority < 0 ? 1 : f.spec.priority;
@@ -350,8 +365,12 @@ ClusterRuntime::StartTrainingOn(FunctionId fn,
       fn, f.model, workers, &sim_, f.spec.target_iterations,
       f.resume_iterations);
   if (f.spec.checkpoint_every > 0) {
-    f.job->set_checkpoint_policy({f.spec.checkpoint_every});
+    f.job->set_checkpoint_policy(
+        {f.spec.checkpoint_every, f.spec.checkpoint_save_cost});
   }
+  f.job->set_on_checkpoint([this, fn](TimeUs pause) {
+    metrics_.RecordCheckpoint(fn, pause);
+  });
   f.job->set_on_finished([this, fn] {
     DeployedFunction& fd = function(fn);
     fd.job_completed_at = sim_.now();
@@ -456,6 +475,47 @@ ClusterRuntime::AttachArrivals(
 {
   std::shared_ptr<workload::ArrivalProcess> proc(std::move(process));
   ScheduleNextArrival(fn, proc, until);
+}
+
+void
+ClusterRuntime::AttachClosedLoop(
+    FunctionId fn, int clients,
+    std::unique_ptr<workload::ArrivalProcess> think, TimeUs until)
+{
+  DILU_CHECK(clients >= 1);
+  ClosedLoop& loop = closed_loops_[fn];
+  loop.think = std::shared_ptr<workload::ArrivalProcess>(std::move(think));
+  loop.until = until;
+  // Each client starts with a think gap (staggered by the process
+  // draws), then self-perpetuates through the completion / drop hooks.
+  for (int c = 0; c < clients; ++c) ScheduleClosedLoopIssue(fn);
+}
+
+void
+ClusterRuntime::ScheduleClosedLoopIssue(FunctionId fn)
+{
+  auto it = closed_loops_.find(fn);
+  if (it == closed_loops_.end()) return;
+  const TimeUs gap = std::max<TimeUs>(1, it->second.think->NextGap());
+  const TimeUs when = sim_.now() + gap;
+  if (when > it->second.until) return;  // client retires
+  sim_.queue().ScheduleAt(when,
+                          [this, fn] { IssueClosedLoopRequest(fn); });
+}
+
+void
+ClusterRuntime::IssueClosedLoopRequest(FunctionId fn)
+{
+  auto req = std::make_unique<workload::Request>();
+  req->id = next_request_id_++;
+  req->function = fn;
+  req->arrival = sim_.now();
+  req->closed_loop = true;
+  // A failed dispatch counts a drop, which re-fires the drop hook and
+  // thereby schedules this client's next attempt — nothing to do here.
+  if (gateway_.Dispatch(req.get())) {
+    requests_.push_back(std::move(req));
+  }
 }
 
 void
@@ -794,12 +854,15 @@ ClusterRuntime::StraggleGpu(GpuId gpu, double factor)
 }
 
 void
-ClusterRuntime::SetCheckpointPolicy(FunctionId fn, TimeUs every)
+ClusterRuntime::SetCheckpointPolicy(FunctionId fn, TimeUs every,
+                                    TimeUs save_cost)
 {
   DILU_CHECK(every >= 0);
+  DILU_CHECK(save_cost >= 0);
   DeployedFunction& f = function(fn);
   f.spec.checkpoint_every = every;
-  if (f.job) f.job->set_checkpoint_policy({every});
+  f.spec.checkpoint_save_cost = save_cost;
+  if (f.job) f.job->set_checkpoint_policy({every, save_cost});
 }
 
 int

@@ -152,6 +152,22 @@ class ClusterRuntime {
                       std::unique_ptr<workload::ArrivalProcess> process,
                       TimeUs until);
 
+  /**
+   * Drive `fn` closed-loop: `clients` concurrent virtual users, each
+   * issuing one request, waiting for its completion (or drop — a
+   * client whose request dies still continues), then thinking for a
+   * gap drawn from `think` before the next. New requests stop once the
+   * next issue time passes `until`; outstanding ones finish naturally.
+   * Closed-loop requests are tagged (Request::closed_loop), so
+   * open-loop traffic on the same function — a chaos surge, a mixed
+   * stream — can never spawn phantom clients; still, prefer one
+   * driving model per function (the experiment loader enforces that
+   * for `workload` lines).
+   */
+  void AttachClosedLoop(FunctionId fn, int clients,
+                        std::unique_ptr<workload::ArrivalProcess> think,
+                        TimeUs until);
+
   /** Enable the per-function horizontal scaler (1 Hz loop). */
   void EnableAutoscaler(FunctionId fn,
                         std::unique_ptr<scaling::HorizontalPolicy> policy);
@@ -210,9 +226,12 @@ class ClusterRuntime {
    * job (and every restart) snapshots progress at the first iteration
    * boundary at least `every` after the previous checkpoint, so a
    * fault restarts from the snapshot instead of iteration zero.
+   * `save_cost` > 0 pauses the job for that duration at each snapshot
+   * (accounted per function as checkpoints / checkpoint_pause).
    * `every` == 0 disarms. Inference functions ignore it.
    */
-  void SetCheckpointPolicy(FunctionId fn, TimeUs every);
+  void SetCheckpointPolicy(FunctionId fn, TimeUs every,
+                           TimeUs save_cost = 0);
 
   /** Fail every GPU of `node` (whole-server fault). */
   int FailNode(NodeId node);
@@ -342,6 +361,10 @@ class ClusterRuntime {
   void ScheduleNextArrival(FunctionId fn,
                            std::shared_ptr<workload::ArrivalProcess> proc,
                            TimeUs until);
+  /** Closed loop: one client finished (completion or drop) — think,
+   *  then issue its next request. No-op for open-loop functions. */
+  void ScheduleClosedLoopIssue(FunctionId fn);
+  void IssueClosedLoopRequest(FunctionId fn);
 
   ClusterConfig config_;
   sim::Simulation sim_;
@@ -362,6 +385,13 @@ class ClusterRuntime {
    * must outlive the simulation even after a restart replaced it.
    */
   std::vector<std::unique_ptr<runtime::TrainingJob>> retired_jobs_;
+  /** Closed-loop drive state (AttachClosedLoop), keyed by function. */
+  struct ClosedLoop {
+    std::shared_ptr<workload::ArrivalProcess> think;
+    TimeUs until = 0;
+  };
+  std::map<FunctionId, ClosedLoop> closed_loops_;
+
   /** Displaced work awaiting capacity, one entry per needed launch. */
   std::deque<FunctionId> pending_recovery_;
   sim::Simulation::TaskId recovery_task_ = 0;

@@ -74,7 +74,10 @@ Gateway::Dispatch(workload::Request* req)
   if (DispatchInternal(req, /*count_arrival=*/true)) return true;
   req->dropped = true;
   if (metrics_ != nullptr && req->function != kInvalidFunction) {
-    metrics_->RecordDrop(req->function);
+    metrics_->RecordDrop(req->function, req->arrival);
+  }
+  if (drop_hook_ && req->function != kInvalidFunction) {
+    drop_hook_(*req);
   }
   return false;
 }
@@ -88,7 +91,10 @@ Gateway::Redispatch(workload::Request* req)
   req->dropped = true;
   req->done = true;
   if (metrics_ != nullptr && req->function != kInvalidFunction) {
-    metrics_->RecordDrop(req->function);
+    metrics_->RecordDrop(req->function, req->arrival);
+  }
+  if (drop_hook_ && req->function != kInvalidFunction) {
+    drop_hook_(*req);
   }
   return false;
 }

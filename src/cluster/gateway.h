@@ -12,6 +12,7 @@
 #ifndef DILU_CLUSTER_GATEWAY_H_
 #define DILU_CLUSTER_GATEWAY_H_
 
+#include <functional>
 #include <map>
 #include <vector>
 
@@ -29,6 +30,19 @@ class Gateway {
 
   /** Wire the metrics hub used for drop accounting (may be null). */
   void set_metrics(MetricsHub* metrics) { metrics_ = metrics; }
+
+  /**
+   * Observer fired whenever a request is dropped (unroutable dispatch
+   * or failed re-dispatch), with the dropped request itself. The
+   * cluster layer uses it to keep closed-loop clients alive: a client
+   * whose request died still gets its completion signal, so the loop
+   * never wedges on a fault (and can tell closed-loop requests from
+   * open-loop ones via Request::closed_loop).
+   */
+  void set_drop_hook(std::function<void(const workload::Request&)> hook)
+  {
+    drop_hook_ = std::move(hook);
+  }
 
   /** Add / remove serving instances. */
   void AddInstance(FunctionId id, runtime::InferenceInstance* instance);
@@ -81,6 +95,7 @@ class Gateway {
 
   std::map<FunctionId, Entry> functions_;
   MetricsHub* metrics_ = nullptr;
+  std::function<void(const workload::Request&)> drop_hook_;
 };
 
 }  // namespace dilu::cluster

@@ -1,5 +1,7 @@
 #include "cluster/metrics.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 
 namespace dilu::cluster {
@@ -27,6 +29,7 @@ MetricsHub::RecordRequest(FunctionId id, const workload::Request& req)
   auto it = functions_.find(id);
   DILU_CHECK(it != functions_.end());
   FunctionMetrics& m = it->second;
+  if (req.arrival < m.warmup_until) return;  // warmup traffic
   const double latency_ms = ToMs(req.Latency());
   m.latency_ms.Add(latency_ms);
   ++m.completed;
@@ -55,9 +58,11 @@ MetricsHub::RecordRecoveryColdStart(FunctionId id)
 }
 
 void
-MetricsHub::RecordDrop(FunctionId id)
+MetricsHub::RecordDrop(FunctionId id, TimeUs arrival)
 {
-  ++functions_[id].dropped;
+  FunctionMetrics& m = functions_[id];
+  if (arrival < m.warmup_until) return;  // warmup traffic
+  ++m.dropped;
 }
 
 void
@@ -67,6 +72,21 @@ MetricsHub::RecordTrainingRestart(FunctionId id,
   FunctionMetrics& m = functions_[id];
   ++m.training_restarts;
   m.lost_iterations += lost_iterations;
+}
+
+void
+MetricsHub::RecordCheckpoint(FunctionId id, TimeUs pause)
+{
+  FunctionMetrics& m = functions_[id];
+  ++m.checkpoints;
+  m.checkpoint_pause += pause;
+}
+
+void
+MetricsHub::SetWarmupUntil(FunctionId id, TimeUs until)
+{
+  FunctionMetrics& m = functions_[id];
+  m.warmup_until = std::max(m.warmup_until, until);
 }
 
 void

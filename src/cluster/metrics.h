@@ -41,6 +41,16 @@ struct FunctionMetrics {
    * with no checkpoint policy).
    */
   std::int64_t lost_iterations = 0;
+  /** Training: checkpoints taken (across restarts). */
+  int checkpoints = 0;
+  /** Training: simulated time spent paused in checkpoint saves. */
+  TimeUs checkpoint_pause = 0;
+  /**
+   * Requests that arrived before this instant are warmup traffic: they
+   * are served normally but excluded from the latency / SVR / completed
+   * accounting (experiment specs use it to discard ramp-up noise).
+   */
+  TimeUs warmup_until = 0;
 
   /** SLO violation rate in percent. */
   double SvrPercent() const;
@@ -88,14 +98,27 @@ class MetricsHub {
   /** Count one recovery cold start (failure/drain replacement). */
   void RecordRecoveryColdStart(FunctionId id);
 
-  /** Count one dropped (unroutable) request for `id`. */
-  void RecordDrop(FunctionId id);
+  /**
+   * Count one dropped (unroutable) request for `id` that arrived at
+   * `arrival` — excluded, like completions, when it falls inside the
+   * warmup window (so availability compares like with like).
+   */
+  void RecordDrop(FunctionId id, TimeUs arrival);
 
   /**
    * Count one fault-forced training restart for `id`, losing
    * `lost_iterations` of un-checkpointed progress.
    */
   void RecordTrainingRestart(FunctionId id, std::int64_t lost_iterations);
+
+  /** Count one training checkpoint for `id`, paused for `pause`. */
+  void RecordCheckpoint(FunctionId id, TimeUs pause);
+
+  /**
+   * Exclude requests arriving before `until` from `id`'s request
+   * accounting (warmup window; monotone — never moves backward).
+   */
+  void SetWarmupUntil(FunctionId id, TimeUs until);
 
   /** Append one entry to the fault audit log. */
   void RecordFault(TimeUs time, const std::string& kind,

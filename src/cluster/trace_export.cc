@@ -26,7 +26,7 @@ ExportFunctionMetrics(const MetricsHub& hub)
   CsvWriter csv({"function", "slo_ms", "completed", "p50_ms", "p95_ms",
                  "svr_percent", "cold_starts", "recovery_cold_starts",
                  "dropped", "availability_percent", "training_restarts",
-                 "lost_iterations"});
+                 "lost_iterations", "checkpoints", "checkpoint_pause_s"});
   for (const auto& [id, m] : hub.functions()) {
     (void)id;
     csv.AddTextRow({m.name, std::to_string(m.slo_ms),
@@ -39,7 +39,9 @@ ExportFunctionMetrics(const MetricsHub& hub)
                     std::to_string(m.dropped),
                     std::to_string(m.AvailabilityPercent()),
                     std::to_string(m.training_restarts),
-                    std::to_string(m.lost_iterations)});
+                    std::to_string(m.lost_iterations),
+                    std::to_string(m.checkpoints),
+                    std::to_string(ToSec(m.checkpoint_pause))});
   }
   return csv;
 }

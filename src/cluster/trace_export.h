@@ -24,7 +24,8 @@ CsvWriter ExportClusterSamples(const MetricsHub& hub);
 /**
  * Per-function serving summary as CSV: function, slo_ms, completed,
  * p50_ms, p95_ms, svr_percent, cold_starts, recovery_cold_starts,
- * dropped, availability_percent, training_restarts, lost_iterations.
+ * dropped, availability_percent, training_restarts, lost_iterations,
+ * checkpoints, checkpoint_pause_s.
  */
 CsvWriter ExportFunctionMetrics(const MetricsHub& hub);
 

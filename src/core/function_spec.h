@@ -46,6 +46,12 @@ struct FunctionSpec {
   TimeUs checkpoint_every = 0;
 
   /**
+   * Training: duration the job pauses at each checkpoint while the
+   * snapshot is saved (0 = free saves); see CheckpointPolicy::save_cost.
+   */
+  TimeUs checkpoint_save_cost = 0;
+
+  /**
    * Functions whose instances exhibit high workload affinity with this
    * one (Principle 1); the scheduler prefers collocating with them.
    */

@@ -1,0 +1,376 @@
+#include "experiment/experiment.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+
+#include "cluster/trace_export.h"
+#include "common/logging.h"
+#include "workload/arrival.h"
+#include "workload/azure_traces.h"
+
+namespace dilu::experiment {
+namespace {
+
+/**
+ * Seed of workload stream `index` under cluster seed `base`: stable,
+ * well-mixed, and disjoint from the chaos-surge streams (which derive
+ * from the event index inside the chaos engine).
+ */
+std::uint64_t
+StreamSeed(std::uint64_t base, std::size_t index)
+{
+  return base * 0x9E3779B97F4A7C15ull
+      + (static_cast<std::uint64_t>(index) + 1) * 0x100000001B3ull;
+}
+
+core::SystemConfig
+BuildConfig(const ClusterSection& c, std::uint64_t seed_override)
+{
+  core::SystemConfig cfg = core::SystemConfig::Preset(c.preset);
+  cluster::ClusterConfig& cl = cfg.cluster;
+  if (c.nodes) cl.nodes = *c.nodes;
+  if (c.gpus_per_node) cl.gpus_per_node = *c.gpus_per_node;
+  if (c.scheduler) cl.scheduler = *c.scheduler;
+  if (c.sharing) cl.sharing = *c.sharing;
+  if (c.quota_mode) cl.quota_mode = *c.quota_mode;
+  if (c.recovery) cl.recovery = *c.recovery;
+  if (c.warm_starts) cl.warm_starts = *c.warm_starts;
+  if (c.resource_complementarity) {
+    cl.sched.resource_complementarity = *c.resource_complementarity;
+  }
+  if (c.workload_affinity) {
+    cl.sched.workload_affinity = *c.workload_affinity;
+  }
+  if (c.seed) cl.seed = *c.seed;
+  if (seed_override != 0) cl.seed = seed_override;
+  return cfg;
+}
+
+/** Envelope seconds covering a workload's warmup + duration. */
+int
+EnvelopeSeconds(const WorkloadSpec& w)
+{
+  return static_cast<int>(
+      std::ceil(ToSec(w.warmup + w.duration) - 1e-9));
+}
+
+std::unique_ptr<workload::ArrivalProcess>
+MakeProcess(const WorkloadSpec& w, std::uint64_t stream_seed)
+{
+  switch (w.kind) {
+    case ArrivalKind::kConstant:
+      return std::make_unique<workload::ConstantArrivals>(w.rps);
+    case ArrivalKind::kPoisson:
+      return std::make_unique<workload::PoissonArrivals>(
+          w.rps, Rng(stream_seed));
+    case ArrivalKind::kGamma:
+      return std::make_unique<workload::GammaArrivals>(w.rps, w.cv,
+                                                       Rng(stream_seed));
+    case ArrivalKind::kBursty: {
+      workload::BurstySpec b;
+      b.duration_s = EnvelopeSeconds(w);
+      b.base_rps = w.rps;
+      b.seed = stream_seed + 7;
+      b.burst_scale = w.scale;
+      b.burst_len_s = static_cast<int>(ToSec(w.burst_len));
+      b.burst_gap_s = static_cast<int>(ToSec(w.burst_gap));
+      return std::make_unique<workload::EnvelopeArrivals>(
+          workload::BuildBurstyTrace(b), Rng(stream_seed));
+    }
+    case ArrivalKind::kPeriodic: {
+      workload::PeriodicSpec p;
+      p.duration_s = EnvelopeSeconds(w);
+      p.base_rps = w.rps;
+      p.seed = stream_seed + 7;
+      p.amplitude = w.amplitude;
+      p.period_s = static_cast<int>(ToSec(w.period));
+      return std::make_unique<workload::EnvelopeArrivals>(
+          workload::BuildPeriodicTrace(p), Rng(stream_seed));
+    }
+    case ArrivalKind::kSporadic: {
+      workload::SporadicSpec s;
+      s.duration_s = EnvelopeSeconds(w);
+      s.base_rps = w.rps;
+      s.seed = stream_seed + 7;
+      s.active_fraction = w.active;
+      s.spike_len_s = static_cast<int>(ToSec(w.spike));
+      return std::make_unique<workload::EnvelopeArrivals>(
+          workload::BuildSporadicTrace(s), Rng(stream_seed));
+    }
+    case ArrivalKind::kClosed:
+      // Exponential think times with mean `think` (the classic
+      // closed-loop client model); rps here is requests/s per client.
+      return std::make_unique<workload::PoissonArrivals>(
+          1e6 / static_cast<double>(w.think), Rng(stream_seed));
+  }
+  Fatal("unreachable arrival kind");
+}
+
+void
+AppendJson(std::string* out, const char* fmt, ...)
+#if defined(__GNUC__)
+    __attribute__((format(printf, 2, 3)))
+#endif
+    ;
+
+void
+AppendJson(std::string* out, const char* fmt, ...)
+{
+  char buf[512];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  out->append(buf);
+}
+
+/**
+ * JSON string escaping for names that flow in from specs (a `name=`
+ * value may contain '"' or '\'); appended outside AppendJson's fixed
+ * buffer so long names cannot truncate the record.
+ */
+std::string
+EscapeJson(const std::string& s)
+{
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Experiment::Experiment(ExperimentSpec spec, RunOptions opts)
+    : spec_(std::move(spec)), opts_(std::move(opts))
+{
+  core::SystemConfig cfg = BuildConfig(spec_.cluster(), opts_.seed);
+  seed_ = cfg.cluster.seed;
+  system_ = std::make_unique<core::System>(cfg);
+  for (const DeploySpec& d : spec_.deploys()) {
+    fn_ids_.push_back(system_->Deploy(d.fn));
+  }
+}
+
+Experiment::~Experiment() = default;
+
+void
+Experiment::ArmWorkload(std::size_t index)
+{
+  const WorkloadSpec& w = spec_.workloads()[index];
+  cluster::ClusterRuntime& rt = system_->runtime();
+  const FunctionId fn = fn_ids_[static_cast<std::size_t>(w.fn)];
+  const std::uint64_t stream =
+      w.seed ? *w.seed : StreamSeed(seed_, index);
+  const TimeUs until = w.end();
+  if (w.warmup > 0) {
+    rt.metrics().SetWarmupUntil(fn, w.start + w.warmup);
+  }
+  auto proc = MakeProcess(w, stream);
+  if (w.kind == ArrivalKind::kClosed) {
+    const int clients = w.clients;
+    if (w.start <= 0) {
+      rt.AttachClosedLoop(fn, clients, std::move(proc), until);
+    } else {
+      rt.simulation().queue().ScheduleAt(
+          w.start, [&rt, fn, clients, until,
+                    p = std::move(proc)]() mutable {
+            rt.AttachClosedLoop(fn, clients, std::move(p), until);
+          });
+    }
+  } else {
+    if (w.start <= 0) {
+      rt.AttachArrivals(fn, std::move(proc), until);
+    } else {
+      rt.simulation().queue().ScheduleAt(
+          w.start, [&rt, fn, until, p = std::move(proc)]() mutable {
+            rt.AttachArrivals(fn, std::move(p), until);
+          });
+    }
+  }
+}
+
+ExperimentResult
+Experiment::Run()
+{
+  DILU_CHECK(!ran_);
+  ran_ = true;
+
+  // Provision warm capacity, enable co-scaling, submit training.
+  for (std::size_t i = 0; i < spec_.deploys().size(); ++i) {
+    const DeploySpec& d = spec_.deploys()[i];
+    const FunctionId fn = fn_ids_[i];
+    if (d.fn.type == TaskType::kInference) {
+      if (d.provision > 0) system_->Provision(fn, d.provision);
+      if (!d.scaler.empty()) system_->EnableCoScaling(fn, d.scaler);
+    } else {
+      // Cold submission at `start` (0 fires as the clock begins).
+      system_->runtime().simulation().queue().ScheduleAt(
+          d.start, [this, fn] { system_->StartTraining(fn, true); });
+    }
+  }
+
+  for (std::size_t i = 0; i < spec_.workloads().size(); ++i) {
+    ArmWorkload(i);
+  }
+
+  if (!spec_.chaos().empty()) {
+    engine_ = std::make_unique<chaos::ChaosEngine>(&system_->runtime(),
+                                                   spec_.chaos());
+    engine_->Arm();
+  }
+
+  system_->RunFor(spec_.EffectiveRunFor());
+
+  ExperimentResult result = Collect();
+  const std::string& prefix = opts_.export_prefix.empty()
+      ? spec_.export_prefix()
+      : opts_.export_prefix;
+  if (!prefix.empty()) {
+    result.export_ok = cluster::ExportAll(system_->runtime(), prefix);
+    if (!result.export_ok) {
+      DILU_WARN << "trace export to prefix '" << prefix << "' failed";
+    }
+  }
+  return result;
+}
+
+ExperimentResult
+Experiment::Collect() const
+{
+  const cluster::ClusterRuntime& rt = system_->runtime();
+  const cluster::MetricsHub& hub = rt.metrics();
+
+  ExperimentResult r;
+  r.experiment = spec_.name();
+  r.seed = seed_;
+  r.run_for_s = ToSec(spec_.EffectiveRunFor());
+
+  for (std::size_t i = 0; i < fn_ids_.size(); ++i) {
+    const FunctionId id = fn_ids_[i];
+    const cluster::FunctionMetrics& m = hub.function(id);
+    const cluster::DeployedFunction& f = rt.function(id);
+    FunctionResult fr;
+    fr.name = f.spec.display_name();
+    fr.type = f.spec.type;
+    fr.completed = m.completed;
+    fr.p50_ms = m.latency_ms.P50();
+    fr.p95_ms = m.latency_ms.P95();
+    fr.mean_ms = m.latency_ms.mean();
+    fr.svr_percent = m.SvrPercent();
+    fr.cold_starts = m.cold_starts;
+    fr.recovery_cold_starts = m.recovery_cold_starts;
+    fr.dropped = m.dropped;
+    fr.availability_percent = m.AvailabilityPercent();
+    if (f.spec.type == TaskType::kTraining) {
+      fr.iterations = f.job ? f.job->stats().iterations_completed : 0;
+      fr.restarts = m.training_restarts;
+      fr.lost_iterations = m.lost_iterations;
+      fr.checkpoints = m.checkpoints;
+      fr.checkpoint_pause_s = ToSec(m.checkpoint_pause);
+      const TimeUs jct = rt.TrainingJct(id);
+      fr.jct_s = jct < 0 ? -1.0 : ToSec(jct);
+      fr.throughput_units = rt.TrainingThroughputUnits(id);
+    }
+    r.functions.push_back(std::move(fr));
+    r.total_completed += m.completed;
+    r.total_dropped += m.dropped;
+  }
+
+  if (engine_) r.chaos = engine_->Verdict();
+
+  r.max_gpus = rt.max_active_gpus();
+  const auto& samples = hub.samples();
+  for (const cluster::ClusterSample& s : samples) {
+    r.avg_gpus += s.active_gpus;
+  }
+  r.avg_gpus /= std::max<std::size_t>(1, samples.size());
+  r.gpu_seconds = hub.total_gpu_seconds();
+  r.total_cold_starts = hub.TotalColdStarts();
+  r.overall_svr_percent = hub.OverallSvrPercent();
+  r.overall_availability_percent = hub.OverallAvailabilityPercent();
+  return r;
+}
+
+std::string
+ExperimentResult::ToJson() const
+{
+  std::string out;
+  out += "{\n";
+  out += "  \"schema\": \"dilu-experiment/1\",\n";
+  out += "  \"experiment\": \"" + EscapeJson(experiment) + "\",\n";
+  AppendJson(&out, "  \"seed\": %llu,\n",
+             static_cast<unsigned long long>(seed));
+  AppendJson(&out, "  \"run_for_s\": %.3f,\n", run_for_s);
+  out += "  \"functions\": [\n";
+  for (std::size_t i = 0; i < functions.size(); ++i) {
+    const FunctionResult& f = functions[i];
+    out += "    {\"name\": \"" + EscapeJson(f.name) + "\", ";
+    if (f.type == TaskType::kInference) {
+      AppendJson(&out,
+                 "\"task\": \"inference\", "
+                 "\"completed\": %lld, \"p50_ms\": %.3f, "
+                 "\"p95_ms\": %.3f, \"mean_ms\": %.3f, "
+                 "\"svr_percent\": %.3f, \"cold_starts\": %d, "
+                 "\"recovery_cold_starts\": %d, \"dropped\": %lld, "
+                 "\"availability_percent\": %.3f}",
+                 static_cast<long long>(f.completed),
+                 f.p50_ms, f.p95_ms, f.mean_ms, f.svr_percent,
+                 f.cold_starts, f.recovery_cold_starts,
+                 static_cast<long long>(f.dropped),
+                 f.availability_percent);
+    } else {
+      AppendJson(&out,
+                 "\"task\": \"training\", "
+                 "\"iterations\": %lld, \"restarts\": %d, "
+                 "\"lost_iterations\": %lld, \"checkpoints\": %d, "
+                 "\"checkpoint_pause_s\": %.3f, \"jct_s\": %.3f, "
+                 "\"throughput_units\": %.3f, "
+                 "\"recovery_cold_starts\": %d}",
+                 static_cast<long long>(f.iterations),
+                 f.restarts, static_cast<long long>(f.lost_iterations),
+                 f.checkpoints, f.checkpoint_pause_s, f.jct_s,
+                 f.throughput_units, f.recovery_cold_starts);
+    }
+    out += i + 1 < functions.size() ? ",\n" : "\n";
+  }
+  out += "  ],\n";
+  AppendJson(&out,
+             "  \"chaos\": {\"injected\": %d, \"disruptive\": %d, "
+             "\"recovered\": %d, \"mean_ttr_s\": %.3f, "
+             "\"max_ttr_s\": %.3f},\n",
+             chaos.injected, chaos.disruptive, chaos.recovered,
+             chaos.mean_ttr_s, chaos.max_ttr_s);
+  AppendJson(&out,
+             "  \"cluster\": {\"max_gpus\": %d, \"avg_gpus\": %.3f, "
+             "\"gpu_seconds\": %.3f, \"total_completed\": %lld, "
+             "\"total_dropped\": %lld, \"total_cold_starts\": %d, "
+             "\"overall_svr_percent\": %.3f, "
+             "\"overall_availability_percent\": %.3f}\n",
+             max_gpus, avg_gpus, gpu_seconds,
+             static_cast<long long>(total_completed),
+             static_cast<long long>(total_dropped), total_cold_starts,
+             overall_svr_percent, overall_availability_percent);
+  out += "}\n";
+  return out;
+}
+
+}  // namespace dilu::experiment

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Experiment driver: executes an ExperimentSpec end to end.
+ *
+ * Run() owns the pipeline every bench used to hand-roll — build the
+ * cluster from the preset + overrides, deploy the functions, provision
+ * warm instances, enable the co-scaling loops, schedule training
+ * submissions, arm the workloads (open or closed loop, with warmup
+ * gates) and the embedded chaos scenario, advance the simulation, then
+ * collect a structured ExperimentResult (per-function latency
+ * percentiles, SVR, cold starts, drops, availability; training
+ * iterations / restarts / checkpoint costs / JCT; chaos TTR verdict;
+ * cluster occupancy) and export traces when the spec asks for them.
+ *
+ * Deterministic: the result's JSON serialization is byte-identical
+ * across runs of the same spec + seed (the experiment-smoke CI job
+ * diffs exactly that).
+ */
+#ifndef DILU_EXPERIMENT_EXPERIMENT_H_
+#define DILU_EXPERIMENT_EXPERIMENT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "chaos/chaos_engine.h"
+#include "core/system.h"
+#include "experiment/experiment_spec.h"
+
+namespace dilu::experiment {
+
+/** Measured outcome of one deployed function. */
+struct FunctionResult {
+  std::string name;
+  TaskType type = TaskType::kInference;
+  // --- inference ---
+  std::int64_t completed = 0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double mean_ms = 0.0;
+  double svr_percent = 0.0;
+  int cold_starts = 0;
+  int recovery_cold_starts = 0;
+  std::int64_t dropped = 0;
+  double availability_percent = 100.0;
+  // --- training ---
+  std::int64_t iterations = 0;
+  int restarts = 0;
+  std::int64_t lost_iterations = 0;
+  int checkpoints = 0;
+  double checkpoint_pause_s = 0.0;
+  double jct_s = -1.0;  ///< -1 while unfinished
+  double throughput_units = 0.0;
+};
+
+/** Structured outcome of one experiment run. */
+struct ExperimentResult {
+  std::string experiment;
+  std::uint64_t seed = 0;
+  double run_for_s = 0.0;
+  std::vector<FunctionResult> functions;  ///< deploy order
+  // --- chaos verdict (zeros when the spec embeds no scenario) ---
+  chaos::ChaosVerdict chaos;
+  // --- cluster aggregates ---
+  int max_gpus = 0;
+  double avg_gpus = 0.0;  ///< time-averaged occupied GPUs (1 Hz samples)
+  double gpu_seconds = 0.0;
+  std::int64_t total_completed = 0;
+  std::int64_t total_dropped = 0;
+  int total_cold_starts = 0;
+  double overall_svr_percent = 0.0;
+  double overall_availability_percent = 100.0;
+  /**
+   * Every requested trace CSV was written (true when no export was
+   * requested). Not part of the JSON — it describes this process's
+   * filesystem, not the simulated outcome.
+   */
+  bool export_ok = true;
+
+  /**
+   * Deterministic JSON rendering (schema dilu-experiment/1): fixed key
+   * order and formatting, no wall-clock or machine fields, so two runs
+   * of the same spec + seed serialize byte-identically.
+   */
+  std::string ToJson() const;
+};
+
+/** Run-time knobs that are not part of the spec. */
+struct RunOptions {
+  /** Overrides the spec / preset cluster seed when non-zero. */
+  std::uint64_t seed = 0;
+  /** Overrides the spec's export prefix when non-empty. */
+  std::string export_prefix;
+};
+
+/** One executable instance of a spec (single-shot). */
+class Experiment {
+ public:
+  /**
+   * Builds the cluster and deploys the spec's functions (ids are the
+   * deploy indexes). Workloads, chaos and the clock do not move until
+   * Run().
+   */
+  explicit Experiment(ExperimentSpec spec, RunOptions opts = {});
+  ~Experiment();
+
+  Experiment(const Experiment&) = delete;
+  Experiment& operator=(const Experiment&) = delete;
+
+  /**
+   * Execute the whole pipeline; callable once. Exports traces when the
+   * spec (or RunOptions) names a prefix.
+   */
+  ExperimentResult Run();
+
+  const ExperimentSpec& spec() const { return spec_; }
+
+  /** The underlying cluster, for inspection (fault logs, series). */
+  cluster::ClusterRuntime& runtime() { return system_->runtime(); }
+
+  /** Chaos engine outcomes; null when the spec embeds no scenario. */
+  const chaos::ChaosEngine* engine() const { return engine_.get(); }
+
+ private:
+  void ArmWorkload(std::size_t index);
+  ExperimentResult Collect() const;
+
+  ExperimentSpec spec_;
+  RunOptions opts_;
+  std::uint64_t seed_ = 0;  ///< effective cluster seed
+  std::unique_ptr<core::System> system_;
+  std::unique_ptr<chaos::ChaosEngine> engine_;
+  std::vector<FunctionId> fn_ids_;  ///< by deploy index
+  bool ran_ = false;
+};
+
+}  // namespace dilu::experiment
+
+#endif  // DILU_EXPERIMENT_EXPERIMENT_H_

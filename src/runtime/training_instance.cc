@@ -173,14 +173,22 @@ TrainingJob::OnAllComputeDone(TimeUs latest)
     // Checkpoint at iteration boundaries: the first boundary at least
     // `every` after the previous snapshot persists the progress. Tied
     // to simulated time (not the wall clock), so replays are exact.
+    bool checkpointed = false;
+    const bool finishing = target_iterations_ > 0
+        && stats_.iterations_completed >= target_iterations_;
     if (checkpoint_.every > 0
         && sim_->now() - last_checkpoint_at_ >= checkpoint_.every) {
       checkpointed_iterations_ = stats_.iterations_completed;
       last_checkpoint_at_ = sim_->now();
       ++stats_.checkpoints_taken;
+      checkpointed = true;
+      // A checkpoint coinciding with completion pays no pause: the job
+      // ends here, so only continuing jobs stall for the save.
+      const TimeUs pause = finishing ? 0 : checkpoint_.save_cost;
+      stats_.checkpoint_pause += pause;
+      if (on_checkpoint_) on_checkpoint_(pause);
     }
-    if (target_iterations_ > 0
-        && stats_.iterations_completed >= target_iterations_) {
+    if (finishing) {
       finished_ = true;
       stats_.finished_at = sim_->now();
       for (TrainingInstance* w : worker_ptrs_) {
@@ -189,10 +197,28 @@ TrainingJob::OnAllComputeDone(TimeUs latest)
       if (on_finished_) on_finished_();
       return;
     }
-    in_compute_ = true;
-    compute_done_count_ = 0;
-    for (TrainingInstance* w : worker_ptrs_) w->StartComputePhase();
+    if (checkpointed && checkpoint_.save_cost > 0) {
+      // The snapshot is not free: the job stalls for the save before
+      // the next iteration can begin (a fault during the stall still
+      // restarts from this checkpoint — the snapshot is durable the
+      // moment it is counted).
+      sim_->queue().ScheduleAt(sim_->now() + checkpoint_.save_cost,
+                               [this] {
+                                 if (finished_) return;  // aborted
+                                 StartNextIteration();
+                               });
+      return;
+    }
+    StartNextIteration();
   });
+}
+
+void
+TrainingJob::StartNextIteration()
+{
+  in_compute_ = true;
+  compute_done_count_ = 0;
+  for (TrainingInstance* w : worker_ptrs_) w->StartComputePhase();
 }
 
 void

@@ -68,10 +68,14 @@ class TrainingInstance : public Instance {
  * the last snapshot instead of iteration zero, and only the work since
  * it is lost (accounted by the cluster metrics). `every` == 0 models
  * no checkpointing — a fault loses everything (the pre-checkpoint
- * behaviour).
+ * behaviour). `save_cost` > 0 models the snapshot write itself: the
+ * job pauses for that duration at each checkpoint before the next
+ * iteration starts (state serialization + storage flush), so frequent
+ * checkpoints trade steady-state throughput for less lost work.
  */
 struct CheckpointPolicy {
   TimeUs every = 0;
+  TimeUs save_cost = 0;
 };
 
 /** Aggregate statistics for a training job. */
@@ -81,6 +85,8 @@ struct TrainingStats {
   std::int64_t resumed_from = 0;
   /** Checkpoints taken by this job object (resets on restart). */
   std::int64_t checkpoints_taken = 0;
+  /** Simulated time spent paused in checkpoint saves (this job object). */
+  TimeUs checkpoint_pause = 0;
   TimeUs started_at = -1;
   TimeUs finished_at = -1;
 
@@ -131,6 +137,17 @@ class TrainingJob {
   void set_on_finished(std::function<void()> cb) { on_finished_ = std::move(cb); }
 
   /**
+   * Per-checkpoint callback, fired at each snapshot with the pause the
+   * save costs (0 under a free-save policy). The cluster layer uses it
+   * to account checkpoint counts and save time in the per-function
+   * metrics.
+   */
+  void set_on_checkpoint(std::function<void(TimeUs pause)> cb)
+  {
+    on_checkpoint_ = std::move(cb);
+  }
+
+  /**
    * Arm (or change) the checkpoint policy. Effective from the next
    * iteration boundary; the interval is measured from the last
    * checkpoint (or job creation).
@@ -168,6 +185,8 @@ class TrainingJob {
  private:
   void BeginIterationIfReady();
   void OnAllComputeDone(TimeUs latest);
+  /** Kick off the next lockstep iteration (post-barrier, post-save). */
+  void StartNextIteration();
 
   FunctionId function_;
   const models::ModelProfile* model_;
@@ -184,6 +203,7 @@ class TrainingJob {
   std::int64_t checkpointed_iterations_ = 0;
   TimeUs last_checkpoint_at_ = 0;
   std::function<void()> on_finished_;
+  std::function<void(TimeUs)> on_checkpoint_;
 };
 
 }  // namespace dilu::runtime

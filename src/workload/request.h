@@ -28,6 +28,15 @@ struct Request {
    */
   bool dropped = false;
 
+  /**
+   * Issued by a closed-loop client (ClusterRuntime::AttachClosedLoop):
+   * its completion or drop is that client's signal to think and issue
+   * the next request. Open-loop arrivals (including chaos surges on
+   * the same function) leave this false, so they can never spawn
+   * phantom clients.
+   */
+  bool closed_loop = false;
+
   /** End-to-end latency (only valid once done). */
   TimeUs Latency() const { return completed - arrival; }
 };

@@ -145,6 +145,7 @@ TEST(Scenario, TextRoundTrip)
       .DegradeGpu(Sec(82), 4, 0.6)
       .StraggleGpu(Sec(84), 5, 2.5)
       .CheckpointEvery(Sec(86), 1, Sec(30))
+      .CheckpointEvery(Sec(88), 2, Sec(20), Ms(500))
       .RecoverNode(Sec(90), 1);
   const std::string text = spec.ToText();
 
@@ -161,6 +162,7 @@ TEST(Scenario, TextRoundTrip)
     EXPECT_DOUBLE_EQ(parsed.events()[i].magnitude,
                      spec.events()[i].magnitude);
     EXPECT_EQ(parsed.events()[i].duration, spec.events()[i].duration);
+    EXPECT_EQ(parsed.events()[i].save_cost, spec.events()[i].save_cost);
   }
   // Serialization is canonical: a second round-trip is identical text.
   EXPECT_EQ(parsed.ToText(), text);
@@ -179,6 +181,43 @@ TEST(Scenario, ParseAcceptsCommentsAndBlanks)
   EXPECT_EQ(spec.events()[0].at, Ms(1500));
 }
 
+TEST(Scenario, ParseAcceptsTrailingComments)
+{
+  // A stray comment after the operands used to be a parse error
+  // ("unexpected trailing '#'"); now everything from '#' is stripped,
+  // whole-line or mid-line alike.
+  const std::string text =
+      "scenario smoke   # the name line takes comments too\n"
+      "at 10s fail_node 1  # node zero's neighbour dies\n"
+      "at 12s surge fn=0 rps=80 for 20s ## emphatic comment\n"
+      "   # indented whole-line comment\n";
+  chaos::ScenarioSpec spec;
+  std::string error;
+  ASSERT_TRUE(chaos::ScenarioSpec::Parse(text, &spec, &error)) << error;
+  EXPECT_EQ(spec.name(), "smoke");
+  ASSERT_EQ(spec.events().size(), 2u);
+  EXPECT_EQ(spec.events()[0].kind, chaos::FaultKind::kNodeFail);
+  EXPECT_EQ(spec.events()[1].kind, chaos::FaultKind::kTrafficSurge);
+}
+
+TEST(Scenario, CheckpointSaveCostRoundTrips)
+{
+  chaos::ScenarioSpec spec("ckpt");
+  spec.CheckpointEvery(Sec(1), 0, Sec(30), Ms(500));
+  const std::string text = spec.ToText();
+  EXPECT_NE(text.find("save=500ms"), std::string::npos) << text;
+  chaos::ScenarioSpec parsed;
+  std::string error;
+  ASSERT_TRUE(chaos::ScenarioSpec::Parse(text, &parsed, &error)) << error;
+  ASSERT_EQ(parsed.events().size(), 1u);
+  EXPECT_EQ(parsed.events()[0].save_cost, Ms(500));
+  EXPECT_EQ(parsed.ToText(), text);
+  // Operand validation: a non-positive save cost is rejected.
+  EXPECT_FALSE(chaos::ScenarioSpec::Parse(
+      "at 1s checkpoint_every fn=0 every=5s save=0s", nullptr, &error));
+  EXPECT_NE(error.find("line 1"), std::string::npos) << error;
+}
+
 TEST(Scenario, ParseRejectsMalformedLines)
 {
   const char* bad[] = {
@@ -193,6 +232,8 @@ TEST(Scenario, ParseRejectsMalformedLines)
       "at 10s degrade_gpu 0 x1.2",   // capacity above 1
       "at 10s straggle 0 x0.8",      // inflation below 1
       "at 10s checkpoint_every fn=0 every=0s",  // non-positive interval
+      "at 99999999999999s fail_gpu 0",  // unit scaling would overflow
+      "at 10s surge fn=0 rps=10 for 99999999999999s",
   };
   for (const char* text : bad) {
     std::string error;
@@ -331,6 +372,80 @@ TEST(FaultInjection, TrainingJobRestartsAfterWorkerLoss)
   EXPECT_EQ(rt.metrics().function(fn).recovery_cold_starts, 2);
   rt.RunFor(Sec(30));
   EXPECT_GT(rt.function(fn).job->stats().iterations_completed, 0);
+}
+
+TEST(FaultInjection, CheckpointSaveCostPausesTrainingAndIsAccounted)
+{
+  // Identical training rigs, armed through the scenario verb; one pays
+  // 500 ms per snapshot. The pause must surface in the per-function
+  // metrics and come out of iteration throughput.
+  struct Outcome {
+    std::int64_t iterations = 0;
+    int checkpoints = 0;
+    TimeUs pause = 0;
+  };
+  const auto run = [](TimeUs save_cost) {
+    cluster::ClusterConfig cfg;
+    cfg.nodes = 1;
+    cluster::ClusterRuntime rt(cfg);
+    core::FunctionSpec s;
+    s.model = "bert-base";
+    s.type = TaskType::kTraining;
+    s.workers = 1;
+    s.target_iterations = 2000000;  // effectively unbounded
+    const FunctionId fn = rt.Deploy(s);
+    EXPECT_TRUE(rt.StartTraining(fn, /*cold=*/false));
+    chaos::ScenarioSpec spec("save_cost");
+    spec.CheckpointEvery(Sec(1), fn, Sec(2), save_cost);
+    chaos::ChaosEngine engine(&rt, spec);
+    engine.Arm();
+    rt.RunFor(Sec(30));
+    const cluster::FunctionMetrics& m = rt.metrics().function(fn);
+    Outcome o;
+    o.iterations = rt.function(fn).job->stats().iterations_completed;
+    o.checkpoints = m.checkpoints;
+    o.pause = m.checkpoint_pause;
+    return o;
+  };
+  const Outcome free_save = run(0);
+  const Outcome costly_save = run(Ms(500));
+  EXPECT_GT(free_save.checkpoints, 0);
+  EXPECT_GT(costly_save.checkpoints, 0);
+  EXPECT_EQ(free_save.pause, 0);
+  EXPECT_EQ(costly_save.pause, costly_save.checkpoints * Ms(500));
+  EXPECT_LT(costly_save.iterations, free_save.iterations);
+}
+
+TEST(FaultInjection, FaultDuringSaveRestartsFromTheFreshCheckpoint)
+{
+  // The snapshot is durable the moment it is counted: a failure inside
+  // the save pause resumes from the just-taken checkpoint, losing no
+  // iterations.
+  cluster::ClusterConfig cfg;
+  cfg.nodes = 2;
+  cluster::ClusterRuntime rt(cfg);
+  core::FunctionSpec s;
+  s.model = "bert-base";
+  s.type = TaskType::kTraining;
+  s.workers = 1;
+  s.target_iterations = 2000000;
+  s.checkpoint_every = Sec(2);
+  s.checkpoint_save_cost = Sec(3);  // long save: easy to hit mid-pause
+  const FunctionId fn = rt.Deploy(s);
+  ASSERT_TRUE(rt.StartTraining(fn, /*cold=*/false));
+  // Run until at least one checkpoint fired, then land inside a pause.
+  rt.RunFor(Sec(2) + Ms(2500));
+  const auto& job_before = *rt.function(fn).job;
+  ASSERT_GT(job_before.stats().checkpoints_taken, 0);
+  const std::int64_t safe = job_before.checkpointed_iterations();
+  ASSERT_GT(safe, 0);
+
+  rt.FailGpu(0);
+  EXPECT_EQ(rt.metrics().function(fn).training_restarts, 1);
+  // The restart resumes exactly at the checkpointed baseline.
+  EXPECT_EQ(rt.function(fn).job->stats().resumed_from, safe);
+  rt.RunFor(Sec(30));
+  EXPECT_GT(rt.function(fn).job->stats().iterations_completed, safe);
 }
 
 TEST(FaultInjection, LastInstanceFailureRequeuesBehindReplacement)

@@ -1,0 +1,310 @@
+/**
+ * @file
+ * Fuzz-style tests for the experiment text loader, mirroring
+ * scenario_fuzz_test.cc: randomly generated valid specs (covering
+ * every directive, arrival kind and cluster override) must round-trip
+ * parse -> print -> parse byte-identically, and randomly mutated specs
+ * must fail with a line-numbered error — never crash, never be
+ * silently mis-parsed.
+ *
+ * Everything draws from a fixed-seed Rng, so a failure reproduces
+ * exactly; crank kRounds locally for a longer soak.
+ */
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "experiment/experiment_spec.h"
+
+namespace dilu {
+namespace {
+
+using experiment::ArrivalKind;
+using experiment::DeploySpec;
+using experiment::ExperimentSpec;
+using experiment::WorkloadSpec;
+
+constexpr int kRounds = 150;
+
+TimeUs
+RandomTime(Rng& rng)
+{
+  // Mix of exact-second, exact-millisecond and raw-microsecond times so
+  // every FormatTime suffix branch is exercised.
+  switch (rng.UniformInt(0, 2)) {
+    case 0: return Sec(rng.UniformInt(1, 500));
+    case 1: return Ms(rng.UniformInt(1, 500000));
+    default: return Us(rng.UniformInt(1, 5000000));
+  }
+}
+
+/** Magnitudes that %g prints exactly (quarter steps). */
+double
+RandomFactor(Rng& rng, double lo, double hi)
+{
+  const double steps = (hi - lo) * 4.0;
+  return lo
+      + 0.25 * static_cast<double>(
+            rng.UniformInt(1, static_cast<std::int64_t>(steps) - 1));
+}
+
+const char* const kInferenceModels[] = {"bert-base", "roberta-large",
+                                        "resnet152", "llama2-7b"};
+const char* const kTrainingModels[] = {"bert-base", "vgg19",
+                                       "gpt2-large"};
+
+ExperimentSpec
+RandomSpec(Rng& rng)
+{
+  ExperimentSpec spec("fuzz" + std::to_string(rng.UniformInt(0, 999)));
+
+  // --- cluster overrides (each independently present) ---
+  if (rng.UniformInt(0, 1) == 0) {
+    spec.cluster().nodes = static_cast<int>(rng.UniformInt(1, 8));
+  }
+  if (rng.UniformInt(0, 2) == 0) {
+    spec.cluster().gpus_per_node = static_cast<int>(rng.UniformInt(1, 8));
+  }
+  if (rng.UniformInt(0, 2) == 0) {
+    const char* presets[] = {"dilu", "exclusive", "mps-l", "tgs",
+                             "infless-l"};
+    spec.cluster().preset = presets[rng.UniformInt(0, 4)];
+  }
+  if (rng.UniformInt(0, 2) == 0) {
+    spec.cluster().recovery =
+        rng.UniformInt(0, 1) == 0 ? "joint" : "greedy";
+  }
+  if (rng.UniformInt(0, 2) == 0) {
+    spec.cluster().resource_complementarity = rng.UniformInt(0, 1) == 0;
+  }
+  if (rng.UniformInt(0, 2) == 0) {
+    spec.cluster().warm_starts = rng.UniformInt(0, 1) == 0;
+  }
+  if (rng.UniformInt(0, 1) == 0) {
+    spec.cluster().seed =
+        static_cast<std::uint64_t>(rng.UniformInt(0, 1 << 20));
+  }
+
+  // --- deployments ---
+  const int deploys = static_cast<int>(rng.UniformInt(1, 4));
+  std::vector<int> inference_fns;
+  std::vector<int> training_fns;
+  for (int i = 0; i < deploys; ++i) {
+    if (rng.UniformInt(0, 3) == 0) {
+      DeploySpec& d = spec.AddTraining(
+          kTrainingModels[rng.UniformInt(0, 2)],
+          static_cast<int>(rng.UniformInt(1, 4)),
+          rng.UniformInt(0, 1) == 0 ? 0 : rng.UniformInt(1, 1000));
+      if (rng.UniformInt(0, 1) == 0) d.start = RandomTime(rng);
+      if (rng.UniformInt(0, 1) == 0) {
+        d.fn.checkpoint_every = RandomTime(rng);
+        if (rng.UniformInt(0, 1) == 0) {
+          d.fn.checkpoint_save_cost = RandomTime(rng);
+        }
+      }
+      training_fns.push_back(i);
+    } else {
+      DeploySpec& d =
+          spec.AddInference(kInferenceModels[rng.UniformInt(0, 3)]);
+      d.provision = static_cast<int>(rng.UniformInt(0, 3));
+      if (rng.UniformInt(0, 1) == 0) {
+        const char* scalers[] = {"dilu-lazy", "eager", "keep-alive"};
+        d.scaler = scalers[rng.UniformInt(0, 2)];
+      }
+      if (rng.UniformInt(0, 2) == 0) {
+        d.fn.shards = static_cast<int>(rng.UniformInt(2, 4));
+      }
+      if (rng.UniformInt(0, 3) == 0) {
+        d.fn.name = "fn" + std::to_string(i);
+      }
+      inference_fns.push_back(i);
+    }
+  }
+
+  // --- workloads: at most one per inference fn (closed-loop fns must
+  // not carry a second stream, and one-per-fn keeps generation simple).
+  for (int fn : inference_fns) {
+    if (rng.UniformInt(0, 2) == 2) continue;
+    const TimeUs duration = RandomTime(rng);
+    WorkloadSpec* w = nullptr;
+    switch (rng.UniformInt(0, 6)) {
+      case 0:
+        w = &spec.AddConstant(fn, RandomFactor(rng, 0.0, 100.0), duration);
+        break;
+      case 1:
+        w = &spec.AddPoisson(fn, RandomFactor(rng, 0.0, 100.0), duration);
+        break;
+      case 2:
+        w = &spec.AddGamma(fn, RandomFactor(rng, 0.0, 100.0),
+                           RandomFactor(rng, 0.0, 8.0), duration);
+        break;
+      case 3: {
+        w = &spec.AddTrace(fn, ArrivalKind::kBursty,
+                           RandomFactor(rng, 0.0, 100.0), duration);
+        if (rng.UniformInt(0, 1) == 0) {
+          w->scale = RandomFactor(rng, 1.0, 8.0);
+          w->burst_len = RandomTime(rng);
+          w->burst_gap = RandomTime(rng);
+        }
+        break;
+      }
+      case 4: {
+        w = &spec.AddTrace(fn, ArrivalKind::kPeriodic,
+                           RandomFactor(rng, 0.0, 100.0), duration);
+        if (rng.UniformInt(0, 1) == 0) {
+          w->amplitude = 0.25 * static_cast<double>(rng.UniformInt(1, 4));
+          w->period = RandomTime(rng);
+        }
+        break;
+      }
+      case 5: {
+        w = &spec.AddTrace(fn, ArrivalKind::kSporadic,
+                           RandomFactor(rng, 0.0, 100.0), duration);
+        if (rng.UniformInt(0, 1) == 0) {
+          w->active = 0.25 * static_cast<double>(rng.UniformInt(1, 4));
+          w->spike = RandomTime(rng);
+        }
+        break;
+      }
+      default:
+        w = &spec.AddClosedLoop(fn,
+                                static_cast<int>(rng.UniformInt(1, 16)),
+                                RandomTime(rng), duration);
+        break;
+    }
+    if (rng.UniformInt(0, 1) == 0) w->start = RandomTime(rng);
+    if (rng.UniformInt(0, 1) == 0) w->warmup = RandomTime(rng);
+    if (rng.UniformInt(0, 2) == 0) {
+      w->seed = static_cast<std::uint64_t>(rng.UniformInt(0, 1 << 20));
+    }
+  }
+
+  // --- chaos events (targets constrained to valid fn references) ---
+  const int events = static_cast<int>(rng.UniformInt(0, 6));
+  for (int i = 0; i < events; ++i) {
+    const TimeUs at = RandomTime(rng);
+    const auto target = static_cast<std::int32_t>(rng.UniformInt(0, 15));
+    switch (rng.UniformInt(0, 5)) {
+      case 0: spec.chaos().FailGpu(at, target); break;
+      case 1: spec.chaos().FailNode(at, target); break;
+      case 2: spec.chaos().DrainNode(at, target); break;
+      case 3:
+        spec.chaos().DegradeGpu(
+            at, target, 0.25 * static_cast<double>(rng.UniformInt(1, 3)));
+        break;
+      case 4:
+        if (!inference_fns.empty()) {
+          spec.chaos().Surge(
+              at,
+              inference_fns[static_cast<std::size_t>(rng.UniformInt(
+                  0, static_cast<std::int64_t>(inference_fns.size()) - 1))],
+              RandomFactor(rng, 0.0, 200.0), RandomTime(rng));
+        }
+        break;
+      default:
+        if (!training_fns.empty()) {
+          spec.chaos().CheckpointEvery(
+              at,
+              training_fns[static_cast<std::size_t>(rng.UniformInt(
+                  0, static_cast<std::int64_t>(training_fns.size()) - 1))],
+              RandomTime(rng),
+              rng.UniformInt(0, 1) == 0 ? 0 : RandomTime(rng));
+        }
+        break;
+    }
+  }
+
+  if (rng.UniformInt(0, 1) == 0) spec.RunFor(RandomTime(rng));
+  if (rng.UniformInt(0, 2) == 0) spec.ExportTo("/tmp/dilu_fuzz_export");
+  return spec;
+}
+
+TEST(ExperimentFuzz, RandomValidSpecsRoundTripByteIdentically)
+{
+  Rng rng(0xE0331u);
+  for (int round = 0; round < kRounds; ++round) {
+    SCOPED_TRACE(::testing::Message() << "round " << round);
+    const ExperimentSpec spec = RandomSpec(rng);
+    const std::string text = spec.ToText();
+
+    ExperimentSpec parsed;
+    std::string error;
+    ASSERT_TRUE(ExperimentSpec::Parse(text, &parsed, &error))
+        << error << "\n" << text;
+    EXPECT_EQ(parsed.ToText(), text);
+    EXPECT_EQ(parsed.deploys().size(), spec.deploys().size());
+    EXPECT_EQ(parsed.workloads().size(), spec.workloads().size());
+    EXPECT_EQ(parsed.chaos().events().size(), spec.chaos().events().size());
+    EXPECT_EQ(parsed.run_for(), spec.run_for());
+  }
+}
+
+TEST(ExperimentFuzz, RandomByteMutationsNeverCrashTheParser)
+{
+  Rng rng(0xE0332u);
+  const std::string charset =
+      "abcdefghijklmnopqrstuvwxyz0123456789 =_.-x#\t";
+  for (int round = 0; round < kRounds; ++round) {
+    SCOPED_TRACE(::testing::Message() << "round " << round);
+    std::string text = RandomSpec(rng).ToText();
+    const int mutations = static_cast<int>(rng.UniformInt(1, 6));
+    for (int m = 0; m < mutations && !text.empty(); ++m) {
+      const std::size_t pos = static_cast<std::size_t>(rng.UniformInt(
+          0, static_cast<std::int64_t>(text.size()) - 1));
+      const char c = charset[static_cast<std::size_t>(rng.UniformInt(
+          0, static_cast<std::int64_t>(charset.size()) - 1))];
+      switch (rng.UniformInt(0, 2)) {
+        case 0: text[pos] = c; break;           // substitute
+        case 1: text.erase(pos, 1); break;      // delete
+        default: text.insert(pos, 1, c); break; // insert
+      }
+    }
+    // The contract under mutation: parse either succeeds (the mutation
+    // kept the spec grammatical) or fails with a line-numbered message
+    // and leaves `out` untouched. It must never crash or throw.
+    ExperimentSpec out("sentinel");
+    out.AddInference("bert-base");
+    std::string error;
+    const bool ok = ExperimentSpec::Parse(text, &out, &error);
+    if (ok) {
+      EXPECT_NE(out.name(), "sentinel") << "out not written on success";
+    } else {
+      EXPECT_NE(error.find("line "), std::string::npos)
+          << "error lacks a line number: " << error;
+      ASSERT_EQ(out.deploys().size(), 1u)
+          << "out must be untouched on failure";
+      EXPECT_EQ(out.name(), "sentinel");
+    }
+  }
+}
+
+TEST(ExperimentFuzz, TargetedCorruptionsAlwaysError)
+{
+  Rng rng(0xE0333u);
+  for (int round = 0; round < kRounds; ++round) {
+    SCOPED_TRACE(::testing::Message() << "round " << round);
+    std::string text = RandomSpec(rng).ToText();
+    switch (rng.UniformInt(0, 3)) {
+      case 0:  // unknown directive
+        text += "explode everything\n";
+        break;
+      case 1:  // dangling fn reference
+        text += "workload fn=99 poisson rps=5 for 5s\n";
+        break;
+      case 2:  // bad time unit
+        text += "run for 10q\n";
+        break;
+      default:  // unknown deploy key
+        text += "deploy model=bert-base warp=9\n";
+        break;
+    }
+    std::string error;
+    EXPECT_FALSE(ExperimentSpec::Parse(text, nullptr, &error)) << text;
+    EXPECT_NE(error.find("line "), std::string::npos) << error;
+  }
+}
+
+}  // namespace
+}  // namespace dilu

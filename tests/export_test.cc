@@ -79,7 +79,7 @@ TEST(TraceExport, FunctionMetricsIncludeDropsAndAvailability)
   ok.arrival = 0;
   ok.completed = Ms(50);
   hub.RecordRequest(0, ok);
-  hub.RecordDrop(0);
+  hub.RecordDrop(0, Ms(1));
   hub.RecordRecoveryColdStart(0);
   const std::string out = cluster::ExportFunctionMetrics(hub).ToString();
   EXPECT_NE(out.find("dropped"), std::string::npos);
@@ -88,6 +88,27 @@ TEST(TraceExport, FunctionMetricsIncludeDropsAndAvailability)
   // 1 served / 1 dropped -> 50% availability.
   EXPECT_NE(out.find("50.000000"), std::string::npos);
   EXPECT_EQ(hub.function(0).recovery_cold_starts, 1);
+}
+
+TEST(TraceExport, WarmupGatesBothCompletionsAndDrops)
+{
+  cluster::MetricsHub hub;
+  hub.RegisterFunction(0, "bert", 100.0);
+  hub.SetWarmupUntil(0, Sec(10));
+  workload::Request early;
+  early.arrival = Sec(5);
+  early.completed = Sec(5) + Ms(50);
+  hub.RecordRequest(0, early);      // warmup completion: excluded
+  hub.RecordDrop(0, Sec(5));        // warmup drop: excluded too
+  workload::Request late;
+  late.arrival = Sec(11);
+  late.completed = Sec(11) + Ms(50);
+  hub.RecordRequest(0, late);
+  hub.RecordDrop(0, Sec(12));
+  EXPECT_EQ(hub.function(0).completed, 1);
+  EXPECT_EQ(hub.function(0).dropped, 1);
+  // Availability compares like with like: 1 served / 1 dropped.
+  EXPECT_DOUBLE_EQ(hub.function(0).AvailabilityPercent(), 50.0);
 }
 
 TEST(TraceExport, FaultLogRows)

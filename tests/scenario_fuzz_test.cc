@@ -69,7 +69,11 @@ RandomSpec(Rng& rng)
         spec.StraggleGpu(at, target, RandomFactor(rng, 1.0, 8.0));
         break;
       case 8:
-        spec.CheckpointEvery(at, target, RandomTime(rng) + Ms(1));
+        // Half the checkpoint policies carry a save cost (save=).
+        spec.CheckpointEvery(at, target, RandomTime(rng) + Ms(1),
+                             rng.UniformInt(0, 1) == 0
+                                 ? 0
+                                 : RandomTime(rng) + Ms(1));
         break;
       case 9:
         spec.InflateColdStarts(at, RandomFactor(rng, 1.0, 10.0),

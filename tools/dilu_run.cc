@@ -1,0 +1,121 @@
+/**
+ * @file
+ * dilu_run: execute a declarative experiment spec.
+ *
+ *   dilu_run <spec.exp> [--seed N] [--out FILE] [--export PREFIX]
+ *            [--print]
+ *
+ *  --seed N         override the spec's cluster seed (all derived
+ *                   workload / chaos streams re-key from it)
+ *  --out FILE       write the JSON result (dilu-experiment/1) to FILE
+ *                   instead of stdout
+ *  --export PREFIX  write the trace CSVs under PREFIX (overrides the
+ *                   spec's `export` line)
+ *  --print          print the canonical spec text and exit (lint /
+ *                   round-trip check; no simulation)
+ *
+ * Two runs of the same spec + seed emit byte-identical JSON (the CI
+ * experiment-smoke job diffs exactly that). Parse errors carry the
+ * offending line number and exit 2; see docs/EXPERIMENTS.md for the
+ * grammar and the checked-in gallery under experiments/.
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "experiment/experiment.h"
+
+namespace {
+
+using namespace dilu;
+
+int
+Usage(const char* argv0)
+{
+  std::fprintf(stderr,
+               "usage: %s <spec.exp> [--seed N] [--out FILE] "
+               "[--export PREFIX] [--print]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+  const char* spec_path = nullptr;
+  const char* out_path = nullptr;
+  const char* export_prefix = nullptr;
+  std::uint64_t seed = 0;
+  bool print_only = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      seed = static_cast<std::uint64_t>(
+          std::strtoull(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--export") == 0 && i + 1 < argc) {
+      export_prefix = argv[++i];
+    } else if (std::strcmp(argv[i], "--print") == 0) {
+      print_only = true;
+    } else if (argv[i][0] == '-') {
+      return Usage(argv[0]);
+    } else if (spec_path == nullptr) {
+      spec_path = argv[i];
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (spec_path == nullptr) return Usage(argv[0]);
+
+  std::ifstream in(spec_path);
+  if (!in) {
+    std::fprintf(stderr, "cannot read %s\n", spec_path);
+    return 1;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+
+  experiment::ExperimentSpec spec;
+  std::string error;
+  if (!experiment::ExperimentSpec::Parse(text.str(), &spec, &error)) {
+    std::fprintf(stderr, "%s: %s\n", spec_path, error.c_str());
+    return 2;
+  }
+  if (print_only) {
+    std::fputs(spec.ToText().c_str(), stdout);
+    return 0;
+  }
+
+  std::fprintf(stderr,
+               "running experiment '%s' (%zu deploys, %zu workloads, "
+               "%zu chaos events, horizon %.0fs)\n",
+               spec.name().c_str(), spec.deploys().size(),
+               spec.workloads().size(), spec.chaos().events().size(),
+               ToSec(spec.EffectiveRunFor()));
+
+  experiment::RunOptions opts;
+  opts.seed = seed;
+  if (export_prefix != nullptr) opts.export_prefix = export_prefix;
+  experiment::Experiment exp(std::move(spec), opts);
+  const experiment::ExperimentResult result = exp.Run();
+  const std::string json = result.ToJson();
+
+  if (out_path != nullptr) {
+    std::FILE* f = std::fopen(out_path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", out_path);
+      return 1;
+    }
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+    std::fprintf(stderr, "wrote %s\n", out_path);
+  } else {
+    std::fputs(json.c_str(), stdout);
+  }
+  return 0;
+}
