@@ -52,6 +52,7 @@
 namespace {
 
 using namespace dilu;
+// dilu-lint: allow(wall-clock the bench harness measures real elapsed time by design)
 using Clock = std::chrono::steady_clock;
 
 struct BenchResult {

@@ -47,6 +47,7 @@ ChaosEngine::Arm()
                 << "' scheduled in the past; skipped";
       continue;
     }
+    // dilu-lint: allow(event-schedule chaos arming entry point; injections post to the owning shard's mailbox in the sharded core)
     rt_->simulation().queue().ScheduleAt(sorted_[i].at,
                                          [this, i] { Inject(i); });
   }
@@ -107,6 +108,7 @@ ChaosEngine::Inject(std::size_t index)
       rt_->metrics().RecordFault(rt_->now(), "coldstart_inflation",
                                  "x" + std::to_string(e.magnitude));
       const std::uint64_t epoch = ++inflation_epoch_;
+      // dilu-lint: allow(event-schedule inflation-window expiry; becomes a shard mailbox post in the sharded core)
       rt_->simulation().queue().ScheduleAt(
           rt_->now() + e.duration, [this, epoch] {
             if (epoch != inflation_epoch_) return;  // superseded

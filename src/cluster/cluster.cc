@@ -449,6 +449,7 @@ ClusterRuntime::ScheduleNextArrival(
   const TimeUs gap = proc->NextGap();
   const TimeUs when = sim_.now() + std::max<TimeUs>(1, gap);
   if (when > until) return;
+  // dilu-lint: allow(event-schedule arrival pump; per-function streams move to their owning shard's queue in the sharded core)
   sim_.queue().ScheduleAt(when, [this, fn, proc, until] {
     auto req = std::make_unique<workload::Request>();
     req->id = next_request_id_++;
@@ -499,6 +500,7 @@ ClusterRuntime::ScheduleClosedLoopIssue(FunctionId fn)
   const TimeUs gap = std::max<TimeUs>(1, it->second.think->NextGap());
   const TimeUs when = sim_.now() + gap;
   if (when > it->second.until) return;  // client retires
+  // dilu-lint: allow(event-schedule closed-loop think-time pump; moves to the owning shard's queue in the sharded core)
   sim_.queue().ScheduleAt(when,
                           [this, fn] { IssueClosedLoopRequest(fn); });
 }

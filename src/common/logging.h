@@ -43,7 +43,16 @@ namespace log_internal {
 class LogLine {
  public:
   explicit LogLine(LogLevel level) : level_(level) {}
-  ~LogLine() { Logger::Write(level_, stream_.str()); }
+  ~LogLine()
+  {
+    // Destructors are implicitly noexcept: an allocation failure in
+    // str() would otherwise escape and terminate the run mid-log
+    // (bugprone-exception-escape). Losing one line is the better deal.
+    try {
+      Logger::Write(level_, stream_.str());
+    } catch (...) {
+    }
+  }
 
   LogLine(const LogLine&) = delete;
   LogLine& operator=(const LogLine&) = delete;

@@ -111,6 +111,17 @@ class TokenManager {
   /** Total tokens issued since construction (Fig 14 accounting). */
   double total_tokens_issued() const { return total_issued_; }
 
+  /**
+   * Test-only: rehash the id -> slot index to at least `buckets`
+   * buckets, perturbing its iteration order the way a different hash
+   * seed would. Grants must be unaffected — the map is point-query
+   * only; the hash-order regression test proves it.
+   */
+  void PerturbHashOrderForTests(std::size_t buckets)
+  {
+    slot_of_.rehash(buckets);
+  }
+
  private:
   struct PerInstance {
     /** Bit i set = launched kernels i periods ago (bit ring, newest in

@@ -265,21 +265,39 @@ ClusterState::GpusHosting(const std::vector<FunctionId>& functions,
   for (FunctionId f : functions) {
     auto it = residency_.find(f);
     if (it == residency_.end()) continue;
+    // dilu-lint: allow(unordered-iter drained through the sort below)
     for (const auto& [gpu_id, count] : it->second) {
       (void)count;
       out->push_back(gpu_id);
     }
   }
+  // The per-function index is unordered; candidates leave here in id
+  // order so no caller can ever observe (or come to depend on) hash
+  // order. Selection itself is order-independent — every consumer scans
+  // the full list with explicit lowest-id tie-breaks — so this is a
+  // contract hardening, not a behavior change.
+  std::sort(out->begin(), out->end());
 }
 
 std::vector<GpuId>
 ClusterState::GpusHosting(const std::vector<FunctionId>& functions) const
 {
   std::vector<GpuId> out;
-  GpusHosting(functions, &out);
-  std::sort(out.begin(), out.end());
+  GpusHosting(functions, &out);  // already sorted ascending
   out.erase(std::unique(out.begin(), out.end()), out.end());
   return out;
+}
+
+void
+ClusterState::PerturbHashOrderForTests(std::size_t buckets)
+{
+  placements_.rehash(buckets);
+  residency_.rehash(buckets);
+  // dilu-lint: allow(unordered-iter test-only hook; rehash order is moot)
+  for (auto& [function, per_gpu] : residency_) {
+    (void)function;
+    per_gpu.rehash(buckets);
+  }
 }
 
 double

@@ -153,9 +153,11 @@ class ClusterState {
   /**
    * GPUs currently hosting any of `functions` (workload affinity),
    * appended to `*out` (cleared first). Served from the residency
-   * index: O(sum of the queried functions' resident GPU counts).
-   * The result may list a GPU once per queried function hosting it;
-   * candidate consumers tolerate duplicates.
+   * index: O(sum of the queried functions' resident GPU counts), then
+   * drained through a sort so the unordered index's hash order never
+   * reaches callers — the result is ascending by GPU id, possibly
+   * listing a GPU once per queried function hosting it; candidate
+   * consumers tolerate duplicates.
    */
   void GpusHosting(const std::vector<FunctionId>& functions,
                    std::vector<GpuId>* out) const;
@@ -201,6 +203,16 @@ class ClusterState {
    */
   double SmFragmentation() const;
   double MemoryFragmentation() const;
+
+  /**
+   * Test-only: rehash every unordered index (placements, residency and
+   * its nested per-GPU maps) to at least `buckets` buckets, perturbing
+   * their iteration order the way a different hash seed would. Every
+   * public query must be unaffected — the hash-order regression test
+   * (tests/hash_order_test.cc) calls this mid-run and byte-compares
+   * trace exports to prove no hash order leaks into output.
+   */
+  void PerturbHashOrderForTests(std::size_t buckets);
 
  private:
   struct PlacementRecord {

@@ -178,6 +178,7 @@ TEST(Logging, MacroIsSafeInUnbracedIfElse)
   const LogLevel saved = Logger::level();
   Logger::set_level(LogLevel::kOff);
   int evaluated = 0;
+  // dilu-lint: allow(log-side-effect this test pins exactly the skip semantics the rule protects)
   DILU_ERROR << "side effect: " << ++evaluated;
   EXPECT_EQ(evaluated, 0);
   Logger::set_level(saved);

@@ -1,0 +1,12 @@
+// Fixture: malformed suppression comments.
+#include <chrono>
+
+void Fixture()
+{
+  // dilu-lint: allow(wall-clock)
+  auto a = std::chrono::steady_clock::now();  // line 7: reasonless allow
+  // dilu-lint: allow(no-such-rule because I said so)
+  auto b = std::chrono::steady_clock::now();  // line 9: unknown rule id
+  (void)a;
+  (void)b;
+}

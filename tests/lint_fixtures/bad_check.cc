@@ -1,0 +1,13 @@
+// Fixture: impure DILU_CHECK conditions.
+#include "common/logging.h"
+
+void Fixture(int n)
+{
+  int calls = 0;
+  DILU_CHECK(++calls > 0);              // line 7: mutation
+  DILU_CHECK(n = 3);                    // line 8: assignment
+  DILU_CHECK(calls << 1);               // line 9: stream/shift
+  // Pure conditions are fine:
+  DILU_CHECK(n == 3);
+  DILU_CHECK(calls >= 1 && n != 0);
+}

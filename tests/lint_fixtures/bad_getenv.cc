@@ -1,0 +1,7 @@
+// Fixture: environment reads outside the golden regen knob.
+#include <cstdlib>
+
+const char* Fixture()
+{
+  return std::getenv("DILU_SECRET_KNOB");  // line 6
+}

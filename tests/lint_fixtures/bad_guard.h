@@ -1,0 +1,5 @@
+// Fixture: header with neither #pragma once nor an include guard.
+inline int FixtureValue()
+{
+  return 42;
+}

@@ -1,0 +1,11 @@
+// Fixture: mutation inside log statements (skipped below the level).
+#include "common/logging.h"
+
+void Fixture()
+{
+  int events = 0;
+  DILU_WARN << "count: " << ++events;          // line 7
+  DILU_DEBUG << "drain: " << (events -= 1);    // line 8
+  // Pure stream operands are fine:
+  DILU_INFO << "total: " << events + 1;
+}

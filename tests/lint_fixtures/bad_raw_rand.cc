@@ -1,0 +1,11 @@
+// Fixture: raw randomness sources that bypass the seeded Rng.
+#include <cstdlib>
+#include <random>
+
+int Fixture()
+{
+  std::srand(42);                 // line 7
+  const int a = std::rand();      // line 8
+  std::random_device rd;          // line 9
+  return a + static_cast<int>(rd());
+}

@@ -1,0 +1,19 @@
+// Fixture: RNG construction without an explicit seed.
+#include <random>
+
+#include "common/random.h"
+
+double Fixture()
+{
+  dilu::Rng unseeded;             // line 8
+  dilu::Rng braced{};             // line 9
+  std::mt19937 twister;           // line 10
+  std::mt19937_64 wide;           // line 11
+  double x = dilu::Rng().Uniform();  // line 12
+  // Explicitly seeded constructions are fine:
+  dilu::Rng good(123);
+  std::mt19937 seeded(99);
+  return x + unseeded.Uniform() + braced.Uniform()
+         + static_cast<double>(twister() + wide() + seeded())
+         + good.Uniform();
+}

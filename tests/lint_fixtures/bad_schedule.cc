@@ -1,0 +1,10 @@
+// Fixture: direct event scheduling outside sim/+runtime/. The test
+// lints this content under a synthetic src/cluster/ path so the
+// event-schedule scope applies (and under tests/ to prove it doesn't).
+#include "sim/event_queue.h"
+
+void Fixture(dilu::sim::EventQueue& q)
+{
+  q.ScheduleAt(100, [] {});     // line 8
+  q.ScheduleAfter(50, [] {});   // line 9
+}

@@ -1,0 +1,12 @@
+// Fixture: seed-0 sentinel comparisons outside the sanctioned sites.
+#include <cstdint>
+
+std::uint64_t Fixture(std::uint64_t seed, std::uint64_t workload_seed)
+{
+  if (seed == 0) return 42;             // line 6
+  if (workload_seed != 0) return seed;  // line 7
+  // Comparisons of non-seed identifiers with 0 are fine:
+  std::uint64_t count = seed;
+  if (count == 0) return 1;
+  return count;
+}

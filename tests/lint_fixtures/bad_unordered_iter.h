@@ -1,0 +1,38 @@
+// Fixture: hash-order iteration over unordered containers.
+#ifndef DILU_TESTS_LINT_FIXTURES_BAD_UNORDERED_ITER_H_
+#define DILU_TESTS_LINT_FIXTURES_BAD_UNORDERED_ITER_H_
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+class Fixture {
+ public:
+  int Sum() const
+  {
+    int sum = 0;
+    for (const auto& [k, v] : lookup_) {  // line 14: range-for
+      sum += v;
+    }
+    for (auto it = members_.begin(); it != members_.end(); ++it) {
+      sum += *it;  // .begin() on line 17: iterator walk
+    }
+    auto it = nested_.find(0);
+    if (it != nested_.end()) {
+      for (const auto& [k, v] : it->second) {  // line 22: nested
+        sum += v;
+      }
+    }
+    // Point queries are fine:
+    auto hit = lookup_.find(7);
+    if (hit != lookup_.end()) sum += hit->second;
+    return sum;
+  }
+
+ private:
+  std::unordered_map<int, int> lookup_;
+  std::unordered_set<int> members_;
+  std::unordered_map<int, std::unordered_map<int, int>> nested_;
+};
+
+#endif  // DILU_TESTS_LINT_FIXTURES_BAD_UNORDERED_ITER_H_

@@ -1,0 +1,12 @@
+// Fixture: every banned wall-clock source, one per line.
+#include <chrono>
+
+void Fixture()
+{
+  auto a = std::chrono::system_clock::now();            // line 6
+  auto b = std::chrono::steady_clock::now();            // line 7
+  auto c = std::chrono::high_resolution_clock::now();   // line 8
+  (void)a;
+  (void)b;
+  (void)c;
+}

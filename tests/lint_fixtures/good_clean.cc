@@ -1,0 +1,33 @@
+// Fixture: near-miss patterns that must NOT trigger any rule.
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+int Fixture(std::uint64_t seed)
+{
+  // Identifiers containing banned words are not the banned calls:
+  int randomized = 0;
+  int brand = randomized;
+  // Ordered containers iterate deterministically:
+  std::map<int, int> ordered;
+  int sum = brand;
+  for (const auto& [k, v] : ordered) sum += v;
+  // Point queries on unordered containers are fine:
+  std::unordered_map<int, int> cache;
+  auto it = cache.find(1);
+  if (it != cache.end()) sum += it->second;
+  // Seeded RNG construction:
+  dilu::Rng rng(seed);
+  // Comparison-only checks and pure log streams:
+  DILU_CHECK(sum >= 0);
+  DILU_INFO << "sum=" << sum << " draw=" << rng.Uniform();
+  // `== 0` on a non-seed identifier:
+  if (sum == 0) return 1;
+  // Strings and comments mentioning rand() or getenv() are prose.
+  const std::string prose = "call rand() or getenv() -- not really";
+  return sum + static_cast<int>(prose.size());
+}

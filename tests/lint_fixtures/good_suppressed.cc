@@ -1,0 +1,19 @@
+// Fixture: every suppression placement form silences its finding.
+#include <chrono>
+#include <cstdlib>
+
+void Fixture()
+{
+  // Same-line suppression:
+  auto a = std::chrono::steady_clock::now();  // dilu-lint: allow(wall-clock fixture exercises same-line form)
+  // Standalone-comment suppression covering the next line:
+  // dilu-lint: allow(wall-clock fixture exercises line-above form)
+  auto b = std::chrono::steady_clock::now();
+  // Stacked standalone suppressions cover the line below the block:
+  // dilu-lint: allow(wall-clock fixture exercises stacked form)
+  // dilu-lint: allow(getenv fixture exercises stacked form)
+  const char* c = std::getenv("HOME");
+  (void)a;
+  (void)b;
+  (void)c;
+}

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * dilu_lint: determinism & hygiene checks over the source tree.
+ *
+ *   dilu_lint [--root DIR] [--json] [--list-rules] [paths...]
+ *
+ *  --root DIR     repo root the paths are relative to (default ".")
+ *  --json         emit findings as JSON (schema dilu-lint/1) on stdout
+ *  --list-rules   print the rule catalogue and exit
+ *  paths          files or directories to lint, repo-relative
+ *                 (default: src tools bench examples tests)
+ *
+ * Exit status: 0 clean, 1 findings, 2 usage or I/O error. The rules and
+ * the suppression syntax are documented in docs/STATIC_ANALYSIS.md; the
+ * CI `lint` job runs this over the default roots and fails on any
+ * finding.
+ */
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "lint/lint.h"
+
+int
+main(int argc, char** argv)
+{
+  std::string root = ".";
+  bool json = false;
+  bool list_rules = false;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--root") == 0 && i + 1 < argc) {
+      root = argv[++i];
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (std::strcmp(argv[i], "--list-rules") == 0) {
+      list_rules = true;
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr,
+                   "usage: %s [--root DIR] [--json] [--list-rules] "
+                   "[paths...]\n",
+                   argv[0]);
+      return 2;
+    } else {
+      paths.push_back(argv[i]);
+    }
+  }
+
+  if (list_rules) {
+    for (const dilu::lint::RuleInfo& r : dilu::lint::Rules()) {
+      std::printf("%-18s [%s]\n    %s\n", r.id, r.scope, r.description);
+    }
+    return 0;
+  }
+
+  if (paths.empty()) {
+    paths = {"src", "tools", "bench", "examples", "tests"};
+  }
+
+  std::vector<dilu::lint::Finding> findings;
+  std::string error;
+  if (!dilu::lint::LintTree(root, paths, &findings, &error)) {
+    std::fprintf(stderr, "dilu_lint: %s\n", error.c_str());
+    return 2;
+  }
+
+  if (json) {
+    std::fputs(dilu::lint::ToJson(findings).c_str(), stdout);
+  } else {
+    for (const dilu::lint::Finding& f : findings) {
+      std::printf("%s\n", dilu::lint::ToText(f).c_str());
+    }
+    if (!findings.empty()) {
+      std::fprintf(stderr, "dilu_lint: %zu finding(s)\n", findings.size());
+    }
+  }
+  return findings.empty() ? 0 : 1;
+}
