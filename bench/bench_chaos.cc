@@ -28,6 +28,12 @@
  *                          run 3x slow (registry pressure).
  *  - degraded_straggler:   a GPU loses half its SMs and another
  *                          straggles at 2.5x while serving; both heal.
+ *  - overload_brownout:    a 4x overload slams a best-effort function
+ *                          sharing the cluster with a critical one;
+ *                          the admission layer (docs/OVERLOAD.md) must
+ *                          shed lowest-class-first, so critical
+ *                          availability >= best-effort's is a hard
+ *                          assertion, not just a reported number.
  *
  * Flags: --quick (CI smoke), --seed N (echoed in the JSON), --out FILE.
  */
@@ -36,6 +42,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "common/logging.h"
 #include "experiment/experiment.h"
 #include "models/model_catalog.h"
 
@@ -57,6 +64,8 @@ struct ScenarioResult {
   double svr_percent = 0.0;
   double availability_percent = 0.0;
   int recovery_cold_starts = 0;
+  std::int64_t shed = 0;      ///< admission + retry sheds, all fns
+  double mean_ttsr_s = 0.0;   ///< time-to-shed-recovery (0 if none)
 };
 
 /** Execute a spec and project the primary (first) function's metrics. */
@@ -80,6 +89,8 @@ RunScenario(ExperimentSpec spec, std::uint64_t seed)
   r.svr_percent = fn.svr_percent;
   r.availability_percent = fn.availability_percent;
   r.recovery_cold_starts = fn.recovery_cold_starts;
+  r.shed = res.total_shed;
+  r.mean_ttsr_s = res.chaos.mean_ttsr_s;
   return r;
 }
 
@@ -190,12 +201,75 @@ DegradedStraggler(bool quick)
   return s;
 }
 
+/**
+ * Priority shedding under a 4x best-effort overload next to a critical
+ * function. The brownout ladder (docs/OVERLOAD.md) sheds strictly
+ * lowest-class-first, so the critical function must come out at least
+ * as available as the best-effort one — checked here as an invariant.
+ */
+ExperimentSpec
+OverloadBrownout(bool quick)
+{
+  const TimeUs horizon = Sec(quick ? 60 : 120);
+  ExperimentSpec s("overload_brownout");
+  s.cluster().nodes = 2;
+  auto& crit = s.AddInference("resnet152");
+  crit.provision = 2;
+  crit.scaler = "dilu-lazy";
+  crit.fn.admission_class = ServiceClass::kCritical;
+  crit.fn.queue_cap = 512;
+  crit.fn.retry_budget = 2;
+  crit.fn.retry_backoff = Sec(1);
+  auto& best = s.AddInference("resnet152");
+  best.provision = 1;
+  best.scaler = "dilu-lazy";
+  best.fn.admission_class = ServiceClass::kBestEffort;
+  best.fn.queue_cap = 8;
+  best.fn.retry_budget = 1;
+  best.fn.deadline = Ms(250);
+  s.AddPoisson(0, 40.0, horizon);
+  s.AddPoisson(1, 30.0, horizon);
+  s.chaos().Overload(Sec(20), 1, 4.0, Sec(quick ? 20 : 40));
+  s.RunFor(horizon + Sec(5));
+  return s;
+}
+
+/** OverloadBrownout needs both functions, not just the first one. */
+ScenarioResult
+RunOverloadBrownout(bool quick, std::uint64_t seed)
+{
+  experiment::RunOptions opts;
+  opts.seed = seed;
+  experiment::Experiment exp(OverloadBrownout(quick), opts);
+  const experiment::ExperimentResult res = exp.Run();
+  const experiment::FunctionResult& crit = res.functions[0];
+  const experiment::FunctionResult& best = res.functions[1];
+  // The point of priority shedding: overload pain lands on the lowest
+  // class first. A violation is a bug, not a data point.
+  DILU_CHECK(crit.availability_percent >= best.availability_percent);
+  DILU_CHECK(crit.peak_queue <= 512);
+
+  ScenarioResult r;
+  r.name = res.experiment;
+  r.faults = res.chaos.injected;
+  r.disruptive = res.chaos.disruptive;
+  r.recovered = res.chaos.recovered;
+  r.completed = crit.completed;
+  r.dropped = crit.dropped;
+  r.svr_percent = crit.svr_percent;
+  r.availability_percent = crit.availability_percent;
+  r.recovery_cold_starts = crit.recovery_cold_starts;
+  r.shed = res.total_shed;
+  r.mean_ttsr_s = res.chaos.mean_ttsr_s;
+  return r;
+}
+
 void
 WriteJson(std::FILE* out, const std::vector<ScenarioResult>& results,
           bool quick, std::uint64_t seed)
 {
   std::fprintf(out, "{\n");
-  std::fprintf(out, "  \"schema\": \"dilu-chaos-bench/1\",\n");
+  std::fprintf(out, "  \"schema\": \"dilu-chaos-bench/2\",\n");
   std::fprintf(out, "  \"seed\": %llu,\n",
                static_cast<unsigned long long>(seed));
   std::fprintf(out, "  \"quick\": %s,\n", quick ? "true" : "false");
@@ -208,11 +282,13 @@ WriteJson(std::FILE* out, const std::vector<ScenarioResult>& results,
         "\"recovered\": %d, \"mean_ttr_s\": %.3f, \"max_ttr_s\": %.3f, "
         "\"completed\": %lld, \"dropped\": %lld, "
         "\"svr_percent\": %.3f, \"availability_percent\": %.3f, "
-        "\"recovery_cold_starts\": %d}%s\n",
+        "\"recovery_cold_starts\": %d, \"shed\": %lld, "
+        "\"mean_ttsr_s\": %.3f}%s\n",
         r.name.c_str(), r.faults, r.disruptive, r.recovered, r.mean_ttr_s,
         r.max_ttr_s, static_cast<long long>(r.completed),
         static_cast<long long>(r.dropped), r.svr_percent,
         r.availability_percent, r.recovery_cold_starts,
+        static_cast<long long>(r.shed), r.mean_ttsr_s,
         i + 1 < results.size() ? "," : "");
   }
   std::fprintf(out, "  ]\n}\n");
@@ -237,6 +313,7 @@ main(int argc, char** argv)
   results.push_back(RunScenario(DrainMaintenance(quick), opts.seed));
   results.push_back(RunScenario(ColdstartInflationSurge(quick), opts.seed));
   results.push_back(RunScenario(DegradedStraggler(quick), opts.seed));
+  results.push_back(RunOverloadBrownout(quick, opts.seed));
   for (const ScenarioResult& r : results) {
     std::fprintf(stderr,
                  "%-28s faults=%d recovered=%d/%d ttr=%.1fs svr=%.2f%% "

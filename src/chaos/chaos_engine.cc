@@ -18,7 +18,7 @@ Describe(const ScenarioEvent& e)
 {
   std::string d = ToString(e.kind);
   if (e.target >= 0) d += " " + std::to_string(e.target);
-  if (e.kind == FaultKind::kTrafficSurge) {
+  if (e.kind == FaultKind::kTrafficSurge || IsShedding(e.kind)) {
     d += " fn=" + std::to_string(e.function);
   }
   return d;
@@ -134,14 +134,60 @@ ChaosEngine::Inject(std::size_t index)
               + std::to_string(e.magnitude));
       break;
     }
+    case FaultKind::kOverload: {
+      // "x4 overload" tracks the function's real traffic level: measure
+      // the lifetime-average offered rate at injection time and attach
+      // (factor - 1)x that as extra Poisson arrivals. Seeded like a
+      // surge: (cluster seed, event index), identical across replays.
+      const double base_rps =
+          rt_->gateway().AverageArrivalRate(e.function, rt_->now());
+      const double extra_rps = base_rps * (e.magnitude - 1.0);
+      if (extra_rps > 0.0) {
+        Rng rng(rt_->config().seed * 7919
+                + static_cast<std::uint64_t>(index) * 104729 + 17);
+        rt_->AttachArrivals(e.function,
+                            std::make_unique<workload::PoissonArrivals>(
+                                extra_rps, rng),
+                            rt_->now() + e.duration);
+      }
+      rt_->metrics().RecordFault(
+          rt_->now(), "overload",
+          "fn=" + std::to_string(e.function) + " x"
+              + std::to_string(e.magnitude) + " extra_rps="
+              + std::to_string(extra_rps));
+      BeginShedWatch(index, e.function, rt_->now() + e.duration);
+      break;
+    }
+    case FaultKind::kThrottleAdmit: {
+      rt_->gateway().ForceAdmitRate(e.function, e.magnitude);
+      rt_->metrics().RecordFault(
+          rt_->now(), "throttle_admit",
+          "fn=" + std::to_string(e.function) + " rate="
+              + std::to_string(e.magnitude));
+      // Overlapping throttles on one function: only the newest window's
+      // end releases the pin (same epoch idiom as inflation windows).
+      const std::uint64_t epoch = ++throttle_epochs_[e.function];
+      const FunctionId fn = e.function;
+      // dilu-lint: allow(event-schedule throttle-window expiry; becomes a shard mailbox post in the sharded core)
+      rt_->simulation().queue().ScheduleAt(
+          rt_->now() + e.duration, [this, fn, epoch] {
+            if (epoch != throttle_epochs_[fn]) return;  // superseded
+            rt_->gateway().ClearForcedAdmitRate(fn);
+            rt_->metrics().RecordFault(rt_->now(), "admit_nominal",
+                                       "fn=" + std::to_string(fn));
+          });
+      BeginShedWatch(index, e.function, rt_->now() + e.duration);
+      break;
+    }
   }
 
   if (IsDisruptive(e.kind)) {
     // Narrow the snapshot to what the fault actually hit, now that
     // the kills/migrations for it have executed synchronously.
     FocusWatchOnAffected();
-  } else {
+  } else if (!IsShedding(e.kind)) {
     // A non-displacing fault needs no healing: it is its own recovery.
+    // (Shedding events recover through their shed watch instead.)
     out.recovered_at = rt_->now();
   }
 }
@@ -161,11 +207,36 @@ ChaosEngine::BeginRecoveryWatch(std::size_t index)
     }
   }
   watches_.push_back(std::move(w));
-  if (!watch_armed_) {
-    watch_armed_ = true;
-    watch_task_ = rt_->simulation().SchedulePeriodic(
-        rt_->now() + kWatchPeriod, kWatchPeriod, [this] { WatchTick(); });
-  }
+  EnsureWatchArmed();
+}
+
+void
+ChaosEngine::BeginShedWatch(std::size_t index, FunctionId fn,
+                            TimeUs window_end)
+{
+  ShedWatch w;
+  w.outcome = index;
+  w.fn = fn;
+  w.window_end = window_end;
+  w.last_sheds = ShedTotal(fn);
+  shed_watches_.push_back(w);
+  EnsureWatchArmed();
+}
+
+std::int64_t
+ChaosEngine::ShedTotal(FunctionId fn) const
+{
+  const cluster::GatewayCounters& c = rt_->gateway().counters(fn);
+  return c.shed_admission + c.shed_retry;
+}
+
+void
+ChaosEngine::EnsureWatchArmed()
+{
+  if (watch_armed_) return;
+  watch_armed_ = true;
+  watch_task_ = rt_->simulation().SchedulePeriodic(
+      rt_->now() + kWatchPeriod, kWatchPeriod, [this] { WatchTick(); });
 }
 
 void
@@ -229,7 +300,19 @@ ChaosEngine::WatchTick()
       ++it;
     }
   }
-  if (watches_.empty() && watch_armed_) {
+  // Shed watches: recovered once a full poll period past the pressure
+  // window sees no new sheds on the target function.
+  for (auto it = shed_watches_.begin(); it != shed_watches_.end();) {
+    const std::int64_t sheds = ShedTotal(it->fn);
+    if (rt_->now() > it->window_end && sheds == it->last_sheds) {
+      outcomes_[it->outcome].recovered_at = rt_->now();
+      it = shed_watches_.erase(it);
+    } else {
+      it->last_sheds = sheds;
+      ++it;
+    }
+  }
+  if (watches_.empty() && shed_watches_.empty() && watch_armed_) {
     rt_->simulation().StopPeriodic(watch_task_);
     watch_armed_ = false;
   }
@@ -240,9 +323,19 @@ ChaosEngine::Verdict() const
 {
   ChaosVerdict v;
   double ttr_sum_s = 0.0;
+  double ttsr_sum_s = 0.0;
   for (const FaultOutcome& o : outcomes_) {
     if (!o.injected) continue;
     ++v.injected;
+    if (IsShedding(o.event.kind)) {
+      ++v.shed_events;
+      const TimeUs ttsr = o.TimeToShedRecover();
+      if (ttsr < 0) continue;
+      ++v.shed_recovered;
+      ttsr_sum_s += ToSec(ttsr);
+      v.max_ttsr_s = std::max(v.max_ttsr_s, ToSec(ttsr));
+      continue;
+    }
     if (!IsDisruptive(o.event.kind)) continue;
     ++v.disruptive;
     const TimeUs ttr = o.TimeToRecover();
@@ -252,6 +345,7 @@ ChaosEngine::Verdict() const
     v.max_ttr_s = std::max(v.max_ttr_s, ToSec(ttr));
   }
   if (v.recovered > 0) v.mean_ttr_s = ttr_sum_s / v.recovered;
+  if (v.shed_recovered > 0) v.mean_ttsr_s = ttsr_sum_s / v.shed_recovered;
   return v;
 }
 

@@ -34,12 +34,28 @@ struct FaultOutcome {
   ScenarioEvent event;
   bool injected = false;     ///< the event fired (sim reached its time)
   int displaced = 0;         ///< instances killed / migrated
-  TimeUs recovered_at = -1;  ///< service healed (-1: never / not measured)
+  /**
+   * Service healed (-1: never / not measured). For disruptive faults:
+   * the fleet is whole again. For shedding events (overload /
+   * throttle_admit): the gateway stopped shedding the target function
+   * after the pressure window closed.
+   */
+  TimeUs recovered_at = -1;
 
   /** Fault-to-healed time; -1 while unrecovered or non-disruptive. */
   TimeUs TimeToRecover() const
   {
     return recovered_at < 0 ? -1 : recovered_at - event.at;
+  }
+
+  /**
+   * Time-to-shed-recovery: from the pressure window's end until sheds
+   * quiesced; -1 while still shedding (or for non-shedding events).
+   */
+  TimeUs TimeToShedRecover() const
+  {
+    return recovered_at < 0 ? -1
+                            : recovered_at - (event.at + event.duration);
   }
 };
 
@@ -50,9 +66,16 @@ struct ChaosVerdict {
   int recovered = 0;       ///< disruptive faults that healed
   double mean_ttr_s = 0;   ///< over recovered faults (0 if none)
   double max_ttr_s = 0;
+  int shed_events = 0;     ///< overload / throttle_admit events fired
+  int shed_recovered = 0;  ///< shed events whose sheds quiesced
+  double mean_ttsr_s = 0;  ///< time-to-shed-recovery (0 if none)
+  double max_ttsr_s = 0;
 
   /** Every disruptive fault healed. */
   bool AllRecovered() const { return recovered == disruptive; }
+
+  /** Every shedding event quiesced. */
+  bool AllShedRecovered() const { return shed_recovered == shed_events; }
 };
 
 /** Schedules a scenario into a cluster's simulation and keeps score. */
@@ -82,10 +105,20 @@ class ChaosEngine {
  private:
   void Inject(std::size_t index);
   void BeginRecoveryWatch(std::size_t index);
+  /**
+   * Watch a shedding event: its outcome recovers once a full watch
+   * period after `window_end` passes with no new sheds on `fn`.
+   */
+  void BeginShedWatch(std::size_t index, FunctionId fn,
+                      TimeUs window_end);
   /** Drop unaffected functions from the newest watch (post-injection). */
   void FocusWatchOnAffected();
   void WatchTick();
   bool TrainingHealed(FunctionId fn);
+  /** Total sheds (admission + retry) the gateway counted for `fn`. */
+  std::int64_t ShedTotal(FunctionId fn) const;
+  /** Arm the shared watch periodic if it is not running. */
+  void EnsureWatchArmed();
 
   /** One disruptive fault being watched until the fleet heals. */
   struct Watch {
@@ -100,17 +133,29 @@ class ChaosEngine {
     std::vector<FunctionId> pre_training;
   };
 
+  /** One shedding event watched until the gateway quiesces. */
+  struct ShedWatch {
+    std::size_t outcome = 0;
+    FunctionId fn = kInvalidFunction;
+    TimeUs window_end = 0;
+    /** Shed count at the last poll (quiesced = no growth post-window). */
+    std::int64_t last_sheds = 0;
+  };
+
   cluster::ClusterRuntime* rt_;
   ScenarioSpec spec_;
   std::vector<ScenarioEvent> sorted_;
   std::vector<FaultOutcome> outcomes_;
   std::vector<Watch> watches_;
+  std::vector<ShedWatch> shed_watches_;
   sim::Simulation::TaskId watch_task_ = 0;
   bool watch_armed_ = false;
   bool armed_ = false;
   /** Generation of the newest cold-start-inflation window: a window's
    *  end restores the nominal scale only if no newer window opened. */
   std::uint64_t inflation_epoch_ = 0;
+  /** Per-function generation of the newest throttle_admit window. */
+  std::map<FunctionId, std::uint64_t> throttle_epochs_;
 };
 
 }  // namespace dilu::chaos

@@ -22,6 +22,8 @@ ToString(FaultKind kind)
     case FaultKind::kCheckpointEvery: return "checkpoint_every";
     case FaultKind::kColdStartInflation: return "inflate_coldstart";
     case FaultKind::kTrafficSurge: return "surge";
+    case FaultKind::kOverload: return "overload";
+    case FaultKind::kThrottleAdmit: return "throttle_admit";
   }
   return "?";
 }
@@ -37,6 +39,12 @@ IsDisruptive(FaultKind kind)
     default:
       return false;
   }
+}
+
+bool
+IsShedding(FaultKind kind)
+{
+  return kind == FaultKind::kOverload || kind == FaultKind::kThrottleAdmit;
 }
 
 ScenarioSpec&
@@ -169,6 +177,34 @@ ScenarioSpec::Surge(TimeUs at, FunctionId fn, double extra_rps,
   return *this;
 }
 
+ScenarioSpec&
+ScenarioSpec::Overload(TimeUs at, FunctionId fn, double factor,
+                       TimeUs duration)
+{
+  ScenarioEvent e;
+  e.at = at;
+  e.kind = FaultKind::kOverload;
+  e.function = fn;
+  e.magnitude = factor;
+  e.duration = duration;
+  events_.push_back(e);
+  return *this;
+}
+
+ScenarioSpec&
+ScenarioSpec::ThrottleAdmit(TimeUs at, FunctionId fn, double rate,
+                            TimeUs duration)
+{
+  ScenarioEvent e;
+  e.at = at;
+  e.kind = FaultKind::kThrottleAdmit;
+  e.function = fn;
+  e.magnitude = rate;
+  e.duration = duration;
+  events_.push_back(e);
+  return *this;
+}
+
 std::vector<ScenarioEvent>
 ScenarioSpec::Sorted() const
 {
@@ -210,6 +246,14 @@ FormatEventLine(const ScenarioEvent& e)
       break;
     case FaultKind::kTrafficSurge:
       out << " fn=" << e.function << " rps=" << FormatDouble(e.magnitude)
+          << " for " << FormatTime(e.duration);
+      break;
+    case FaultKind::kOverload:
+      out << " fn=" << e.function << " x" << FormatDouble(e.magnitude)
+          << " for " << FormatTime(e.duration);
+      break;
+    case FaultKind::kThrottleAdmit:
+      out << " fn=" << e.function << " rate=" << FormatDouble(e.magnitude)
           << " for " << FormatTime(e.duration);
       break;
   }
@@ -353,6 +397,40 @@ ScenarioSpec::ParseEventLine(const std::string& line, int line_no,
       return Fail(error, line_no, "surge needs 'for <time>'");
     }
     spec->Surge(at, fn, rps, dur);
+  } else if (verb == "overload") {
+    std::string fn_tok;
+    std::string factor_tok;
+    std::int32_t fn = -1;
+    double factor = 0.0;
+    TimeUs dur = 0;
+    if (!(toks >> fn_tok >> factor_tok)
+        || !ParseInt(StripPrefix(fn_tok, "fn="), &fn) || fn < 0
+        || !ParseDouble(StripPrefix(factor_tok, "x"), &factor)
+        || factor <= 1.0) {
+      return Fail(error, line_no,
+                  "overload needs fn=<id> x<factor> (factor > 1)");
+    }
+    if (!parse_window(&dur)) {
+      return Fail(error, line_no, "overload needs 'for <time>'");
+    }
+    spec->Overload(at, fn, factor, dur);
+  } else if (verb == "throttle_admit") {
+    std::string fn_tok;
+    std::string rate_tok;
+    std::int32_t fn = -1;
+    double rate = 0.0;
+    TimeUs dur = 0;
+    if (!(toks >> fn_tok >> rate_tok)
+        || !ParseInt(StripPrefix(fn_tok, "fn="), &fn) || fn < 0
+        || !ParseDouble(StripPrefix(rate_tok, "rate="), &rate)
+        || rate <= 0.0) {
+      return Fail(error, line_no,
+                  "throttle_admit needs fn=<id> rate=<req/s> (positive)");
+    }
+    if (!parse_window(&dur)) {
+      return Fail(error, line_no, "throttle_admit needs 'for <time>'");
+    }
+    spec->ThrottleAdmit(at, fn, rate, dur);
   } else {
     return Fail(error, line_no, "unknown verb '" + verb + "'");
   }

@@ -36,6 +36,8 @@ enum class FaultKind {
   kCheckpointEvery,     ///< arm periodic training checkpoints for a fn
   kColdStartInflation,  ///< scale cold-start durations for a window
   kTrafficSurge,        ///< extra Poisson arrivals for a window
+  kOverload,            ///< multiply a fn's offered load for a window
+  kThrottleAdmit,       ///< pin a fn's gateway admit rate for a window
 };
 
 /** Scenario-format verb for `kind` (e.g. "fail_node"). */
@@ -43,6 +45,13 @@ const char* ToString(FaultKind kind);
 
 /** True for events that displace instances (TTR is measured for them). */
 bool IsDisruptive(FaultKind kind);
+
+/**
+ * True for overload-pressure events (kOverload / kThrottleAdmit): the
+ * chaos verdict measures time-to-shed-recovery (TTSR) for them — how
+ * long after the window the gateway keeps shedding the target function.
+ */
+bool IsShedding(FaultKind kind);
 
 /** One timed event in a scenario. */
 struct ScenarioEvent {
@@ -91,6 +100,17 @@ class ScenarioSpec {
                                   TimeUs duration);
   ScenarioSpec& Surge(TimeUs at, FunctionId fn, double extra_rps,
                       TimeUs duration);
+  /**
+   * Multiply `fn`'s offered load by `factor` > 1 for `duration`: the
+   * engine measures the function's lifetime-average arrival rate at
+   * injection time and attaches (factor - 1)x that as extra Poisson
+   * arrivals, so "4x overload" tracks the real traffic level.
+   */
+  ScenarioSpec& Overload(TimeUs at, FunctionId fn, double factor,
+                         TimeUs duration);
+  /** Pin `fn`'s gateway admit rate to `rate` req/s for `duration`. */
+  ScenarioSpec& ThrottleAdmit(TimeUs at, FunctionId fn, double rate,
+                              TimeUs duration);
 
   const std::string& name() const { return name_; }
   void set_name(std::string name) { name_ = std::move(name); }

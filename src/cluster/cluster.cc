@@ -13,6 +13,13 @@
 namespace dilu::cluster {
 namespace {
 
+/**
+ * Deferred-recovery backoff ceiling: the retry delay doubles from 1 s
+ * up to 1 s << 5 = 32 s, after which the runtime logs a
+ * `recovery_starved` fault record instead of escalating further.
+ */
+constexpr int kRecoveryBackoffMaxShift = 5;
+
 gpusim::ArbiterFactory
 MakeArbiterFactory(const ClusterConfig& config)
 {
@@ -65,6 +72,7 @@ ClusterRuntime::ClusterRuntime(ClusterConfig config)
       &sim_, MakeArbiterFactory(config_));
   scheduler_ = MakeScheduler(config_);
   gateway_.set_metrics(&metrics_);
+  gateway_.Bind(&sim_, config_.seed);
   // A dropped request is a closed-loop client's completion signal too:
   // without this, a fault that eats a request would wedge the client.
   // Only requests the closed loop itself issued continue the loop —
@@ -135,7 +143,17 @@ ClusterRuntime::Deploy(const core::FunctionSpec& spec)
   f.submitted_at = sim_.now();
   ProfileSpec(&f.spec);
   metrics_.RegisterFunction(f.id, f.spec.display_name(), f.model->slo_ms);
-  if (spec.type == TaskType::kInference) gateway_.RegisterFunction(f.id);
+  if (spec.type == TaskType::kInference) {
+    gateway_.RegisterFunction(f.id);
+    metrics_.SetServiceClass(f.id, f.spec.admission_class);
+    AdmissionConfig adm;
+    adm.service_class = f.spec.admission_class;
+    adm.queue_cap = f.spec.queue_cap;
+    adm.retry_budget = f.spec.retry_budget;
+    if (f.spec.retry_backoff > 0) adm.retry_backoff = f.spec.retry_backoff;
+    adm.deadline = f.spec.deadline;
+    gateway_.ConfigureAdmission(f.id, adm);
+  }
   const FunctionId id = f.id;
   functions_[id] = std::move(f);
   return id;
@@ -252,6 +270,7 @@ ClusterRuntime::LaunchInferenceOn(FunctionId fn,
   inst->set_shard_count(shards);
   inst->set_quota(shard_quota);
   inst->set_request_sink([this, fn](const workload::Request& r) {
+    gateway_.OnRequestFinished(fn);
     metrics_.RecordRequest(fn, r);
     // Read before pruning: `r` lives in requests_, and the prune below
     // frees finished records — including, in the common FIFO case, the
@@ -338,6 +357,9 @@ ClusterRuntime::StartTraining(FunctionId fn, bool cold)
         scheduler_->Place(MakePlacement(f, mode_quota, mem, 1), state_);
     if (!placement.ok) {
       DILU_WARN << "training placement failed for function " << fn;
+      // Release the holds committed for the earlier workers, or the
+      // next attempt re-commits the same hold ids and panics.
+      for (int h = 0; h < w; ++h) state_.Release(-1000 - h);
       return false;
     }
     gpus.push_back(placement.gpus[0]);
@@ -710,19 +732,35 @@ ClusterRuntime::LaunchRecovery(FunctionId fn)
   return ok;
 }
 
+TimeUs
+ClusterRuntime::RecoveryRetryDelay()
+{
+  TimeUs delay = Sec(1) << recovery_backoff_shift_;
+  // The first retry keeps the exact legacy 1 s cadence; escalated
+  // retries add seeded jitter so simultaneous starved clusters in a
+  // parameter sweep don't retry in lockstep.
+  if (recovery_backoff_shift_ > 0) {
+    delay += static_cast<TimeUs>(
+        rng_.Uniform(0.0, 0.25 * static_cast<double>(delay)));
+  }
+  return delay;
+}
+
 void
 ClusterRuntime::DeferRecovery(FunctionId fn)
 {
   pending_recovery_.push_back(fn);
   if (!recovery_task_armed_) {
     recovery_task_armed_ = true;
+    const TimeUs delay = RecoveryRetryDelay();
     recovery_task_ = sim_.SchedulePeriodic(
-        sim_.now() + Sec(1), Sec(1), [this] { RetryPendingRecoveries(); });
+        sim_.now() + delay, delay,
+        [this] { RetryPendingRecoveries(/*timer_fired=*/true); });
   }
 }
 
 void
-ClusterRuntime::RetryPendingRecoveries()
+ClusterRuntime::RetryPendingRecoveries(bool timer_fired)
 {
   // The whole backlog is one joint batch: re-sorted best-fit-decreasing
   // each retry so the launches probe freed capacity largest-first
@@ -734,10 +772,37 @@ ClusterRuntime::RetryPendingRecoveries()
   for (FunctionId fn : batch) {
     if (!LaunchRecovery(fn)) pending_recovery_.push_back(fn);
   }
-  if (pending_recovery_.empty() && recovery_task_armed_) {
+  if (pending_recovery_.empty()) {
+    recovery_backoff_shift_ = 0;
+    recovery_starved_reported_ = false;
+    if (recovery_task_armed_) {
+      sim_.StopPeriodic(recovery_task_);
+      recovery_task_armed_ = false;
+    }
+    return;
+  }
+  if (!timer_fired) return;
+  // Still starved after a timer-driven retry: escalate the backoff and
+  // re-arm at the longer delay. Once the backoff saturates, report the
+  // starvation (once per episode) instead of spinning silently.
+  if (recovery_task_armed_) {
     sim_.StopPeriodic(recovery_task_);
     recovery_task_armed_ = false;
   }
+  if (recovery_backoff_shift_ < kRecoveryBackoffMaxShift) {
+    ++recovery_backoff_shift_;
+  } else if (!recovery_starved_reported_) {
+    recovery_starved_reported_ = true;
+    metrics_.RecordFault(
+        sim_.now(), "recovery_starved",
+        "pending=" + std::to_string(pending_recovery_.size()) + " retry_s="
+            + std::to_string(ToSec(Sec(1) << recovery_backoff_shift_)));
+  }
+  recovery_task_armed_ = true;
+  const TimeUs delay = RecoveryRetryDelay();
+  recovery_task_ = sim_.SchedulePeriodic(
+      sim_.now() + delay, delay,
+      [this] { RetryPendingRecoveries(/*timer_fired=*/true); });
 }
 
 int

@@ -111,6 +111,7 @@ class ClusterRuntime {
   MetricsHub& metrics() { return metrics_; }
   const MetricsHub& metrics() const { return metrics_; }
   Gateway& gateway() { return gateway_; }
+  const Gateway& gateway() const { return gateway_; }
   const ClusterConfig& config() const { return config_; }
   TimeUs now() const { return sim_.now(); }
 
@@ -190,7 +191,9 @@ class ClusterRuntime {
    * (see ClusterConfig::recovery). Training jobs restart from their
    * last checkpoint (iteration zero without a checkpoint policy), with
    * the lost progress accounted in the metrics. Replacements that
-   * cannot be placed are retried every second until capacity returns.
+   * cannot be placed are retried on an exponential backoff (1 s
+   * doubling to 32 s, seeded jitter) until capacity returns; explicit
+   * recovery events short-circuit the backoff.
    * @return the number of displaced instances.
    */
   int FailGpu(GpuId gpu);
@@ -338,9 +341,19 @@ class ClusterRuntime {
   void OrderRecoveryBatch(std::vector<FunctionId>* needs) const;
   /** Launch a replacement for a displaced instance / aborted job. */
   bool LaunchRecovery(FunctionId fn);
-  /** Queue a failed recovery launch and arm the 1 s retry loop. */
+  /** Queue a failed recovery launch and arm the retry timer. */
   void DeferRecovery(FunctionId fn);
-  void RetryPendingRecoveries();
+  /**
+   * Drain the deferred-recovery queue. A timer-fired retry that leaves
+   * the queue non-empty escalates the backoff (1 s doubling to 32 s,
+   * seeded jitter past the first step) and re-arms at the longer delay;
+   * once the backoff saturates, a `recovery_starved` fault record is
+   * logged (once per starvation episode). Explicit recovery events
+   * (RecoverGpu & co) retry immediately without escalating.
+   */
+  void RetryPendingRecoveries(bool timer_fired = false);
+  /** Current deferred-recovery retry delay (backoff + jitter). */
+  TimeUs RecoveryRetryDelay();
   /** Cold-start duration after chaos inflation. */
   TimeUs ScaledColdStart(TimeUs base) const;
   SmQuota QuotaForMode(const SmQuota& profiled) const;
@@ -396,6 +409,10 @@ class ClusterRuntime {
   std::deque<FunctionId> pending_recovery_;
   sim::Simulation::TaskId recovery_task_ = 0;
   bool recovery_task_armed_ = false;
+  /** Backoff exponent of the recovery retry timer (0 = 1 s cadence). */
+  int recovery_backoff_shift_ = 0;
+  /** recovery_starved already logged for this starvation episode. */
+  bool recovery_starved_reported_ = false;
   /** True while the current launch heals a failure (not demand). */
   bool recovery_launch_ = false;
   double coldstart_scale_ = 1.0;

@@ -39,10 +39,11 @@ MetricsHub::RecordRequest(FunctionId id, const workload::Request& req)
 double
 FunctionMetrics::AvailabilityPercent() const
 {
-  const std::int64_t routed = completed + dropped;
-  if (routed == 0) return 100.0;
+  const std::int64_t offered =
+      completed + dropped + shed_admission + shed_retry;
+  if (offered == 0) return 100.0;
   return 100.0 * static_cast<double>(completed)
-      / static_cast<double>(routed);
+      / static_cast<double>(offered);
 }
 
 void
@@ -63,6 +64,36 @@ MetricsHub::RecordDrop(FunctionId id, TimeUs arrival)
   FunctionMetrics& m = functions_[id];
   if (arrival < m.warmup_until) return;  // warmup traffic
   ++m.dropped;
+}
+
+void
+MetricsHub::SetServiceClass(FunctionId id, ServiceClass c)
+{
+  functions_[id].service_class = c;
+}
+
+void
+MetricsHub::RecordAdmit(FunctionId id, TimeUs arrival)
+{
+  FunctionMetrics& m = functions_[id];
+  if (arrival < m.warmup_until) return;  // warmup traffic
+  ++m.admitted;
+}
+
+void
+MetricsHub::RecordShedAdmission(FunctionId id, TimeUs arrival)
+{
+  FunctionMetrics& m = functions_[id];
+  if (arrival < m.warmup_until) return;  // warmup traffic
+  ++m.shed_admission;
+}
+
+void
+MetricsHub::RecordShedRetry(FunctionId id, TimeUs arrival)
+{
+  FunctionMetrics& m = functions_[id];
+  if (arrival < m.warmup_until) return;  // warmup traffic
+  ++m.shed_retry;
 }
 
 void
@@ -163,6 +194,31 @@ MetricsHub::TotalDropped() const
 }
 
 std::int64_t
+MetricsHub::TotalShed() const
+{
+  std::int64_t n = 0;
+  for (const auto& [id, m] : functions_) {
+    n += m.shed_admission + m.shed_retry;
+  }
+  return n;
+}
+
+double
+MetricsHub::ClassAvailabilityPercent(ServiceClass c) const
+{
+  std::int64_t completed = 0;
+  std::int64_t unserved = 0;
+  for (const auto& [id, m] : functions_) {
+    if (m.service_class != c) continue;
+    completed += m.completed;
+    unserved += m.dropped + m.shed_admission + m.shed_retry;
+  }
+  if (completed + unserved == 0) return 100.0;
+  return 100.0 * static_cast<double>(completed)
+      / static_cast<double>(completed + unserved);
+}
+
+std::int64_t
 MetricsHub::TotalLostIterations() const
 {
   std::int64_t n = 0;
@@ -174,14 +230,14 @@ double
 MetricsHub::OverallAvailabilityPercent() const
 {
   std::int64_t completed = 0;
-  std::int64_t dropped = 0;
+  std::int64_t unserved = 0;
   for (const auto& [id, m] : functions_) {
     completed += m.completed;
-    dropped += m.dropped;
+    unserved += m.dropped + m.shed_admission + m.shed_retry;
   }
-  if (completed + dropped == 0) return 100.0;
+  if (completed + unserved == 0) return 100.0;
   return 100.0 * static_cast<double>(completed)
-      / static_cast<double>(completed + dropped);
+      / static_cast<double>(completed + unserved);
 }
 
 }  // namespace dilu::cluster

@@ -24,11 +24,19 @@ namespace dilu::cluster {
 struct FunctionMetrics {
   std::string name;
   double slo_ms = 0.0;
+  /** Brownout service class (docs/OVERLOAD.md); inference only. */
+  ServiceClass service_class = ServiceClass::kStandard;
   Percentiles latency_ms;
   std::int64_t completed = 0;
   std::int64_t violations = 0;
   /** Requests the gateway could not route to any instance. */
   std::int64_t dropped = 0;
+  /** Requests that passed the admission gate (enqueued somewhere). */
+  std::int64_t admitted = 0;
+  /** Requests refused at the admission gate (cap/AIMD/brownout). */
+  std::int64_t shed_admission = 0;
+  /** Re-dispatched requests shed on retry-budget/deadline exhaustion. */
+  std::int64_t shed_retry = 0;
   /** Cold starts paid to serve demand (scale-out, provisioning). */
   int cold_starts = 0;
   /** Cold starts paid to heal the fleet (failure/drain replacements). */
@@ -56,8 +64,10 @@ struct FunctionMetrics {
   double SvrPercent() const;
 
   /**
-   * Served share of routed traffic in percent:
-   * 100 * completed / (completed + dropped); 100 with no traffic.
+   * Served share of offered traffic in percent:
+   * 100 * completed / (completed + dropped + sheds); 100 with no
+   * traffic. Sheds count against availability exactly like drops — a
+   * refused request is an unserved request.
    */
   double AvailabilityPercent() const;
 };
@@ -104,6 +114,18 @@ class MetricsHub {
    * warmup window (so availability compares like with like).
    */
   void RecordDrop(FunctionId id, TimeUs arrival);
+
+  /** Declare `id`'s brownout service class (set at deploy). */
+  void SetServiceClass(FunctionId id, ServiceClass c);
+
+  /** Count one admitted request (warmup-gated like RecordDrop). */
+  void RecordAdmit(FunctionId id, TimeUs arrival);
+
+  /** Count one admission-gate shed (warmup-gated like RecordDrop). */
+  void RecordShedAdmission(FunctionId id, TimeUs arrival);
+
+  /** Count one retry-budget/deadline shed (warmup-gated). */
+  void RecordShedRetry(FunctionId id, TimeUs arrival);
 
   /**
    * Count one fault-forced training restart for `id`, losing
@@ -156,6 +178,16 @@ class MetricsHub {
 
   /** Total dropped requests over every function. */
   std::int64_t TotalDropped() const;
+
+  /** Total sheds (admission + retry) over every function. */
+  std::int64_t TotalShed() const;
+
+  /**
+   * Aggregate availability (%) over functions of service class `c`
+   * (100 when no such function saw traffic) — the brownout floor
+   * comparison: critical's number must dominate best-effort's.
+   */
+  double ClassAvailabilityPercent(ServiceClass c) const;
 
   /** Total training iterations lost to faults over every function. */
   std::int64_t TotalLostIterations() const;

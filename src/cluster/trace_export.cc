@@ -26,7 +26,8 @@ ExportFunctionMetrics(const MetricsHub& hub)
   CsvWriter csv({"function", "slo_ms", "completed", "p50_ms", "p95_ms",
                  "svr_percent", "cold_starts", "recovery_cold_starts",
                  "dropped", "availability_percent", "training_restarts",
-                 "lost_iterations", "checkpoints", "checkpoint_pause_s"});
+                 "lost_iterations", "checkpoints", "checkpoint_pause_s",
+                 "class", "admitted", "shed_admission", "shed_retry"});
   for (const auto& [id, m] : hub.functions()) {
     (void)id;
     csv.AddTextRow({m.name, std::to_string(m.slo_ms),
@@ -41,7 +42,11 @@ ExportFunctionMetrics(const MetricsHub& hub)
                     std::to_string(m.training_restarts),
                     std::to_string(m.lost_iterations),
                     std::to_string(m.checkpoints),
-                    std::to_string(ToSec(m.checkpoint_pause))});
+                    std::to_string(ToSec(m.checkpoint_pause)),
+                    ToString(m.service_class),
+                    std::to_string(m.admitted),
+                    std::to_string(m.shed_admission),
+                    std::to_string(m.shed_retry)});
   }
   return csv;
 }

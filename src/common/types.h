@@ -96,6 +96,47 @@ inline const char* ToString(TaskType t) {
 }
 
 /**
+ * Admission service class of a function (docs/OVERLOAD.md). Under
+ * cluster pressure the gateway brownout sheds strictly lowest-class
+ * first: `kBestEffort` degrades early, `kStandard` only near
+ * saturation, `kCritical` is never brownout-shed (it can still hit its
+ * own queue cap). Orthogonal to FunctionSpec::priority, which is the
+ * GPU-sharing (TGS) priority.
+ */
+enum class ServiceClass {
+  kCritical,
+  kStandard,
+  kBestEffort,
+};
+
+/** Spec-format keyword for a service class (e.g. "best_effort"). */
+inline const char* ToString(ServiceClass c) {
+  switch (c) {
+    case ServiceClass::kCritical: return "critical";
+    case ServiceClass::kStandard: return "standard";
+    case ServiceClass::kBestEffort: return "best_effort";
+  }
+  return "?";
+}
+
+/** Parse a service-class keyword; false on unknown input. */
+inline bool ParseServiceClass(const std::string& s, ServiceClass* out) {
+  if (s == "critical") {
+    *out = ServiceClass::kCritical;
+    return true;
+  }
+  if (s == "standard") {
+    *out = ServiceClass::kStandard;
+    return true;
+  }
+  if (s == "best_effort") {
+    *out = ServiceClass::kBestEffort;
+    return true;
+  }
+  return false;
+}
+
+/**
  * The paper's <request, limit> SM quota pair (Table 1).
  *
  * `request` is the minimum compute share that still meets QoS (80% of

@@ -64,6 +64,38 @@ struct FunctionSpec {
    */
   int priority = -1;
 
+  // --- overload-resilience policy (inference only; docs/OVERLOAD.md) ---
+
+  /**
+   * Brownout service class: under cluster pressure the gateway sheds
+   * strictly lowest-class-first (best_effort before standard; critical
+   * is never brownout-shed).
+   */
+  ServiceClass admission_class = ServiceClass::kStandard;
+
+  /**
+   * Admission queue capacity: maximum requests outstanding at the
+   * gateway (queued + in flight + awaiting retry). 0 disables admission
+   * control for this function (legacy unbounded behaviour).
+   */
+  int queue_cap = 0;
+
+  /**
+   * Re-dispatch budget per request: how many times a displaced request
+   * (instance kill, fault migration) may be retried with backoff before
+   * it is shed. 0 keeps the legacy drop-on-failed-redispatch semantics.
+   */
+  int retry_budget = 0;
+
+  /** Base delay of the exponential retry backoff (doubles per retry). */
+  TimeUs retry_backoff = Ms(100);
+
+  /**
+   * Per-request deadline relative to arrival (0 = none): a retry whose
+   * deadline already passed is shed instead of re-queued.
+   */
+  TimeUs deadline = 0;
+
   // --- resourcing metadata; 0/empty means "profile on deploy" ---
   int ibs = 0;               ///< inference batch size
   SmQuota quota{0.0, 0.0};   ///< <request, limit> SM quotas (per instance)

@@ -283,6 +283,14 @@ Experiment::Collect() const
     fr.recovery_cold_starts = m.recovery_cold_starts;
     fr.dropped = m.dropped;
     fr.availability_percent = m.AvailabilityPercent();
+    if (f.spec.type == TaskType::kInference) {
+      const cluster::GatewayCounters& gc = rt.gateway().counters(id);
+      fr.service_class = m.service_class;
+      fr.admitted = m.admitted;
+      fr.shed_admission = m.shed_admission;
+      fr.shed_retry = m.shed_retry;
+      fr.peak_queue = gc.peak_outstanding;
+    }
     if (f.spec.type == TaskType::kTraining) {
       fr.iterations = f.job ? f.job->stats().iterations_completed : 0;
       fr.restarts = m.training_restarts;
@@ -307,6 +315,7 @@ Experiment::Collect() const
   }
   r.avg_gpus /= std::max<std::size_t>(1, samples.size());
   r.gpu_seconds = hub.total_gpu_seconds();
+  r.total_shed = hub.TotalShed();
   r.total_cold_starts = hub.TotalColdStarts();
   r.overall_svr_percent = hub.OverallSvrPercent();
   r.overall_availability_percent = hub.OverallAvailabilityPercent();
@@ -330,15 +339,24 @@ ExperimentResult::ToJson() const
     if (f.type == TaskType::kInference) {
       AppendJson(&out,
                  "\"task\": \"inference\", "
+                 "\"class\": \"%s\", "
                  "\"completed\": %lld, \"p50_ms\": %.3f, "
                  "\"p95_ms\": %.3f, \"mean_ms\": %.3f, "
                  "\"svr_percent\": %.3f, \"cold_starts\": %d, "
-                 "\"recovery_cold_starts\": %d, \"dropped\": %lld, "
-                 "\"availability_percent\": %.3f}",
+                 "\"recovery_cold_starts\": %d, \"dropped\": %lld, ",
+                 ToString(f.service_class),
                  static_cast<long long>(f.completed),
                  f.p50_ms, f.p95_ms, f.mean_ms, f.svr_percent,
                  f.cold_starts, f.recovery_cold_starts,
-                 static_cast<long long>(f.dropped),
+                 static_cast<long long>(f.dropped));
+      AppendJson(&out,
+                 "\"admitted\": %lld, \"shed_admission\": %lld, "
+                 "\"shed_retry\": %lld, \"peak_queue\": %lld, "
+                 "\"availability_percent\": %.3f}",
+                 static_cast<long long>(f.admitted),
+                 static_cast<long long>(f.shed_admission),
+                 static_cast<long long>(f.shed_retry),
+                 static_cast<long long>(f.peak_queue),
                  f.availability_percent);
     } else {
       AppendJson(&out,
@@ -359,18 +377,24 @@ ExperimentResult::ToJson() const
   AppendJson(&out,
              "  \"chaos\": {\"injected\": %d, \"disruptive\": %d, "
              "\"recovered\": %d, \"mean_ttr_s\": %.3f, "
-             "\"max_ttr_s\": %.3f},\n",
+             "\"max_ttr_s\": %.3f, \"shed_events\": %d, "
+             "\"shed_recovered\": %d, \"mean_ttsr_s\": %.3f, "
+             "\"max_ttsr_s\": %.3f},\n",
              chaos.injected, chaos.disruptive, chaos.recovered,
-             chaos.mean_ttr_s, chaos.max_ttr_s);
+             chaos.mean_ttr_s, chaos.max_ttr_s, chaos.shed_events,
+             chaos.shed_recovered, chaos.mean_ttsr_s,
+             chaos.max_ttsr_s);
   AppendJson(&out,
              "  \"cluster\": {\"max_gpus\": %d, \"avg_gpus\": %.3f, "
              "\"gpu_seconds\": %.3f, \"total_completed\": %lld, "
-             "\"total_dropped\": %lld, \"total_cold_starts\": %d, "
+             "\"total_dropped\": %lld, \"total_shed\": %lld, "
+             "\"total_cold_starts\": %d, "
              "\"overall_svr_percent\": %.3f, "
              "\"overall_availability_percent\": %.3f}\n",
              max_gpus, avg_gpus, gpu_seconds,
              static_cast<long long>(total_completed),
-             static_cast<long long>(total_dropped), total_cold_starts,
+             static_cast<long long>(total_dropped),
+             static_cast<long long>(total_shed), total_cold_starts,
              overall_svr_percent, overall_availability_percent);
   out += "}\n";
   return out;

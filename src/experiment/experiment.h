@@ -43,6 +43,12 @@ struct FunctionResult {
   int recovery_cold_starts = 0;
   std::int64_t dropped = 0;
   double availability_percent = 100.0;
+  // --- overload resilience (inference; docs/OVERLOAD.md) ---
+  ServiceClass service_class = ServiceClass::kStandard;
+  std::int64_t admitted = 0;
+  std::int64_t shed_admission = 0;  ///< admission-control rejections
+  std::int64_t shed_retry = 0;      ///< retry budget / deadline sheds
+  std::int64_t peak_queue = 0;      ///< peak outstanding at the gateway
   // --- training ---
   std::int64_t iterations = 0;
   int restarts = 0;
@@ -67,6 +73,7 @@ struct ExperimentResult {
   double gpu_seconds = 0.0;
   std::int64_t total_completed = 0;
   std::int64_t total_dropped = 0;
+  std::int64_t total_shed = 0;  ///< admission + retry sheds, all fns
   int total_cold_starts = 0;
   double overall_svr_percent = 0.0;
   double overall_availability_percent = 100.0;

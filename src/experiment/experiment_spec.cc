@@ -196,6 +196,15 @@ ExperimentSpec::ToText() const
       if (d.fn.shards != 1) out << " shards=" << d.fn.shards;
       if (d.provision > 0) out << " provision=" << d.provision;
       if (!d.scaler.empty()) out << " scaler=" << d.scaler;
+      if (d.fn.admission_class != ServiceClass::kStandard) {
+        out << " class=" << ToString(d.fn.admission_class);
+      }
+      if (d.fn.queue_cap > 0) out << " queue_cap=" << d.fn.queue_cap;
+      if (d.fn.retry_budget > 0) out << " retries=" << d.fn.retry_budget;
+      if (d.fn.retry_backoff != Ms(100)) {
+        out << " backoff=" << FormatTime(d.fn.retry_backoff);
+      }
+      if (d.fn.deadline > 0) out << " deadline=" << FormatTime(d.fn.deadline);
     }
     out << "\n";
   }
@@ -357,6 +366,8 @@ ParseDeployLine(std::istringstream& toks, int line_no, DeploySpec* d,
 {
   std::string tok;
   bool have_model = false;
+  bool have_class = false;
+  bool have_backoff = false;
   while (toks >> tok) {
     std::string v;
     std::int32_t i = 0;
@@ -406,6 +417,33 @@ ParseDeployLine(std::istringstream& toks, int line_no, DeploySpec* d,
         return Fail(error, line_no, "unknown scaler '" + v + "'");
       }
       d->scaler = v;
+    } else if (!(v = StripPrefix(tok, "class=")).empty()) {
+      if (!ParseServiceClass(v, &d->fn.admission_class)) {
+        return Fail(error, line_no,
+                    "class wants critical|standard|best_effort");
+      }
+      have_class = true;
+    } else if (!(v = StripPrefix(tok, "queue_cap=")).empty()) {
+      if (!ParseInt(v, &i) || i < 1) {
+        return Fail(error, line_no, "queue_cap must be >= 1");
+      }
+      d->fn.queue_cap = i;
+    } else if (!(v = StripPrefix(tok, "retries=")).empty()) {
+      if (!ParseInt(v, &i) || i < 0) {
+        return Fail(error, line_no, "retries must be >= 0");
+      }
+      d->fn.retry_budget = i;
+    } else if (!(v = StripPrefix(tok, "backoff=")).empty()) {
+      if (!ParseTime(v, &t) || t <= 0) {
+        return Fail(error, line_no, "backoff wants a time > 0");
+      }
+      d->fn.retry_backoff = t;
+      have_backoff = true;
+    } else if (!(v = StripPrefix(tok, "deadline=")).empty()) {
+      if (!ParseTime(v, &t) || t <= 0) {
+        return Fail(error, line_no, "deadline wants a time > 0");
+      }
+      d->fn.deadline = t;
     } else if (!(v = StripPrefix(tok, "start=")).empty()) {
       if (!ParseTime(v, &t)) {
         return Fail(error, line_no, "start wants a time (e.g. 10s)");
@@ -435,6 +473,12 @@ ParseDeployLine(std::istringstream& toks, int line_no, DeploySpec* d,
       return Fail(error, line_no,
                   "provision/scaler/shards apply to inference deploys "
                   "only");
+    }
+    if (have_class || have_backoff || d->fn.queue_cap > 0
+        || d->fn.retry_budget > 0 || d->fn.deadline > 0) {
+      return Fail(error, line_no,
+                  "class/queue_cap/retries/backoff/deadline apply to "
+                  "inference deploys only");
     }
   }
   return true;
@@ -729,7 +773,8 @@ ExperimentSpec::Parse(const std::string& text, ExperimentSpec* out,
     const chaos::ScenarioEvent& e = events[i];
     const int at = chaos_lines[i];
     if (e.kind == chaos::FaultKind::kTrafficSurge
-        || e.kind == chaos::FaultKind::kCheckpointEvery) {
+        || e.kind == chaos::FaultKind::kCheckpointEvery
+        || chaos::IsShedding(e.kind)) {
       if (e.function >= n_deploys) {
         return Fail(error, at,
                     "chaos fn=" + std::to_string(e.function)
@@ -743,6 +788,12 @@ ExperimentSpec::Parse(const std::string& text, ExperimentSpec* out,
           && fn_type(e.function) != TaskType::kTraining) {
         return Fail(error, at,
                     "checkpoint_every targets an inference deploy");
+      }
+      if (chaos::IsShedding(e.kind)
+          && fn_type(e.function) != TaskType::kInference) {
+        return Fail(error, at,
+                    std::string(chaos::ToString(e.kind))
+                        + " targets a training deploy");
       }
     }
   }

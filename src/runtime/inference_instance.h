@@ -70,6 +70,8 @@ class InferenceInstance : public Instance {
   int ibs() const { return ibs_; }
   std::size_t queue_depth() const { return batcher_.size(); }
   bool batch_in_flight() const { return in_flight_; }
+  /** Requests in the in-flight batch (0 when idle); audit input. */
+  std::size_t batch_in_flight_size() const { return batch_.size(); }
   const InferenceStats& stats() const { return stats_; }
   const rckm::KlcMonitor& klc() const { return klc_; }
 

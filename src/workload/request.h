@@ -37,6 +37,16 @@ struct Request {
    */
   bool closed_loop = false;
 
+  /**
+   * Absolute deadline stamped at admission from the function's relative
+   * deadline policy (0 = none). A gateway retry past this instant is
+   * shed rather than re-queued (docs/OVERLOAD.md).
+   */
+  TimeUs deadline = 0;
+
+  /** Remaining re-dispatch attempts (from FunctionSpec::retry_budget). */
+  int retries_left = 0;
+
   /** End-to-end latency (only valid once done). */
   TimeUs Latency() const { return completed - arrival; }
 };

@@ -37,6 +37,11 @@ FullSpec()
   inf.fn.name = "front";
   inf.provision = 2;
   inf.scaler = "dilu-lazy";
+  inf.fn.admission_class = ServiceClass::kCritical;
+  inf.fn.queue_cap = 128;
+  inf.fn.retry_budget = 2;
+  inf.fn.retry_backoff = Ms(250);
+  inf.fn.deadline = Sec(2);
   s.AddInference("llama2-7b").fn.shards = 2;
   auto& tr = s.AddTraining("bert-base", 2, 500);
   tr.start = Sec(10);
@@ -70,6 +75,12 @@ TEST(ExperimentSpecText, RoundTripIsByteIdentical)
   ASSERT_EQ(parsed.deploys().size(), 3u);
   EXPECT_EQ(parsed.deploys()[0].fn.name, "front");
   EXPECT_EQ(parsed.deploys()[0].provision, 2);
+  EXPECT_EQ(parsed.deploys()[0].fn.admission_class,
+            ServiceClass::kCritical);
+  EXPECT_EQ(parsed.deploys()[0].fn.queue_cap, 128);
+  EXPECT_EQ(parsed.deploys()[0].fn.retry_budget, 2);
+  EXPECT_EQ(parsed.deploys()[0].fn.retry_backoff, Ms(250));
+  EXPECT_EQ(parsed.deploys()[0].fn.deadline, Sec(2));
   EXPECT_EQ(parsed.deploys()[1].fn.shards, 2);
   EXPECT_EQ(parsed.deploys()[2].fn.type, TaskType::kTraining);
   EXPECT_EQ(parsed.deploys()[2].fn.checkpoint_save_cost, Ms(500));
@@ -138,6 +149,24 @@ TEST(ExperimentSpecText, RejectsBadLinesWithLineNumbers)
       // Times beyond the ~31-year cap error instead of overflowing.
       "deploy model=bert-base\nworkload fn=0 poisson rps=5 "
       "start=9000000000000s for 5s",
+      // Overload-resilience keys: validated and inference-only.
+      "deploy model=bert-base class=vip",                // unknown class
+      "deploy model=bert-base queue_cap=0",              // cap must be >= 1
+      "deploy model=bert-base retries=-1",               // negative budget
+      "deploy model=bert-base backoff=0s",               // non-positive time
+      "deploy model=bert-base deadline=0s",              // non-positive time
+      "deploy model=bert-base training class=critical",  // training deploy
+      "deploy model=bert-base training queue_cap=8",     // training deploy
+      "deploy model=bert-base training retries=1",       // training deploy
+      "deploy model=bert-base training backoff=1s",      // training deploy
+      // New chaos verbs cross-validate their fn reference.
+      "deploy model=bert-base\nchaos at 5s overload fn=3 x4 for 2s",
+      "deploy model=bert-base training\n"
+      "chaos at 5s overload fn=0 x4 for 2s",
+      "deploy model=bert-base\nchaos at 5s throttle_admit fn=9 rate=5 "
+      "for 2s",
+      "deploy model=bert-base training\n"
+      "chaos at 5s throttle_admit fn=0 rate=5 for 2s",
   };
   for (const char* text : bad) {
     std::string error;

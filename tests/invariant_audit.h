@@ -216,6 +216,35 @@ AuditFleet(scheduler::ClusterState& cs, cluster::ClusterRuntime& rt)
           << "gateway routes to non-live instance "
           << inst->client_id();
     }
+
+    // --- gateway request conservation ---------------------------------
+    // Every request offered to Dispatch is in exactly one place: done
+    // (finished or terminally shed/dropped), queued at an instance, or
+    // parked in a retry timer. Holds at any instant between events.
+    const cluster::GatewayCounters& c = rt.gateway().counters(fn);
+    std::int64_t queued_live = 0;
+    for (const runtime::InferenceInstance* inst : routed) {
+      queued_live += static_cast<std::int64_t>(
+          inst->queue_depth() + inst->batch_in_flight_size());
+    }
+    EXPECT_EQ(c.arrivals,
+              c.finished + c.shed_admission + c.shed_retry + c.dropped
+                  + queued_live + c.retry_pending)
+        << "gateway conservation violated: arrivals=" << c.arrivals
+        << " finished=" << c.finished << " shed_admission="
+        << c.shed_admission << " shed_retry=" << c.shed_retry
+        << " dropped=" << c.dropped << " queued=" << queued_live
+        << " retry_pending=" << c.retry_pending;
+    EXPECT_EQ(c.outstanding, queued_live + c.retry_pending)
+        << "outstanding drifted from live queue + parked retries";
+    EXPECT_LE(c.outstanding, c.peak_outstanding);
+    const int cap = f.spec.queue_cap;
+    if (cap > 0) {
+      EXPECT_LE(c.outstanding, cap)
+          << "bounded admission queue exceeded its cap";
+      EXPECT_LE(c.peak_outstanding, cap)
+          << "bounded admission queue exceeded its cap at some point";
+    }
   }
 
   EXPECT_GE(rt.pending_recovery_count(), 0);

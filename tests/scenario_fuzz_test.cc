@@ -53,7 +53,7 @@ RandomSpec(Rng& rng)
   for (int i = 0; i < events; ++i) {
     const TimeUs at = RandomTime(rng);
     const auto target = static_cast<std::int32_t>(rng.UniformInt(0, 63));
-    switch (rng.UniformInt(0, 10)) {
+    switch (rng.UniformInt(0, 12)) {
       case 0: spec.FailGpu(at, target); break;
       case 1: spec.RecoverGpu(at, target); break;
       case 2: spec.FailNode(at, target); break;
@@ -78,6 +78,14 @@ RandomSpec(Rng& rng)
       case 9:
         spec.InflateColdStarts(at, RandomFactor(rng, 1.0, 10.0),
                                RandomTime(rng) + Ms(1));
+        break;
+      case 10:
+        spec.Overload(at, target, RandomFactor(rng, 1.0, 16.0),
+                      RandomTime(rng) + Ms(1));
+        break;
+      case 11:
+        spec.ThrottleAdmit(at, target, RandomFactor(rng, 0.0, 500.0),
+                           RandomTime(rng) + Ms(1));
         break;
       default:
         spec.Surge(at, target, RandomFactor(rng, 0.0, 200.0),
@@ -205,6 +213,15 @@ TEST(ScenarioFuzz, NewVerbOperandValidation)
       "at 1s checkpoint_every fn=0 every=0s", // non-positive interval
       "at 1s checkpoint_every fn=-1 every=5s",  // negative fn
       "at 1s checkpoint_every fn=0 5s",         // missing every=
+      "at 1s overload fn=0 x1 for 10s",       // factor must be > 1
+      "at 1s overload fn=0 x0.5 for 10s",     // factor must be > 1
+      "at 1s overload fn=0 x4",               // missing window
+      "at 1s overload x4 for 10s",            // missing fn=
+      "at 1s overload fn=-1 x4 for 10s",      // negative fn
+      "at 1s throttle_admit fn=0 rate=0 for 5s",   // rate must be > 0
+      "at 1s throttle_admit fn=0 rate=-2 for 5s",  // rate must be > 0
+      "at 1s throttle_admit fn=0 rate=10",         // missing window
+      "at 1s throttle_admit rate=10 for 5s",       // missing fn=
   };
   for (const char* text : bad) {
     std::string error;

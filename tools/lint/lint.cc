@@ -54,8 +54,9 @@ const std::vector<RuleInfo> kRules = {
      "dilu-lint: allow(...) needs a known rule-id and a reason"},
 };
 
-// Files exempt from `getenv` (the golden regen knob).
-const char* kGetenvExceptions[] = {"tests/trace_golden_test.cc"};
+// Files exempt from `getenv` (the golden regen knobs).
+const char* kGetenvExceptions[] = {"tests/trace_golden_test.cc",
+                                   "tests/overload_test.cc"};
 
 // Files where `seed == 0` sentinel logic is sanctioned and documented
 // (docs/STATIC_ANALYSIS.md "seed 0 semantics").
