@@ -18,6 +18,11 @@
  *    scheduler (placement only, as in the paper).
  *  - fig17_churn: 21 churn steps (0..20) of arrivals/departures at
  *    Fig 17 scale.
+ *  - fabric_transfer_1k: mixed storage/network transfer submission
+ *    throughput through a 1,000-node fabric plane (BENCH_03).
+ *  - fabric_ckpt_stall_1k / fabric_ckpt_stall_10k: checkpoint-storm
+ *    rounds at 1k and 10k concurrent jobs — the O(1) frontier model's
+ *    scaling headroom (BENCH_03).
  *
  * Flags:
  *  --quick      fewer repetitions (CI smoke; timing still reported)
@@ -45,6 +50,7 @@
 
 #include "bench_util.h"
 #include "common/random.h"
+#include "fabric/fabric.h"
 #include "rckm/token_manager.h"
 #include "scheduler/scheduler.h"
 #include "sim/event_queue.h"
@@ -261,6 +267,62 @@ BenchResult BenchFig17Churn(bool quick, std::uint64_t seed)
   });
 }
 
+// --- fabric suites ----------------------------------------------------
+
+BenchResult BenchFabricTransfer(bool quick)
+{
+  const int kOps = quick ? 20000 : 200000;
+  const int reps = quick ? 3 : 8;
+  return RunBench("fabric_transfer_1k", kOps, reps, [&] {
+    fabric::FabricConfig cfg;
+    cfg.enabled = true;
+    cfg.storage_devices = 8;
+    fabric::FabricPlane fp(cfg, 1000, 11);
+    Rng rng(11);
+    TimeUs now = 0;
+    for (int i = 0; i < kOps; ++i) {
+      now += 5;
+      const NodeId src = static_cast<NodeId>(i % 1000);
+      if ((i & 1) == 0) {
+        fp.SubmitStorage(src, rng.Uniform(0.05, 0.5), now);
+      } else {
+        fp.SubmitNetwork(src, static_cast<NodeId>((i * 7) % 1000),
+                         rng.Uniform(0.01, 0.1), now);
+      }
+      // Periodic 1 Hz-style sampling keeps the flight queues harvested,
+      // matching the runtime's real usage pattern.
+      if ((i & 4095) == 0) fp.Sample(now);
+    }
+    g_sink += fp.totals().max_queue;
+  });
+}
+
+BenchResult BenchFabricCheckpointStall(bool quick, int jobs,
+                                       const std::string& name)
+{
+  // Checkpoint storm: every job snapshots 1.65 GB (vgg19 x3) into a
+  // 16-device store each round; the frontier model resolves each storm
+  // in O(jobs) regardless of how deep the emergent stalls get.
+  const int kRounds = 4;
+  const int reps = quick ? 2 : 5;
+  return RunBench(name, static_cast<std::int64_t>(jobs) * kRounds, reps,
+                  [&] {
+    fabric::FabricConfig cfg;
+    cfg.enabled = true;
+    cfg.storage_devices = 16;
+    fabric::FabricPlane fp(cfg, jobs, 13);
+    TimeUs now = 0;
+    for (int r = 0; r < kRounds; ++r) {
+      for (int j = 0; j < jobs; ++j) {
+        fp.SubmitStorage(static_cast<NodeId>(j), 1.65, now);
+      }
+      now += Sec(600);
+      fp.Sample(now);  // harvest the drained round
+    }
+    g_sink += fp.totals().max_queue;
+  });
+}
+
 // --- report -----------------------------------------------------------
 
 std::string MachineString()
@@ -316,6 +378,11 @@ main(int argc, char** argv)
   results.push_back(BenchSchedMicro(opts.quick, opts.seed));
   results.push_back(BenchFig17Placement(opts.quick, opts.seed));
   results.push_back(BenchFig17Churn(opts.quick, opts.seed));
+  results.push_back(BenchFabricTransfer(opts.quick));
+  results.push_back(
+      BenchFabricCheckpointStall(opts.quick, 1000, "fabric_ckpt_stall_1k"));
+  results.push_back(
+      BenchFabricCheckpointStall(opts.quick, 10000, "fabric_ckpt_stall_10k"));
 
   return bench::EmitReport(opts, [&](std::FILE* f) {
     WriteJson(f, results, opts.quick, opts.seed);

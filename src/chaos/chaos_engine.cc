@@ -179,15 +179,53 @@ ChaosEngine::Inject(std::size_t index)
       BeginShedWatch(index, e.function, rt_->now() + e.duration);
       break;
     }
+    case FaultKind::kLinkFail: {
+      rt_->metrics().RecordFault(
+          rt_->now(), "fail_link",
+          "node=" + std::to_string(e.target) + " for="
+              + std::to_string(ToSec(e.duration)) + "s");
+      if (fabric::FabricPlane* fp = rt_->fabric()) {
+        fp->FailLink(e.target, rt_->now() + e.duration);
+        BeginFabricWatch(index, e.target, rt_->now() + e.duration);
+      }
+      break;
+    }
+    case FaultKind::kStorageBrownout: {
+      rt_->metrics().RecordFault(rt_->now(), "storage_brownout",
+                                 "x" + std::to_string(e.magnitude));
+      if (rt_->fabric() != nullptr) {
+        rt_->fabric()->SetStorageBrownout(e.magnitude);
+        // Overlapping brownouts: the newest factor wins, and only the
+        // newest epoch's window end restores nominal service (same
+        // idiom as the inflation / throttle windows).
+        const std::uint64_t epoch = ++brownout_epoch_;
+        // dilu-lint: allow(event-schedule brownout-window expiry; becomes a shard mailbox post in the sharded core)
+        rt_->simulation().queue().ScheduleAt(
+            rt_->now() + e.duration, [this, epoch] {
+              if (epoch != brownout_epoch_) return;  // superseded
+              if (rt_->fabric() != nullptr) {
+                rt_->fabric()->SetStorageBrownout(1.0);
+              }
+              rt_->metrics().RecordFault(rt_->now(), "storage_nominal",
+                                         "brownout window over");
+            });
+        BeginFabricWatch(index, /*node=*/-1, rt_->now() + e.duration);
+      }
+      break;
+    }
   }
 
   if (IsDisruptive(e.kind)) {
     // Narrow the snapshot to what the fault actually hit, now that
     // the kills/migrations for it have executed synchronously.
     FocusWatchOnAffected();
-  } else if (!IsShedding(e.kind)) {
+  } else if (!IsShedding(e.kind)
+             && !(IsFabric(e.kind) && rt_->fabric() != nullptr)) {
     // A non-displacing fault needs no healing: it is its own recovery.
-    // (Shedding events recover through their shed watch instead.)
+    // (Shedding events recover through their shed watch, fabric
+    // outages on a fabric-enabled cluster through their fabric watch;
+    // a fabric verb on a fabric-less cluster is a no-op and lands
+    // here.)
     out.recovered_at = rt_->now();
   }
 }
@@ -220,6 +258,18 @@ ChaosEngine::BeginShedWatch(std::size_t index, FunctionId fn,
   w.window_end = window_end;
   w.last_sheds = ShedTotal(fn);
   shed_watches_.push_back(w);
+  EnsureWatchArmed();
+}
+
+void
+ChaosEngine::BeginFabricWatch(std::size_t index, NodeId node,
+                              TimeUs window_end)
+{
+  FabricWatch w;
+  w.outcome = index;
+  w.node = node;
+  w.window_end = window_end;
+  fabric_watches_.push_back(w);
   EnsureWatchArmed();
 }
 
@@ -312,7 +362,22 @@ ChaosEngine::WatchTick()
       ++it;
     }
   }
-  if (watches_.empty() && shed_watches_.empty() && watch_armed_) {
+  // Fabric watches: recovered once the outage window has closed and
+  // the affected tier worked off its transfer backlog.
+  for (auto it = fabric_watches_.begin(); it != fabric_watches_.end();) {
+    const fabric::FabricPlane* fp = rt_->fabric();
+    const TimeUs backlog = fp == nullptr ? 0
+        : it->node >= 0 ? fp->NetworkBacklogUs(it->node, rt_->now())
+                        : fp->StorageBacklogUs(rt_->now());
+    if (rt_->now() >= it->window_end && backlog == 0) {
+      outcomes_[it->outcome].recovered_at = rt_->now();
+      it = fabric_watches_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (watches_.empty() && shed_watches_.empty()
+      && fabric_watches_.empty() && watch_armed_) {
     rt_->simulation().StopPeriodic(watch_task_);
     watch_armed_ = false;
   }
@@ -336,7 +401,7 @@ ChaosEngine::Verdict() const
       v.max_ttsr_s = std::max(v.max_ttsr_s, ToSec(ttsr));
       continue;
     }
-    if (!IsDisruptive(o.event.kind)) continue;
+    if (!IsDisruptive(o.event.kind) && !IsFabric(o.event.kind)) continue;
     ++v.disruptive;
     const TimeUs ttr = o.TimeToRecover();
     if (ttr < 0) continue;

@@ -62,7 +62,8 @@ struct FaultOutcome {
 /** End-of-run aggregate verdict for a scenario. */
 struct ChaosVerdict {
   int injected = 0;        ///< events fired
-  int disruptive = 0;      ///< displacing faults among them
+  /** Displacing faults plus fabric-tier outages (TTR is measured). */
+  int disruptive = 0;
   int recovered = 0;       ///< disruptive faults that healed
   double mean_ttr_s = 0;   ///< over recovered faults (0 if none)
   double max_ttr_s = 0;
@@ -111,6 +112,13 @@ class ChaosEngine {
    */
   void BeginShedWatch(std::size_t index, FunctionId fn,
                       TimeUs window_end);
+  /**
+   * Watch a fabric-tier outage: its outcome recovers once the window
+   * has closed and the affected tier's transfer backlog drained —
+   * `node` >= 0 watches that node's NIC frontiers, -1 the storage
+   * tier. TTR is therefore emergent from fabric contention.
+   */
+  void BeginFabricWatch(std::size_t index, NodeId node, TimeUs window_end);
   /** Drop unaffected functions from the newest watch (post-injection). */
   void FocusWatchOnAffected();
   void WatchTick();
@@ -142,12 +150,21 @@ class ChaosEngine {
     std::int64_t last_sheds = 0;
   };
 
+  /** One fabric outage watched until its tier's backlog drains. */
+  struct FabricWatch {
+    std::size_t outcome = 0;
+    /** Affected node's NIC, or -1 for the storage tier. */
+    NodeId node = -1;
+    TimeUs window_end = 0;
+  };
+
   cluster::ClusterRuntime* rt_;
   ScenarioSpec spec_;
   std::vector<ScenarioEvent> sorted_;
   std::vector<FaultOutcome> outcomes_;
   std::vector<Watch> watches_;
   std::vector<ShedWatch> shed_watches_;
+  std::vector<FabricWatch> fabric_watches_;
   sim::Simulation::TaskId watch_task_ = 0;
   bool watch_armed_ = false;
   bool armed_ = false;
@@ -156,6 +173,8 @@ class ChaosEngine {
   std::uint64_t inflation_epoch_ = 0;
   /** Per-function generation of the newest throttle_admit window. */
   std::map<FunctionId, std::uint64_t> throttle_epochs_;
+  /** Generation of the newest storage-brownout window (same idiom). */
+  std::uint64_t brownout_epoch_ = 0;
 };
 
 }  // namespace dilu::chaos

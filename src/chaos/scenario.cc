@@ -24,6 +24,8 @@ ToString(FaultKind kind)
     case FaultKind::kTrafficSurge: return "surge";
     case FaultKind::kOverload: return "overload";
     case FaultKind::kThrottleAdmit: return "throttle_admit";
+    case FaultKind::kLinkFail: return "fail_link";
+    case FaultKind::kStorageBrownout: return "storage_brownout";
   }
   return "?";
 }
@@ -45,6 +47,13 @@ bool
 IsShedding(FaultKind kind)
 {
   return kind == FaultKind::kOverload || kind == FaultKind::kThrottleAdmit;
+}
+
+bool
+IsFabric(FaultKind kind)
+{
+  return kind == FaultKind::kLinkFail
+      || kind == FaultKind::kStorageBrownout;
 }
 
 ScenarioSpec&
@@ -205,6 +214,30 @@ ScenarioSpec::ThrottleAdmit(TimeUs at, FunctionId fn, double rate,
   return *this;
 }
 
+ScenarioSpec&
+ScenarioSpec::FailLink(TimeUs at, NodeId node, TimeUs duration)
+{
+  ScenarioEvent e;
+  e.at = at;
+  e.kind = FaultKind::kLinkFail;
+  e.target = node;
+  e.duration = duration;
+  events_.push_back(e);
+  return *this;
+}
+
+ScenarioSpec&
+ScenarioSpec::StorageBrownout(TimeUs at, double factor, TimeUs duration)
+{
+  ScenarioEvent e;
+  e.at = at;
+  e.kind = FaultKind::kStorageBrownout;
+  e.magnitude = factor;
+  e.duration = duration;
+  events_.push_back(e);
+  return *this;
+}
+
 std::vector<ScenarioEvent>
 ScenarioSpec::Sorted() const
 {
@@ -255,6 +288,13 @@ FormatEventLine(const ScenarioEvent& e)
     case FaultKind::kThrottleAdmit:
       out << " fn=" << e.function << " rate=" << FormatDouble(e.magnitude)
           << " for " << FormatTime(e.duration);
+      break;
+    case FaultKind::kLinkFail:
+      out << " " << e.target << " for " << FormatTime(e.duration);
+      break;
+    case FaultKind::kStorageBrownout:
+      out << " x" << FormatDouble(e.magnitude) << " for "
+          << FormatTime(e.duration);
       break;
   }
   return out.str();
@@ -431,6 +471,29 @@ ScenarioSpec::ParseEventLine(const std::string& line, int line_no,
       return Fail(error, line_no, "throttle_admit needs 'for <time>'");
     }
     spec->ThrottleAdmit(at, fn, rate, dur);
+  } else if (verb == "fail_link") {
+    TimeUs dur = 0;
+    if (!parse_target(&target)) {
+      return Fail(error, line_no, "fail_link needs a non-negative id");
+    }
+    if (!parse_window(&dur)) {
+      return Fail(error, line_no, "fail_link needs 'for <time>'");
+    }
+    spec->FailLink(at, target, dur);
+  } else if (verb == "storage_brownout") {
+    std::string factor_tok;
+    double factor = 0.0;
+    TimeUs dur = 0;
+    if (!(toks >> factor_tok)
+        || !ParseDouble(StripPrefix(factor_tok, "x"), &factor)
+        || factor <= 1.0) {
+      return Fail(error, line_no,
+                  "storage_brownout needs x<factor> (factor > 1)");
+    }
+    if (!parse_window(&dur)) {
+      return Fail(error, line_no, "storage_brownout needs 'for <time>'");
+    }
+    spec->StorageBrownout(at, factor, dur);
   } else {
     return Fail(error, line_no, "unknown verb '" + verb + "'");
   }

@@ -38,6 +38,8 @@ enum class FaultKind {
   kTrafficSurge,        ///< extra Poisson arrivals for a window
   kOverload,            ///< multiply a fn's offered load for a window
   kThrottleAdmit,       ///< pin a fn's gateway admit rate for a window
+  kLinkFail,            ///< node NIC outage: fabric transfers stall
+  kStorageBrownout,     ///< storage tier slows by a factor for a window
 };
 
 /** Scenario-format verb for `kind` (e.g. "fail_node"). */
@@ -52,6 +54,15 @@ bool IsDisruptive(FaultKind kind);
  * long after the window the gateway keeps shedding the target function.
  */
 bool IsShedding(FaultKind kind);
+
+/**
+ * True for fabric-tier events (kLinkFail / kStorageBrownout): the
+ * chaos verdict measures TTR for them as the time from injection until
+ * the window has closed *and* the affected tier's transfer backlog has
+ * drained — emergent from fabric contention, not a fixed horizon.
+ * No-ops (and instantly recovered) when the cluster runs fabric-less.
+ */
+bool IsFabric(FaultKind kind);
 
 /** One timed event in a scenario. */
 struct ScenarioEvent {
@@ -111,6 +122,14 @@ class ScenarioSpec {
   /** Pin `fn`'s gateway admit rate to `rate` req/s for `duration`. */
   ScenarioSpec& ThrottleAdmit(TimeUs at, FunctionId fn, double rate,
                               TimeUs duration);
+  /** Take `node`'s NIC down for `duration` (fabric network tier). */
+  ScenarioSpec& FailLink(TimeUs at, NodeId node, TimeUs duration);
+  /**
+   * Slow the storage tier by `factor` > 1 for `duration` (a GC storm /
+   * firmware brownout): transfers submitted inside the window need
+   * `factor`x their nominal service time.
+   */
+  ScenarioSpec& StorageBrownout(TimeUs at, double factor, TimeUs duration);
 
   const std::string& name() const { return name_; }
   void set_name(std::string name) { name_ = std::move(name); }

@@ -14,11 +14,19 @@ namespace dilu::cluster {
 namespace {
 
 /**
- * Deferred-recovery backoff ceiling: the retry delay doubles from 1 s
- * up to 1 s << 5 = 32 s, after which the runtime logs a
- * `recovery_starved` fault record instead of escalating further.
+ * Deferred-recovery backoff ceiling: the retry delay doubles from
+ * ClusterConfig::recovery_retry (1 s by default) up to base << 5, after
+ * which the runtime logs a `recovery_starved` fault record instead of
+ * escalating further.
  */
 constexpr int kRecoveryBackoffMaxShift = 5;
+
+/**
+ * Checkpoint snapshot size relative to the model's parameters: params
+ * plus optimizer moments (the Adam-style 2x state), written
+ * sequentially to the checkpoint store when the fabric is enabled.
+ */
+constexpr double kCheckpointStateFactor = 3.0;
 
 gpusim::ArbiterFactory
 MakeArbiterFactory(const ClusterConfig& config)
@@ -67,6 +75,14 @@ ClusterRuntime::ClusterRuntime(ClusterConfig config)
 {
   if (config_.recovery != "joint" && config_.recovery != "greedy") {
     Fatal("unknown recovery mode: " + config_.recovery);
+  }
+  DILU_CHECK(config_.recovery_retry > 0);
+  if (config_.fabric.enabled) {
+    // The fabric's posting-jitter stream derives from the cluster seed
+    // so `--seed` re-keys it with everything else.
+    fabric_ = std::make_unique<fabric::FabricPlane>(
+        config_.fabric, config_.nodes,
+        config_.seed * 0x9E3779B97F4A7C15ull + 0xFABull);
   }
   gpu_group_ = std::make_unique<gpusim::GpuGroup>(
       &sim_, MakeArbiterFactory(config_));
@@ -257,11 +273,14 @@ ClusterRuntime::LaunchInferenceOn(FunctionId fn,
   const double shard_mem = f.model->mem_gb_inference / shards;
 
   const InstanceId id = NextInstanceId();
-  const TimeUs cold_duration = !cold
-      ? 0
-      : ScaledColdStart(config_.warm_starts
-                            ? config_.coldstart.WarmDuration(*f.model)
-                            : config_.coldstart.Duration(*f.model));
+  TimeUs cold_duration = 0;
+  if (cold) {
+    const TimeUs base = fabric_
+        ? FabricColdStart(*f.model, NodeOfGpu(gpus[0]), config_.warm_starts)
+        : (config_.warm_starts ? config_.coldstart.WarmDuration(*f.model)
+                               : config_.coldstart.Duration(*f.model));
+    cold_duration = ScaledColdStart(base);
+  }
   const TimeUs overhead =
       config_.sharing == "fastgs" ? config_.fastgs_overhead : 0;
 
@@ -403,8 +422,16 @@ ClusterRuntime::StartTrainingOn(FunctionId fn,
     fd.live_instances.clear();
   });
 
-  const TimeUs cold_duration =
-      cold ? ScaledColdStart(config_.coldstart.Duration(*f.model)) : 0;
+  WireJobFabric(f, gpus);
+
+  TimeUs cold_duration = 0;
+  if (cold) {
+    // Training workers always pay the full image pull (no warm cache).
+    const TimeUs base = fabric_
+        ? FabricColdStart(*f.model, NodeOfGpu(gpus[0]), /*warm=*/false)
+        : config_.coldstart.Duration(*f.model);
+    cold_duration = ScaledColdStart(base);
+  }
   for (int w = 0; w < workers; ++w) {
     const InstanceId id = NextInstanceId();
     auto worker = f.job->MakeWorker(id, w);
@@ -601,6 +628,7 @@ ClusterRuntime::SampleCluster()
   s.degraded_gpus = state_.DegradedGpuCount();
   s.effective_capacity = state_.EffectiveCapacity();
   metrics_.AddSample(s);
+  if (fabric_) metrics_.AddFabricSample(fabric_->Sample(sim_.now()));
   max_active_gpus_ = std::max(max_active_gpus_, s.active_gpus);
 }
 
@@ -618,6 +646,79 @@ ClusterRuntime::ScaledColdStart(TimeUs base) const
   if (coldstart_scale_ == 1.0) return base;
   return static_cast<TimeUs>(static_cast<double>(base)
                              * coldstart_scale_);
+}
+
+NodeId
+ClusterRuntime::NodeOfGpu(GpuId gpu) const
+{
+  DILU_CHECK(gpu >= 0 && config_.gpus_per_node > 0);
+  return gpu / config_.gpus_per_node;
+}
+
+TimeUs
+ClusterRuntime::FabricColdStart(const models::ModelProfile& model,
+                                NodeId node, bool warm)
+{
+  DILU_CHECK(fabric_ != nullptr);
+  const TimeUs now = sim_.now();
+  TimeUs ready = now;
+  if (!warm) {
+    // Image pull: the registry NIC pushes the weights through the core
+    // into the node — concurrent pulls contend on the registry uplink.
+    ready = fabric_
+                ->SubmitNetwork(fabric_->registry_node(), node,
+                                model.param_gb, now)
+                .done;
+  }
+  // Pulled (or node-cached) weights stream through node-local storage
+  // before the runtime can map them.
+  ready = fabric_->SubmitStorage(node, model.param_gb, ready).done;
+  return config_.coldstart.container_base + (ready - now);
+}
+
+void
+ClusterRuntime::WireJobFabric(DeployedFunction& f,
+                              const std::vector<GpuId>& gpus)
+{
+  if (!fabric_ || !f.job) return;
+  const FunctionId fn = f.id;
+  const NodeId primary = NodeOfGpu(gpus[0]);
+  // Checkpoint snapshots: params plus optimizer state, sequentially
+  // written to the checkpoint store. The pause is the emergent
+  // completion delay — FIFO queueing behind concurrent checkpointers
+  // stretches it. An explicit save_cost pins the legacy constant
+  // instead (the provider is only consulted when save_cost == 0).
+  f.job->set_checkpoint_cost_fn([this, fn, primary] {
+    const DeployedFunction& fd = function(fn);
+    const double gb = fd.model->param_gb * kCheckpointStateFactor;
+    const fabric::TransferResult r =
+        fabric_->SubmitStorage(primary, gb, sim_.now());
+    return std::max<TimeUs>(0, r.done - sim_.now());
+  });
+  // Gradient sync: a ring all-reduce over the distinct worker nodes.
+  // Single-node jobs keep the analytic comm phase (NVLink-class sync
+  // never touches the fabric), and the fabric can only lengthen the
+  // phase beyond the calibrated baseline, never shorten it.
+  std::vector<NodeId> ring;
+  ring.reserve(gpus.size());
+  for (GpuId g : gpus) ring.push_back(NodeOfGpu(g));
+  std::sort(ring.begin(), ring.end());
+  ring.erase(std::unique(ring.begin(), ring.end()), ring.end());
+  if (ring.size() < 2) return;
+  f.job->set_comm_phase_fn([this, fn, ring] {
+    const DeployedFunction& fd = function(fn);
+    const double k = static_cast<double>(ring.size());
+    const double gb = 2.0 * (k - 1.0) / k * fd.model->param_gb;
+    TimeUs done = sim_.now();
+    for (std::size_t i = 0; i < ring.size(); ++i) {
+      const NodeId src = ring[i];
+      const NodeId dst = ring[(i + 1) % ring.size()];
+      done = std::max(
+          done, fabric_->SubmitNetwork(src, dst, gb, sim_.now()).done);
+    }
+    return std::max(models::TrainingCommPhase(*fd.model),
+                    done - sim_.now());
+  });
 }
 
 void
@@ -735,8 +836,8 @@ ClusterRuntime::LaunchRecovery(FunctionId fn)
 TimeUs
 ClusterRuntime::RecoveryRetryDelay()
 {
-  TimeUs delay = Sec(1) << recovery_backoff_shift_;
-  // The first retry keeps the exact legacy 1 s cadence; escalated
+  TimeUs delay = config_.recovery_retry << recovery_backoff_shift_;
+  // The first retry keeps the exact configured cadence; escalated
   // retries add seeded jitter so simultaneous starved clusters in a
   // parameter sweep don't retry in lockstep.
   if (recovery_backoff_shift_ > 0) {
@@ -796,7 +897,8 @@ ClusterRuntime::RetryPendingRecoveries(bool timer_fired)
     metrics_.RecordFault(
         sim_.now(), "recovery_starved",
         "pending=" + std::to_string(pending_recovery_.size()) + " retry_s="
-            + std::to_string(ToSec(Sec(1) << recovery_backoff_shift_)));
+            + std::to_string(
+                ToSec(config_.recovery_retry << recovery_backoff_shift_)));
   }
   recovery_task_armed_ = true;
   const TimeUs delay = RecoveryRetryDelay();
@@ -994,22 +1096,64 @@ ClusterRuntime::DrainNode(NodeId node_id)
     if (f.spec.type != TaskType::kInference) continue;
     // Replacement first, then graceful removal — the function never
     // loses capacity it had. If no replacement fits, the instance
-    // stays put (best-effort drain).
+    // stays put (best-effort drain). The placement is done explicitly
+    // (instead of through LaunchInference) so the fabric path below
+    // knows the destination node of the state transfer.
+    const int shards = std::max(1, f.spec.shards);
+    const SmQuota mode_quota = QuotaForMode(f.spec.quota);
+    const SmQuota shard_quota{mode_quota.request / shards,
+                              mode_quota.limit / shards};
+    const double shard_mem = f.model->mem_gb_inference / shards;
+    const auto placement = scheduler_->Place(
+        MakePlacement(f, shard_quota, shard_mem, shards), state_);
+    if (!placement.ok) {
+      DILU_WARN << "placement failed for function " << fn;
+      continue;
+    }
     recovery_launch_ = true;
-    const InstanceId repl = LaunchInference(fn, /*cold=*/true);
+    const InstanceId repl =
+        LaunchInferenceOn(fn, placement.gpus, /*cold=*/true);
     recovery_launch_ = false;
     if (repl == kInvalidInstance) continue;
+    ++migrated;
+    if (fabric_) {
+      // KV/session state migrates through the network tier; the
+      // original keeps serving until the transfer lands, so the drain
+      // duration is emergent from fabric contention.
+      const fabric::TransferResult xfer = fabric_->SubmitNetwork(
+          node_id, NodeOfGpu(placement.gpus[0]), f.model->mem_gb_inference,
+          sim_.now());
+      // dilu-lint: allow(event-schedule drain-migration handoff; becomes a shard mailbox post in the sharded core)
+      sim_.queue().ScheduleAt(xfer.done, [this, fn, id] {
+        FinishDrainMigration(fn, id);
+      });
+      continue;
+    }
     gateway_.RemoveInstance(fn, id);  // re-homes its queued requests
     ReleaseInstance(id);              // in-flight batch flushes
     f.live_instances.erase(std::remove(f.live_instances.begin(),
                                        f.live_instances.end(), id),
                            f.live_instances.end());
-    ++migrated;
   }
   metrics_.RecordFault(sim_.now(), "node_drain",
                        "node=" + std::to_string(node_id) + " migrated="
                            + std::to_string(migrated));
   return migrated;
+}
+
+void
+ClusterRuntime::FinishDrainMigration(FunctionId fn, InstanceId id)
+{
+  // The node may have failed outright mid-drain, in which case the
+  // instance is already gone and the migration transfer was moot.
+  auto it = instances_.find(id);
+  if (it == instances_.end() || it->second.released) return;
+  DeployedFunction& f = function(fn);
+  gateway_.RemoveInstance(fn, id);  // re-homes its queued requests
+  ReleaseInstance(id);              // in-flight batch flushes
+  f.live_instances.erase(std::remove(f.live_instances.begin(),
+                                     f.live_instances.end(), id),
+                         f.live_instances.end());
 }
 
 void

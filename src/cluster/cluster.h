@@ -21,6 +21,7 @@
 #include "cluster/metrics.h"
 #include "cluster/node.h"
 #include "core/function_spec.h"
+#include "fabric/fabric.h"
 #include "gpusim/gpu_group.h"
 #include "rckm/token_manager.h"
 #include "runtime/inference_instance.h"
@@ -72,6 +73,21 @@ struct ClusterConfig {
   /** FaST-GS per-iteration bookkeeping overhead on inference. */
   TimeUs fastgs_overhead = Ms(4);
 
+  /**
+   * Base cadence of the deferred-recovery retry timer. The backoff
+   * doubles from here (shift 0..5, so 1 s grows to 32 s by default)
+   * before a `recovery_starved` fault record is logged; the configured
+   * base also appears in that record's detail.
+   */
+  TimeUs recovery_retry = Sec(1);
+
+  /**
+   * Contended storage + network tiers (docs/FABRIC.md). Disabled by
+   * default: checkpoint saves, cold-start weight loading and drain
+   * migration then keep their legacy constant costs.
+   */
+  fabric::FabricConfig fabric;
+
   std::uint64_t seed = 1;
 };
 
@@ -114,6 +130,9 @@ class ClusterRuntime {
   const Gateway& gateway() const { return gateway_; }
   const ClusterConfig& config() const { return config_; }
   TimeUs now() const { return sim_.now(); }
+  /** The fabric plane, or nullptr when ClusterConfig::fabric is off. */
+  fabric::FabricPlane* fabric() { return fabric_.get(); }
+  const fabric::FabricPlane* fabric() const { return fabric_.get(); }
 
   // --- deployment ------------------------------------------------------
 
@@ -191,9 +210,10 @@ class ClusterRuntime {
    * (see ClusterConfig::recovery). Training jobs restart from their
    * last checkpoint (iteration zero without a checkpoint policy), with
    * the lost progress accounted in the metrics. Replacements that
-   * cannot be placed are retried on an exponential backoff (1 s
-   * doubling to 32 s, seeded jitter) until capacity returns; explicit
-   * recovery events short-circuit the backoff.
+   * cannot be placed are retried on an exponential backoff (the
+   * ClusterConfig::recovery_retry base doubling five times, seeded
+   * jitter) until capacity returns; explicit recovery events
+   * short-circuit the backoff.
    * @return the number of displaced instances.
    */
   int FailGpu(GpuId gpu);
@@ -249,6 +269,10 @@ class ClusterRuntime {
    * its queue re-homed, its in-flight batch allowed to finish). An
    * instance whose replacement cannot be placed stays put (best-effort
    * drain). Training workers are not migrated; they run to completion.
+   * With the fabric enabled, the KV/session state of each migrated
+   * instance travels through the network tier and the original is only
+   * removed when the transfer lands — drain duration becomes emergent
+   * from fabric contention.
    * @return the number of migrated instances.
    */
   int DrainNode(NodeId node);
@@ -345,8 +369,9 @@ class ClusterRuntime {
   void DeferRecovery(FunctionId fn);
   /**
    * Drain the deferred-recovery queue. A timer-fired retry that leaves
-   * the queue non-empty escalates the backoff (1 s doubling to 32 s,
-   * seeded jitter past the first step) and re-arms at the longer delay;
+   * the queue non-empty escalates the backoff (the configured base
+   * doubling to base << 5, seeded jitter past the first step) and
+   * re-arms at the longer delay;
    * once the backoff saturates, a `recovery_starved` fault record is
    * logged (once per starvation episode). Explicit recovery events
    * (RecoverGpu & co) retry immediately without escalating.
@@ -356,6 +381,24 @@ class ClusterRuntime {
   TimeUs RecoveryRetryDelay();
   /** Cold-start duration after chaos inflation. */
   TimeUs ScaledColdStart(TimeUs base) const;
+  /** Node hosting `gpu` (ids are assigned node-contiguously). */
+  NodeId NodeOfGpu(GpuId gpu) const;
+  /**
+   * Cold-start duration through the fabric: image pull from the
+   * registry NIC into `node`, written to node-local storage, on top of
+   * the container bring-up base. Warm starts skip the network pull
+   * (image cached on the node) and pay only the storage read.
+   */
+  TimeUs FabricColdStart(const models::ModelProfile& model, NodeId node,
+                         bool warm);
+  /** Install the fabric-emergent checkpoint/comm providers on a job. */
+  void WireJobFabric(DeployedFunction& f, const std::vector<GpuId>& gpus);
+  /**
+   * Second half of a fabric drain migration: the state transfer has
+   * landed, so gracefully remove the original instance. No-op when a
+   * harder fault already tore the instance down mid-transfer.
+   */
+  void FinishDrainMigration(FunctionId fn, InstanceId id);
   SmQuota QuotaForMode(const SmQuota& profiled) const;
   SmRate StaticShareForMode(const SmQuota& profiled) const;
   void ProfileSpec(core::FunctionSpec* spec) const;
@@ -387,6 +430,7 @@ class ClusterRuntime {
   Gateway gateway_;
   MetricsHub metrics_;
   std::vector<Node> nodes_;
+  std::unique_ptr<fabric::FabricPlane> fabric_;
 
   std::map<FunctionId, DeployedFunction> functions_;
   std::map<InstanceId, InstanceRecord> instances_;

@@ -139,6 +139,12 @@ MetricsHub::AddSample(const ClusterSample& s)
   samples_.push_back(s);
 }
 
+void
+MetricsHub::AddFabricSample(const fabric::FabricSample& s)
+{
+  fabric_samples_.push_back(s);
+}
+
 const FunctionMetrics&
 MetricsHub::function(FunctionId id) const
 {

@@ -16,6 +16,7 @@
 
 #include "common/stats.h"
 #include "common/types.h"
+#include "fabric/fabric.h"
 #include "workload/request.h"
 
 namespace dilu::cluster {
@@ -152,6 +153,9 @@ class MetricsHub {
   /** Append a cluster snapshot. */
   void AddSample(const ClusterSample& s);
 
+  /** Append a fabric snapshot (1 Hz when the fabric is enabled). */
+  void AddFabricSample(const fabric::FabricSample& s);
+
   /**
    * Metrics for a registered function. Looking up an id that was never
    * registered is a programming error: it panics via DILU_CHECK (rather
@@ -166,6 +170,11 @@ class MetricsHub {
 
   double total_gpu_seconds() const { return gpu_seconds_; }
   const std::vector<ClusterSample>& samples() const { return samples_; }
+  /** Fabric snapshots; empty when the fabric is disabled. */
+  const std::vector<fabric::FabricSample>& fabric_samples() const
+  {
+    return fabric_samples_;
+  }
 
   /** Aggregate SVR (%) over every function. */
   double OverallSvrPercent() const;
@@ -201,6 +210,7 @@ class MetricsHub {
   std::map<FunctionId, FunctionMetrics> functions_;
   double gpu_seconds_ = 0.0;
   std::vector<ClusterSample> samples_;
+  std::vector<fabric::FabricSample> fabric_samples_;
   std::vector<FaultRecord> faults_;
 };
 

@@ -71,6 +71,19 @@ ExportInstanceSeries(const DeployedFunction& function)
   return csv;
 }
 
+CsvWriter
+ExportFabricSamples(const MetricsHub& hub)
+{
+  CsvWriter csv({"time_s", "storage_queue", "network_queue",
+                 "storage_gbps", "network_gbps", "stall_s"});
+  for (const fabric::FabricSample& s : hub.fabric_samples()) {
+    csv.AddRow({ToSec(s.at), static_cast<double>(s.storage_queue),
+                static_cast<double>(s.network_queue), s.storage_gbps,
+                s.network_gbps, s.stall_s});
+  }
+  return csv;
+}
+
 bool
 ExportAll(const ClusterRuntime& runtime, const std::string& prefix)
 {
@@ -82,6 +95,10 @@ ExportAll(const ClusterRuntime& runtime, const std::string& prefix)
   if (!runtime.metrics().faults().empty()) {
     ok &= ExportFaultLog(runtime.metrics())
               .WriteFile(prefix + "_faults.csv");
+  }
+  if (!runtime.metrics().fabric_samples().empty()) {
+    ok &= ExportFabricSamples(runtime.metrics())
+              .WriteFile(prefix + "_fabric.csv");
   }
   return ok;
 }

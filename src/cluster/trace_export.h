@@ -42,9 +42,18 @@ CsvWriter ExportFaultLog(const MetricsHub& hub);
 CsvWriter ExportInstanceSeries(const DeployedFunction& function);
 
 /**
+ * Fabric snapshots (1 Hz queue depth / achieved bandwidth / stall) as
+ * CSV: time_s, storage_queue, network_queue, storage_gbps,
+ * network_gbps, stall_s.
+ */
+CsvWriter ExportFabricSamples(const MetricsHub& hub);
+
+/**
  * Convenience: write the exports next to each other using `prefix`
  * ("/tmp/run" -> /tmp/run_samples.csv, _functions.csv, ...). The fault
- * log (_faults.csv) is written only when faults were injected.
+ * log (_faults.csv) is written only when faults were injected, and the
+ * fabric series (_fabric.csv) only when the fabric sampled anything —
+ * fabric-less runs keep their exact legacy file set.
  * @return true when every file was written.
  */
 bool ExportAll(const ClusterRuntime& runtime, const std::string& prefix);

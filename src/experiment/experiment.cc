@@ -7,6 +7,7 @@
 
 #include "cluster/trace_export.h"
 #include "common/logging.h"
+#include "fabric/fabric.h"
 #include "workload/arrival.h"
 #include "workload/azure_traces.h"
 
@@ -26,7 +27,8 @@ StreamSeed(std::uint64_t base, std::size_t index)
 }
 
 core::SystemConfig
-BuildConfig(const ClusterSection& c, std::uint64_t seed_override)
+BuildConfig(const ClusterSection& c, const FabricSection& fab,
+            std::uint64_t seed_override)
 {
   core::SystemConfig cfg = core::SystemConfig::Preset(c.preset);
   cluster::ClusterConfig& cl = cfg.cluster;
@@ -45,6 +47,12 @@ BuildConfig(const ClusterSection& c, std::uint64_t seed_override)
   }
   if (c.seed) cl.seed = *c.seed;
   if (seed_override != 0) cl.seed = seed_override;
+  cl.fabric.enabled = fab.enabled();
+  if (fab.storage_bw) cl.fabric.storage_bw_gbps = *fab.storage_bw;
+  if (fab.storage_gc) cl.fabric.storage_gc_duty = *fab.storage_gc;
+  if (fab.storage_devices) cl.fabric.storage_devices = *fab.storage_devices;
+  if (fab.nic_rate) cl.fabric.nic_rate_gbps = *fab.nic_rate;
+  if (fab.nic_burst) cl.fabric.nic_burst_gb = *fab.nic_burst;
   return cfg;
 }
 
@@ -162,7 +170,8 @@ EscapeJson(const std::string& s)
 Experiment::Experiment(ExperimentSpec spec, RunOptions opts)
     : spec_(std::move(spec)), opts_(std::move(opts))
 {
-  core::SystemConfig cfg = BuildConfig(spec_.cluster(), opts_.seed);
+  core::SystemConfig cfg =
+      BuildConfig(spec_.cluster(), spec_.fabric(), opts_.seed);
   seed_ = cfg.cluster.seed;
   system_ = std::make_unique<core::System>(cfg);
   for (const DeploySpec& d : spec_.deploys()) {
@@ -308,6 +317,17 @@ Experiment::Collect() const
 
   if (engine_) r.chaos = engine_->Verdict();
 
+  if (const fabric::FabricPlane* fp = rt.fabric()) {
+    const fabric::FabricTotals& t = fp->totals();
+    r.fabric_enabled = true;
+    r.fabric_storage_transfers = t.storage_transfers;
+    r.fabric_network_transfers = t.network_transfers;
+    r.fabric_storage_gb = t.storage_gb;
+    r.fabric_network_gb = t.network_gb;
+    r.fabric_stall_s = ToSec(t.stall_us);
+    r.fabric_max_queue = t.max_queue;
+  }
+
   r.max_gpus = rt.max_active_gpus();
   const auto& samples = hub.samples();
   for (const cluster::ClusterSample& s : samples) {
@@ -384,6 +404,17 @@ ExperimentResult::ToJson() const
              chaos.mean_ttr_s, chaos.max_ttr_s, chaos.shed_events,
              chaos.shed_recovered, chaos.mean_ttsr_s,
              chaos.max_ttsr_s);
+  if (fabric_enabled) {
+    AppendJson(&out,
+               "  \"fabric\": {\"storage_transfers\": %lld, "
+               "\"network_transfers\": %lld, \"storage_gb\": %.3f, "
+               "\"network_gb\": %.3f, \"stall_s\": %.3f, "
+               "\"max_queue\": %d},\n",
+               static_cast<long long>(fabric_storage_transfers),
+               static_cast<long long>(fabric_network_transfers),
+               fabric_storage_gb, fabric_network_gb, fabric_stall_s,
+               fabric_max_queue);
+  }
   AppendJson(&out,
              "  \"cluster\": {\"max_gpus\": %d, \"avg_gpus\": %.3f, "
              "\"gpu_seconds\": %.3f, \"total_completed\": %lld, "

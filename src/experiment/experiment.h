@@ -67,6 +67,15 @@ struct ExperimentResult {
   std::vector<FunctionResult> functions;  ///< deploy order
   // --- chaos verdict (zeros when the spec embeds no scenario) ---
   chaos::ChaosVerdict chaos;
+  // --- fabric totals (emitted only when the spec enabled the fabric,
+  //     so legacy goldens stay byte-identical) ---
+  bool fabric_enabled = false;
+  std::int64_t fabric_storage_transfers = 0;
+  std::int64_t fabric_network_transfers = 0;
+  double fabric_storage_gb = 0.0;
+  double fabric_network_gb = 0.0;
+  double fabric_stall_s = 0.0;
+  int fabric_max_queue = 0;
   // --- cluster aggregates ---
   int max_gpus = 0;
   double avg_gpus = 0.0;  ///< time-averaged occupied GPUs (1 Hz samples)

@@ -176,6 +176,20 @@ ExperimentSpec::ToText() const
     if (!body.empty()) out << "cluster" << body << "\n";
   }
 
+  if (fabric_.storage) {
+    out << "storage";
+    if (fabric_.storage_bw) out << " bw=" << FormatDouble(*fabric_.storage_bw);
+    if (fabric_.storage_gc) out << " gc=" << FormatDouble(*fabric_.storage_gc);
+    if (fabric_.storage_devices) out << " devices=" << *fabric_.storage_devices;
+    out << "\n";
+  }
+  if (fabric_.nic) {
+    out << "nic";
+    if (fabric_.nic_rate) out << " rate=" << FormatDouble(*fabric_.nic_rate);
+    if (fabric_.nic_burst) out << " burst=" << FormatDouble(*fabric_.nic_burst);
+    out << "\n";
+  }
+
   for (const DeploySpec& d : deploys_) {
     out << "deploy model=" << d.fn.model;
     if (!d.fn.name.empty()) out << " name=" << d.fn.name;
@@ -689,6 +703,56 @@ ExperimentSpec::Parse(const std::string& text, ExperimentSpec* out,
       if (!ParseClusterLine(toks, line_no, &spec.cluster_, error)) {
         return false;
       }
+    } else if (tok == "storage") {
+      spec.fabric_.storage = true;
+      std::string key;
+      while (toks >> key) {
+        std::string v;
+        double x = 0.0;
+        std::int32_t i = 0;
+        if (!(v = StripPrefix(key, "bw=")).empty()) {
+          if (!ParseDouble(v, &x) || x <= 0.0) {
+            return Fail(error, line_no, "storage bw must be > 0 (GB/s)");
+          }
+          spec.fabric_.storage_bw = x;
+        } else if (!(v = StripPrefix(key, "gc=")).empty()) {
+          if (!ParseDouble(v, &x) || x < 0.0 || x > 0.9) {
+            return Fail(error, line_no,
+                        "storage gc duty must be in [0, 0.9]");
+          }
+          spec.fabric_.storage_gc = x;
+        } else if (!(v = StripPrefix(key, "devices=")).empty()) {
+          if (!ParseInt(v, &i) || i < 1) {
+            return Fail(error, line_no, "storage devices must be >= 1");
+          }
+          spec.fabric_.storage_devices = i;
+        } else {
+          return Fail(error, line_no,
+                      "unknown storage key '" + key
+                          + "' (want bw=/gc=/devices=)");
+        }
+      }
+    } else if (tok == "nic") {
+      spec.fabric_.nic = true;
+      std::string key;
+      while (toks >> key) {
+        std::string v;
+        double x = 0.0;
+        if (!(v = StripPrefix(key, "rate=")).empty()) {
+          if (!ParseDouble(v, &x) || x <= 0.0) {
+            return Fail(error, line_no, "nic rate must be > 0 (GB/s)");
+          }
+          spec.fabric_.nic_rate = x;
+        } else if (!(v = StripPrefix(key, "burst=")).empty()) {
+          if (!ParseDouble(v, &x) || x <= 0.0) {
+            return Fail(error, line_no, "nic burst must be > 0 (GB)");
+          }
+          spec.fabric_.nic_burst = x;
+        } else {
+          return Fail(error, line_no,
+                      "unknown nic key '" + key + "' (want rate=/burst=)");
+        }
+      }
     } else if (tok == "deploy") {
       DeploySpec d;
       if (!ParseDeployLine(toks, line_no, &d, error)) return false;
@@ -732,8 +796,8 @@ ExperimentSpec::Parse(const std::string& text, ExperimentSpec* out,
     } else {
       return Fail(error, line_no,
                   "unknown directive '" + tok
-                      + "' (want experiment/cluster/deploy/workload/"
-                        "chaos/run/export)");
+                      + "' (want experiment/cluster/storage/nic/deploy/"
+                        "workload/chaos/run/export)");
     }
   }
 
@@ -772,6 +836,12 @@ ExperimentSpec::Parse(const std::string& text, ExperimentSpec* out,
   for (std::size_t i = 0; i < events.size(); ++i) {
     const chaos::ScenarioEvent& e = events[i];
     const int at = chaos_lines[i];
+    if (chaos::IsFabric(e.kind) && !spec.fabric_.enabled()) {
+      return Fail(error, at,
+                  std::string(chaos::ToString(e.kind))
+                      + " needs a storage/nic line (the fabric is "
+                        "disabled)");
+    }
     if (e.kind == chaos::FaultKind::kTrafficSurge
         || e.kind == chaos::FaultKind::kCheckpointEvery
         || chaos::IsShedding(e.kind)) {

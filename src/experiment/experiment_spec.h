@@ -54,6 +54,26 @@ struct ClusterSection {
   std::optional<std::uint64_t> seed;
 };
 
+/**
+ * Fabric tiers (src/fabric/): the presence of a `storage` or `nic`
+ * line in a spec enables the fabric plane — checkpoint saves, cold
+ * starts and drain migrations then resolve through contended transfer
+ * frontiers instead of constant costs. Only set keys are printed, so
+ * the section stays a minimal diff against FabricConfig's defaults.
+ */
+struct FabricSection {
+  bool storage = false;  ///< a `storage` line appeared
+  bool nic = false;      ///< a `nic` line appeared
+  std::optional<double> storage_bw;       ///< bw=<GB/s>
+  std::optional<double> storage_gc;       ///< gc=<duty in [0, 0.9]>
+  std::optional<int> storage_devices;     ///< devices=<count>
+  std::optional<double> nic_rate;         ///< rate=<GB/s>
+  std::optional<double> nic_burst;        ///< burst=<GB>
+
+  /** The fabric plane is built iff either line appeared. */
+  bool enabled() const { return storage || nic; }
+};
+
 /** One function deployment plus its experiment-level wiring. */
 struct DeploySpec {
   /** The function itself (model, task, shards/workers, checkpoints). */
@@ -121,6 +141,10 @@ class ExperimentSpec {
   ClusterSection& cluster() { return cluster_; }
   const ClusterSection& cluster() const { return cluster_; }
 
+  /** The fabric tiers (set `storage` / `nic` to enable; see above). */
+  FabricSection& fabric() { return fabric_; }
+  const FabricSection& fabric() const { return fabric_; }
+
   /** Add an inference deployment; returned ref tweaks the rest. */
   DeploySpec& AddInference(const std::string& model);
 
@@ -165,9 +189,9 @@ class ExperimentSpec {
 
   /**
    * Serialize to the experiment text format (canonical: section order
-   * experiment / cluster / deploy / workload / chaos / run / export,
-   * only non-default keys, densest exact time suffixes). ToText/Parse
-   * round-trip byte-identically.
+   * experiment / cluster / storage / nic / deploy / workload / chaos /
+   * run / export, only non-default keys, densest exact time suffixes).
+   * ToText/Parse round-trip byte-identically.
    */
   std::string ToText() const;
 
@@ -183,6 +207,7 @@ class ExperimentSpec {
  private:
   std::string name_;
   ClusterSection cluster_;
+  FabricSection fabric_;
   std::vector<DeploySpec> deploys_;
   std::vector<WorkloadSpec> workloads_;
   chaos::ScenarioSpec chaos_;

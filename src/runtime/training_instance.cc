@@ -164,15 +164,19 @@ void
 TrainingJob::OnAllComputeDone(TimeUs latest)
 {
   in_compute_ = false;
-  // Gradient synchronization / pipeline-flush phase: GPUs idle.
-  const TimeUs comm_end = std::max(latest, sim_->now())
-      + models::TrainingCommPhase(*model_);
+  // Gradient synchronization / pipeline-flush phase: GPUs idle. An
+  // installed provider (the fabric's ring all-reduce) replaces the
+  // analytic constant.
+  const TimeUs comm = comm_phase_fn_ ? comm_phase_fn_()
+                                     : models::TrainingCommPhase(*model_);
+  const TimeUs comm_end = std::max(latest, sim_->now()) + comm;
   sim_->queue().ScheduleAt(comm_end, [this] {
     if (finished_) return;  // aborted mid-communication
     ++stats_.iterations_completed;
     // Checkpoint at iteration boundaries: the first boundary at least
     // `every` after the previous snapshot persists the progress. Tied
     // to simulated time (not the wall clock), so replays are exact.
+    TimeUs save_pause = 0;
     bool checkpointed = false;
     const bool finishing = target_iterations_ > 0
         && stats_.iterations_completed >= target_iterations_;
@@ -183,10 +187,16 @@ TrainingJob::OnAllComputeDone(TimeUs latest)
       ++stats_.checkpoints_taken;
       checkpointed = true;
       // A checkpoint coinciding with completion pays no pause: the job
-      // ends here, so only continuing jobs stall for the save.
-      const TimeUs pause = finishing ? 0 : checkpoint_.save_cost;
-      stats_.checkpoint_pause += pause;
-      if (on_checkpoint_) on_checkpoint_(pause);
+      // ends here, so only continuing jobs stall for the save. An
+      // explicit save_cost pins the constant; otherwise the installed
+      // provider (fabric storage write) sets the emergent pause.
+      if (!finishing) {
+        save_pause = (checkpoint_.save_cost > 0 || !checkpoint_cost_fn_)
+            ? checkpoint_.save_cost
+            : checkpoint_cost_fn_();
+      }
+      stats_.checkpoint_pause += save_pause;
+      if (on_checkpoint_) on_checkpoint_(save_pause);
     }
     if (finishing) {
       finished_ = true;
@@ -197,16 +207,15 @@ TrainingJob::OnAllComputeDone(TimeUs latest)
       if (on_finished_) on_finished_();
       return;
     }
-    if (checkpointed && checkpoint_.save_cost > 0) {
+    if (checkpointed && save_pause > 0) {
       // The snapshot is not free: the job stalls for the save before
       // the next iteration can begin (a fault during the stall still
       // restarts from this checkpoint — the snapshot is durable the
       // moment it is counted).
-      sim_->queue().ScheduleAt(sim_->now() + checkpoint_.save_cost,
-                               [this] {
-                                 if (finished_) return;  // aborted
-                                 StartNextIteration();
-                               });
+      sim_->queue().ScheduleAt(sim_->now() + save_pause, [this] {
+        if (finished_) return;  // aborted
+        StartNextIteration();
+      });
       return;
     }
     StartNextIteration();

@@ -159,6 +159,29 @@ class TrainingJob {
   const CheckpointPolicy& checkpoint_policy() const { return checkpoint_; }
 
   /**
+   * Emergent checkpoint-cost provider (the fabric's storage tier):
+   * invoked at each snapshot the job actually takes, returning the
+   * pause before the next iteration. Only consulted while the policy's
+   * explicit save_cost is 0 — a configured constant always wins, which
+   * is the documented no-fabric fallback.
+   */
+  void set_checkpoint_cost_fn(std::function<TimeUs()> fn)
+  {
+    checkpoint_cost_fn_ = std::move(fn);
+  }
+
+  /**
+   * Emergent communication-phase provider (the fabric's network tier):
+   * invoked at each iteration barrier, returning the gradient-sync
+   * duration. Replaces the analytic models::TrainingCommPhase constant
+   * when installed.
+   */
+  void set_comm_phase_fn(std::function<TimeUs()> fn)
+  {
+    comm_phase_fn_ = std::move(fn);
+  }
+
+  /**
    * Progress safe against a fault: the iteration count at the last
    * checkpoint (the resume baseline when no checkpoint fired yet). A
    * restart launched with this as `start_iterations` loses exactly
@@ -204,6 +227,8 @@ class TrainingJob {
   TimeUs last_checkpoint_at_ = 0;
   std::function<void()> on_finished_;
   std::function<void(TimeUs)> on_checkpoint_;
+  std::function<TimeUs()> checkpoint_cost_fn_;
+  std::function<TimeUs()> comm_phase_fn_;
 };
 
 }  // namespace dilu::runtime

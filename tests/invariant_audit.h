@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "cluster/cluster.h"
+#include "fabric/fabric.h"
 #include "scheduler/gpu_state.h"
 
 namespace dilu::testing {
@@ -130,6 +131,25 @@ AuditState(const scheduler::ClusterState& cs)
   }
   EXPECT_EQ(cs.MinIdleGpu(), expect_min)
       << "lazy min-idle heap disagrees with the idle scan";
+}
+
+/**
+ * Audit the fabric plane's conservation laws (docs/FABRIC.md):
+ *  - in-flight bytes never exceed what the tiers can physically hold —
+ *    Σ undelivered GB <= Σ capacity x remaining-busy-time over every
+ *    device and link frontier;
+ *  - no transfer ever completed faster than its bandwidth-limited
+ *    lower bound (the plane latches any violation at submit time).
+ * AuditFleet calls this automatically when the fabric is enabled.
+ */
+inline void
+AuditFabric(const fabric::FabricPlane& fp, TimeUs now)
+{
+  EXPECT_LE(fp.InflightGb(now), fp.CapacityDelayGb(now) + 1e-6)
+      << "in-flight transfer bytes exceed the fabric's capacity-delay "
+         "product";
+  EXPECT_FALSE(fp.lower_bound_violated())
+      << "a transfer completed before its bandwidth-limited lower bound";
 }
 
 /**
@@ -248,6 +268,8 @@ AuditFleet(scheduler::ClusterState& cs, cluster::ClusterRuntime& rt)
   }
 
   EXPECT_GE(rt.pending_recovery_count(), 0);
+
+  if (rt.fabric() != nullptr) AuditFabric(*rt.fabric(), rt.now());
 }
 
 }  // namespace dilu::testing

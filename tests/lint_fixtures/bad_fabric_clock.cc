@@ -1,0 +1,16 @@
+// Fixture: fabric-idiom wall-clock misuse — stamping transfer
+// completions and GC windows with host time instead of the simulated
+// clock the frontiers advance on.
+#include <chrono>
+#include <ctime>
+
+long FabricTransferFixture()
+{
+  auto deadline = std::chrono::steady_clock::now();  // line 9
+  struct timespec gc_window;
+  timespec_get(&gc_window, TIME_UTC);                // line 11
+  struct timeval posted;
+  gettimeofday(&posted, nullptr);                    // line 13
+  (void)deadline;
+  return gc_window.tv_nsec + posted.tv_usec;
+}

@@ -1,0 +1,14 @@
+// Fixture: fabric-idiom raw randomness — posting-cost jitter and GC
+// phase drawn outside the seeded Rng, which would break two-run
+// byte-identical transfer timelines.
+#include <cstdlib>
+#include <random>
+
+long FabricJitterFixture()
+{
+  const double jitter_us = drand48() * 5.0;  // line 9
+  std::random_device device_phase;           // line 10
+  const int gc_skew = rand() % 25;           // line 11
+  return static_cast<long>(jitter_us) + gc_skew
+         + static_cast<long>(device_phase());
+}

@@ -80,6 +80,26 @@ TEST(LintRules, RawRandFlagsSrandRandAndRandomDevice)
                               {"raw-rand", 9}}));
 }
 
+TEST(LintRules, WallClockCatchesFabricTimestampIdioms)
+{
+  // Planted fabric-shaped violations: transfers stamped with host
+  // time must be caught wherever they hide in the fabric layer.
+  const auto got =
+      RuleLines(Lint("bad_fabric_clock.cc", "src/fabric/x.cc"));
+  EXPECT_EQ(got, (std::set<P>{{"wall-clock", 9},
+                              {"wall-clock", 11},
+                              {"wall-clock", 13}}));
+}
+
+TEST(LintRules, RawRandCatchesFabricJitterIdioms)
+{
+  const auto got =
+      RuleLines(Lint("bad_fabric_rand.cc", "src/fabric/x.cc"));
+  EXPECT_EQ(got, (std::set<P>{{"raw-rand", 9},
+                              {"raw-rand", 10},
+                              {"raw-rand", 11}}));
+}
+
 TEST(LintRules, GetenvFlaggedOutsideGoldenRegenKnob)
 {
   const auto got = RuleLines(Lint("bad_getenv.cc", "src/x.cc"));
