@@ -28,8 +28,11 @@
  *  --quick      fewer repetitions (CI smoke; timing still reported)
  *  --seed N     workload seed for the scheduler suites, echoed into the
  *               JSON so runs are reproducible and diffable across
- *               machines (0 = the historical per-suite seeds, keeping
- *               BENCH_*.json trajectories comparable)
+ *               machines (any value is a real seed, including 0)
+ *  --legacy-seeds  use the historical per-suite seeds (42/9/7) the
+ *               checked-in BENCH_*.json reports were recorded under;
+ *               also the default when --seed is absent. This replaces
+ *               the old `--seed 0` sentinel (PERFORMANCE.md).
  *  --out FILE   write the JSON report to FILE instead of stdout
  *
  * Each suite runs `reps` times and reports the best (minimum) wall
@@ -177,23 +180,25 @@ BenchResult BenchTokenTick(bool quick)
 // --- scheduler suites -------------------------------------------------
 
 /**
- * Per-suite workload seed: 0 keeps the historical constants (42/9/7),
- * so default runs stay diffable against existing BENCH_*.json files;
- * a user seed derives distinct per-suite streams from one number.
+ * Per-suite workload seed: legacy mode keeps the historical constants
+ * (42/9/7), so default runs stay diffable against existing
+ * BENCH_*.json files; a user seed derives distinct per-suite streams
+ * from one number (seed 0 included — there is no sentinel).
  */
-std::uint64_t SuiteSeed(std::uint64_t seed, std::uint64_t legacy,
-                        std::uint64_t index)
+std::uint64_t SuiteSeed(const dilu::bench::CliOptions& opts,
+                        std::uint64_t legacy, std::uint64_t index)
 {
-  return seed == 0 ? legacy : seed + index;
+  const bool use_legacy = opts.legacy_seeds || !opts.seed_given;
+  return use_legacy ? legacy : opts.seed + index;
 }
 
-BenchResult BenchSchedMicro(bool quick, std::uint64_t seed)
+BenchResult BenchSchedMicro(bool quick, const bench::CliOptions& opts)
 {
   const int reps = quick ? 2 : 5;
   return RunBench("sched_micro_3200", 3200, reps, [&] {
     scheduler::ClusterState cs = bench::MakeFig17Cluster();
     scheduler::DiluScheduler sched;
-    Rng rng(SuiteSeed(seed, 9, 1));
+    Rng rng(SuiteSeed(opts, 9, 1));
     for (InstanceId id = 0; id < 3200; ++id) {
       scheduler::PlacementRequest req;
       req.function = id % 200;
@@ -210,11 +215,11 @@ BenchResult BenchSchedMicro(bool quick, std::uint64_t seed)
   });
 }
 
-BenchResult BenchFig17Placement(bool quick, std::uint64_t seed)
+BenchResult BenchFig17Placement(bool quick, const bench::CliOptions& opts)
 {
   const int reps = quick ? 2 : 5;
   return RunBench("fig17_placement", 3200, reps, [&] {
-    Rng rng(SuiteSeed(seed, 42, 2));
+    Rng rng(SuiteSeed(opts, 42, 2));
     scheduler::ClusterState state = bench::MakeFig17Cluster();
     scheduler::DiluScheduler sched;
     for (InstanceId id = 0; id < 3200; ++id) {
@@ -231,13 +236,13 @@ BenchResult BenchFig17Placement(bool quick, std::uint64_t seed)
   });
 }
 
-BenchResult BenchFig17Churn(bool quick, std::uint64_t seed)
+BenchResult BenchFig17Churn(bool quick, const bench::CliOptions& opts)
 {
   const int reps = quick ? 1 : 3;
   const int kSteps = 20;
   // ops = total arrivals across steps 0..20 (10 ramp + 11 churn).
   return RunBench("fig17_churn", 10 * 200 + 11 * 120, reps, [&] {
-    Rng rng(SuiteSeed(seed, 7, 3));
+    Rng rng(SuiteSeed(opts, 7, 3));
     scheduler::ClusterState state = bench::MakeFig17Cluster();
     scheduler::DiluScheduler sched;
     std::vector<InstanceId> live;
@@ -337,13 +342,16 @@ std::string MachineString()
 }
 
 void WriteJson(std::FILE* out, const std::vector<BenchResult>& results,
-               bool quick, std::uint64_t seed)
+               bool quick, const bench::CliOptions& opts)
 {
+  const bool legacy = opts.legacy_seeds || !opts.seed_given;
   std::fprintf(out, "{\n");
   std::fprintf(out, "  \"schema\": \"dilu-bench/1\",\n");
   std::fprintf(out, "  \"machine\": \"%s\",\n", MachineString().c_str());
   std::fprintf(out, "  \"seed\": %llu,\n",
-               static_cast<unsigned long long>(seed));
+               static_cast<unsigned long long>(opts.seed));
+  std::fprintf(out, "  \"legacy_seeds\": %s,\n",
+               legacy ? "true" : "false");
 #ifdef NDEBUG
   std::fprintf(out, "  \"build\": \"Release\",\n");
 #else
@@ -375,9 +383,9 @@ main(int argc, char** argv)
   results.push_back(BenchEventScheduleFire(opts.quick));
   results.push_back(BenchEventMixedCancel(opts.quick));
   results.push_back(BenchTokenTick(opts.quick));
-  results.push_back(BenchSchedMicro(opts.quick, opts.seed));
-  results.push_back(BenchFig17Placement(opts.quick, opts.seed));
-  results.push_back(BenchFig17Churn(opts.quick, opts.seed));
+  results.push_back(BenchSchedMicro(opts.quick, opts));
+  results.push_back(BenchFig17Placement(opts.quick, opts));
+  results.push_back(BenchFig17Churn(opts.quick, opts));
   results.push_back(BenchFabricTransfer(opts.quick));
   results.push_back(
       BenchFabricCheckpointStall(opts.quick, 1000, "fabric_ckpt_stall_1k"));
@@ -385,6 +393,6 @@ main(int argc, char** argv)
       BenchFabricCheckpointStall(opts.quick, 10000, "fabric_ckpt_stall_10k"));
 
   return bench::EmitReport(opts, [&](std::FILE* f) {
-    WriteJson(f, results, opts.quick, opts.seed);
+    WriteJson(f, results, opts.quick, opts);
   });
 }

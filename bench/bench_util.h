@@ -24,17 +24,28 @@
 
 namespace dilu::bench {
 
-/** The shared report-emitting bench CLI: --quick / --seed N / --out F. */
+/**
+ * The shared report-emitting bench CLI:
+ * --quick / --seed N / --legacy-seeds / --out F.
+ */
 struct CliOptions {
   bool quick = false;
   std::uint64_t seed = 0;
+  /** --seed was given on the command line (vs. the binary's default). */
+  bool seed_given = false;
+  /**
+   * Use the per-suite seeds the historical BENCH_*.json reports were
+   * recorded under, ignoring --seed. This used to be spelled
+   * `--seed 0`; the sentinel made seed 0 silently un-runnable, so it
+   * is now an explicit flag (PERFORMANCE.md).
+   */
+  bool legacy_seeds = false;
   const char* out = nullptr;
 };
 
 /**
  * Parse the shared flags (every unknown argument is a usage error).
- * `default_seed` seeds --seed when absent (bench_harness keeps 0 =
- * legacy per-suite seeds; bench_chaos uses 1). Returns false after
+ * `default_seed` seeds --seed when absent. Returns false after
  * printing usage.
  */
 inline bool
@@ -48,10 +59,15 @@ ParseCli(int argc, char** argv, CliOptions* opts,
     } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
       opts->seed = static_cast<std::uint64_t>(
           std::strtoull(argv[++i], nullptr, 10));
+      opts->seed_given = true;
+    } else if (std::strcmp(argv[i], "--legacy-seeds") == 0) {
+      opts->legacy_seeds = true;
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       opts->out = argv[++i];
     } else {
-      std::fprintf(stderr, "usage: %s [--quick] [--seed N] [--out FILE]\n",
+      std::fprintf(stderr,
+                   "usage: %s [--quick] [--seed N] [--legacy-seeds] "
+                   "[--out FILE]\n",
                    argv[0]);
       return false;
     }

@@ -47,10 +47,28 @@ ChaosEngine::Arm()
                 << "' scheduled in the past; skipped";
       continue;
     }
-    // dilu-lint: allow(event-schedule chaos arming entry point; injections post to the owning shard's mailbox in the sharded core)
-    rt_->simulation().queue().ScheduleAt(sorted_[i].at,
-                                         [this, i] { Inject(i); });
+    rt_->simulation().Post(sorted_[i].at, [this, i] { Inject(i); });
   }
+}
+
+void
+ChaosEngine::PrepareDeferred()
+{
+  if (armed_) return;
+  armed_ = true;
+  sorted_ = spec_.Sorted();
+  outcomes_.resize(sorted_.size());
+  for (std::size_t i = 0; i < sorted_.size(); ++i) {
+    outcomes_[i].event = sorted_[i];
+  }
+}
+
+void
+ChaosEngine::Deliver(std::size_t index)
+{
+  DILU_CHECK(armed_);
+  DILU_CHECK(index < sorted_.size());
+  Inject(index);
 }
 
 void
@@ -108,8 +126,7 @@ ChaosEngine::Inject(std::size_t index)
       rt_->metrics().RecordFault(rt_->now(), "coldstart_inflation",
                                  "x" + std::to_string(e.magnitude));
       const std::uint64_t epoch = ++inflation_epoch_;
-      // dilu-lint: allow(event-schedule inflation-window expiry; becomes a shard mailbox post in the sharded core)
-      rt_->simulation().queue().ScheduleAt(
+      rt_->simulation().Post(
           rt_->now() + e.duration, [this, epoch] {
             if (epoch != inflation_epoch_) return;  // superseded
             rt_->set_coldstart_scale(1.0);
@@ -168,8 +185,7 @@ ChaosEngine::Inject(std::size_t index)
       // end releases the pin (same epoch idiom as inflation windows).
       const std::uint64_t epoch = ++throttle_epochs_[e.function];
       const FunctionId fn = e.function;
-      // dilu-lint: allow(event-schedule throttle-window expiry; becomes a shard mailbox post in the sharded core)
-      rt_->simulation().queue().ScheduleAt(
+      rt_->simulation().Post(
           rt_->now() + e.duration, [this, fn, epoch] {
             if (epoch != throttle_epochs_[fn]) return;  // superseded
             rt_->gateway().ClearForcedAdmitRate(fn);
@@ -199,8 +215,7 @@ ChaosEngine::Inject(std::size_t index)
         // newest epoch's window end restores nominal service (same
         // idiom as the inflation / throttle windows).
         const std::uint64_t epoch = ++brownout_epoch_;
-        // dilu-lint: allow(event-schedule brownout-window expiry; becomes a shard mailbox post in the sharded core)
-        rt_->simulation().queue().ScheduleAt(
+        rt_->simulation().Post(
             rt_->now() + e.duration, [this, epoch] {
               if (epoch != brownout_epoch_) return;  // superseded
               if (rt_->fabric() != nullptr) {
@@ -386,10 +401,16 @@ ChaosEngine::WatchTick()
 ChaosVerdict
 ChaosEngine::Verdict() const
 {
+  return VerdictOf(outcomes_);
+}
+
+ChaosVerdict
+ChaosEngine::VerdictOf(const std::vector<FaultOutcome>& outcomes)
+{
   ChaosVerdict v;
   double ttr_sum_s = 0.0;
   double ttsr_sum_s = 0.0;
-  for (const FaultOutcome& o : outcomes_) {
+  for (const FaultOutcome& o : outcomes) {
     if (!o.injected) continue;
     ++v.injected;
     if (IsShedding(o.event.kind)) {

@@ -131,6 +131,18 @@ class ScenarioSpec {
    */
   ScenarioSpec& StorageBrownout(TimeUs at, double factor, TimeUs duration);
 
+  /**
+   * Append a fully formed event. The builder verbs above are the
+   * normal authoring path; this exists for drivers that transform an
+   * existing spec — the sharded experiment splits a fleet scenario
+   * into per-shard sub-scenarios with remapped node/GPU/function ids.
+   */
+  ScenarioSpec& Add(ScenarioEvent e)
+  {
+    events_.push_back(e);
+    return *this;
+  }
+
   const std::string& name() const { return name_; }
   void set_name(std::string name) { name_ = std::move(name); }
   const std::vector<ScenarioEvent>& events() const { return events_; }

@@ -498,8 +498,7 @@ ClusterRuntime::ScheduleNextArrival(
   const TimeUs gap = proc->NextGap();
   const TimeUs when = sim_.now() + std::max<TimeUs>(1, gap);
   if (when > until) return;
-  // dilu-lint: allow(event-schedule arrival pump; per-function streams move to their owning shard's queue in the sharded core)
-  sim_.queue().ScheduleAt(when, [this, fn, proc, until] {
+  sim_.Post(when, [this, fn, proc, until] {
     auto req = std::make_unique<workload::Request>();
     req->id = next_request_id_++;
     req->function = fn;
@@ -549,9 +548,7 @@ ClusterRuntime::ScheduleClosedLoopIssue(FunctionId fn)
   const TimeUs gap = std::max<TimeUs>(1, it->second.think->NextGap());
   const TimeUs when = sim_.now() + gap;
   if (when > it->second.until) return;  // client retires
-  // dilu-lint: allow(event-schedule closed-loop think-time pump; moves to the owning shard's queue in the sharded core)
-  sim_.queue().ScheduleAt(when,
-                          [this, fn] { IssueClosedLoopRequest(fn); });
+  sim_.Post(when, [this, fn] { IssueClosedLoopRequest(fn); });
 }
 
 void
@@ -1123,8 +1120,7 @@ ClusterRuntime::DrainNode(NodeId node_id)
       const fabric::TransferResult xfer = fabric_->SubmitNetwork(
           node_id, NodeOfGpu(placement.gpus[0]), f.model->mem_gb_inference,
           sim_.now());
-      // dilu-lint: allow(event-schedule drain-migration handoff; becomes a shard mailbox post in the sharded core)
-      sim_.queue().ScheduleAt(xfer.done, [this, fn, id] {
+      sim_.Post(xfer.done, [this, fn, id] {
         FinishDrainMigration(fn, id);
       });
       continue;

@@ -304,8 +304,7 @@ Gateway::ScheduleRetry(Entry* e, workload::Request* req)
   if (delay < Us(1)) delay = Us(1);
   ++e->c.retry_pending;
   const FunctionId fn = req->function;
-  // dilu-lint: allow(event-schedule retry-backoff timer; becomes a shard mailbox post in the sharded core)
-  sim_->queue().ScheduleAt(sim_->now() + delay, [this, fn, req] {
+  sim_->Post(sim_->now() + delay, [this, fn, req] {
     auto it = functions_.find(fn);
     if (it != functions_.end()) --it->second.c.retry_pending;
     Redispatch(req);

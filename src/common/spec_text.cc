@@ -39,20 +39,20 @@ ParseTime(const std::string& tok, TimeUs* out)
   } catch (...) {
     return false;
   }
-  // Cap parsed times at ~31 years. This both rejects values whose
-  // unit scaling would overflow TimeUs (a mutated "99999999999999s"
-  // must be a parse error, not signed-overflow UB) and keeps small
-  // sums of parsed times (start + warmup + duration, at + duration)
-  // far away from the int64 edge.
-  constexpr TimeUs kMaxSeconds = 1000000000;  // 1e9 s
+  // Cap parsed times at kTimeCapUs (~31 years). This both rejects
+  // values whose unit scaling would overflow TimeUs (a mutated
+  // "99999999999999s" must be a parse error, not signed-overflow UB)
+  // and keeps small sums of parsed times (start + warmup + duration,
+  // at + duration) far away from the int64 edge. Simulation::RunFor
+  // saturates at the same cap, closing the other half of the overflow.
   if (suffix == "us") {
-    if (value > Sec(kMaxSeconds)) return false;
+    if (value > kTimeCapUs) return false;
     *out = Us(value);
   } else if (suffix == "ms") {
-    if (value > kMaxSeconds * 1000) return false;
+    if (value > kTimeCapUs / Ms(1)) return false;
     *out = Ms(value);
   } else if (suffix == "s") {
-    if (value > kMaxSeconds) return false;
+    if (value > kTimeCapUs / Sec(1)) return false;
     *out = Sec(value);
   } else {
     return false;

@@ -35,6 +35,13 @@ constexpr double ToSec(TimeUs t) { return static_cast<double>(t) / 1e6; }
 constexpr TimeUs kTokenPeriodUs = Ms(5);
 
 /**
+ * Upper bound on representable simulated time (~31.7 years). ParseTime
+ * rejects anything beyond it, and Simulation::RunFor saturates at it,
+ * so `now + duration` arithmetic on parsed times can never wrap TimeUs.
+ */
+constexpr TimeUs kTimeCapUs = Sec(1000000000);  // 1e9 s
+
+/**
  * A GPU compute share: fraction of a device's SMs in [0, 1].
  * The paper expresses these as SM rates (SMR), e.g. 30% = 0.30.
  */

@@ -12,23 +12,17 @@
 #include "workload/azure_traces.h"
 
 namespace dilu::experiment {
-namespace {
 
-/**
- * Seed of workload stream `index` under cluster seed `base`: stable,
- * well-mixed, and disjoint from the chaos-surge streams (which derive
- * from the event index inside the chaos engine).
- */
 std::uint64_t
-StreamSeed(std::uint64_t base, std::size_t index)
+WorkloadStreamSeed(std::uint64_t base, std::size_t index)
 {
   return base * 0x9E3779B97F4A7C15ull
       + (static_cast<std::uint64_t>(index) + 1) * 0x100000001B3ull;
 }
 
 core::SystemConfig
-BuildConfig(const ClusterSection& c, const FabricSection& fab,
-            std::uint64_t seed_override)
+BuildSystemConfig(const ClusterSection& c, const FabricSection& fab,
+                  std::uint64_t seed_override)
 {
   core::SystemConfig cfg = core::SystemConfig::Preset(c.preset);
   cluster::ClusterConfig& cl = cfg.cluster;
@@ -56,6 +50,8 @@ BuildConfig(const ClusterSection& c, const FabricSection& fab,
   return cfg;
 }
 
+namespace {
+
 /** Envelope seconds covering a workload's warmup + duration. */
 int
 EnvelopeSeconds(const WorkloadSpec& w)
@@ -64,8 +60,10 @@ EnvelopeSeconds(const WorkloadSpec& w)
       std::ceil(ToSec(w.warmup + w.duration) - 1e-9));
 }
 
+}  // namespace
+
 std::unique_ptr<workload::ArrivalProcess>
-MakeProcess(const WorkloadSpec& w, std::uint64_t stream_seed)
+BuildArrivalProcess(const WorkloadSpec& w, std::uint64_t stream_seed)
 {
   switch (w.kind) {
     case ArrivalKind::kConstant:
@@ -115,6 +113,46 @@ MakeProcess(const WorkloadSpec& w, std::uint64_t stream_seed)
   }
   Fatal("unreachable arrival kind");
 }
+
+FunctionResult
+CollectFunctionResult(const cluster::ClusterRuntime& rt, FunctionId id)
+{
+  const cluster::FunctionMetrics& m = rt.metrics().function(id);
+  const cluster::DeployedFunction& f = rt.function(id);
+  FunctionResult fr;
+  fr.name = f.spec.display_name();
+  fr.type = f.spec.type;
+  fr.completed = m.completed;
+  fr.p50_ms = m.latency_ms.P50();
+  fr.p95_ms = m.latency_ms.P95();
+  fr.mean_ms = m.latency_ms.mean();
+  fr.svr_percent = m.SvrPercent();
+  fr.cold_starts = m.cold_starts;
+  fr.recovery_cold_starts = m.recovery_cold_starts;
+  fr.dropped = m.dropped;
+  fr.availability_percent = m.AvailabilityPercent();
+  if (f.spec.type == TaskType::kInference) {
+    const cluster::GatewayCounters& gc = rt.gateway().counters(id);
+    fr.service_class = m.service_class;
+    fr.admitted = m.admitted;
+    fr.shed_admission = m.shed_admission;
+    fr.shed_retry = m.shed_retry;
+    fr.peak_queue = gc.peak_outstanding;
+  }
+  if (f.spec.type == TaskType::kTraining) {
+    fr.iterations = f.job ? f.job->stats().iterations_completed : 0;
+    fr.restarts = m.training_restarts;
+    fr.lost_iterations = m.lost_iterations;
+    fr.checkpoints = m.checkpoints;
+    fr.checkpoint_pause_s = ToSec(m.checkpoint_pause);
+    const TimeUs jct = rt.TrainingJct(id);
+    fr.jct_s = jct < 0 ? -1.0 : ToSec(jct);
+    fr.throughput_units = rt.TrainingThroughputUnits(id);
+  }
+  return fr;
+}
+
+namespace {
 
 void
 AppendJson(std::string* out, const char* fmt, ...)
@@ -171,7 +209,7 @@ Experiment::Experiment(ExperimentSpec spec, RunOptions opts)
     : spec_(std::move(spec)), opts_(std::move(opts))
 {
   core::SystemConfig cfg =
-      BuildConfig(spec_.cluster(), spec_.fabric(), opts_.seed);
+      BuildSystemConfig(spec_.cluster(), spec_.fabric(), opts_.seed);
   seed_ = cfg.cluster.seed;
   system_ = std::make_unique<core::System>(cfg);
   for (const DeploySpec& d : spec_.deploys()) {
@@ -188,19 +226,18 @@ Experiment::ArmWorkload(std::size_t index)
   cluster::ClusterRuntime& rt = system_->runtime();
   const FunctionId fn = fn_ids_[static_cast<std::size_t>(w.fn)];
   const std::uint64_t stream =
-      w.seed ? *w.seed : StreamSeed(seed_, index);
+      w.seed ? *w.seed : WorkloadStreamSeed(seed_, index);
   const TimeUs until = w.end();
   if (w.warmup > 0) {
     rt.metrics().SetWarmupUntil(fn, w.start + w.warmup);
   }
-  auto proc = MakeProcess(w, stream);
+  auto proc = BuildArrivalProcess(w, stream);
   if (w.kind == ArrivalKind::kClosed) {
     const int clients = w.clients;
     if (w.start <= 0) {
       rt.AttachClosedLoop(fn, clients, std::move(proc), until);
     } else {
-      // dilu-lint: allow(event-schedule workload arming entry point; becomes a shard mailbox post in the sharded core)
-      rt.simulation().queue().ScheduleAt(
+      rt.simulation().Post(
           w.start, [&rt, fn, clients, until,
                     p = std::move(proc)]() mutable {
             rt.AttachClosedLoop(fn, clients, std::move(p), until);
@@ -210,8 +247,7 @@ Experiment::ArmWorkload(std::size_t index)
     if (w.start <= 0) {
       rt.AttachArrivals(fn, std::move(proc), until);
     } else {
-      // dilu-lint: allow(event-schedule workload arming entry point; becomes a shard mailbox post in the sharded core)
-      rt.simulation().queue().ScheduleAt(
+      rt.simulation().Post(
           w.start, [&rt, fn, until, p = std::move(proc)]() mutable {
             rt.AttachArrivals(fn, std::move(p), until);
           });
@@ -234,8 +270,7 @@ Experiment::Run()
       if (!d.scaler.empty()) system_->EnableCoScaling(fn, d.scaler);
     } else {
       // Cold submission at `start` (0 fires as the clock begins).
-      // dilu-lint: allow(event-schedule training submit arming; becomes a shard mailbox post in the sharded core)
-      system_->runtime().simulation().queue().ScheduleAt(
+      system_->runtime().simulation().Post(
           d.start, [this, fn] { system_->StartTraining(fn, true); });
     }
   }
@@ -276,43 +311,11 @@ Experiment::Collect() const
   r.seed = seed_;
   r.run_for_s = ToSec(spec_.EffectiveRunFor());
 
-  for (std::size_t i = 0; i < fn_ids_.size(); ++i) {
-    const FunctionId id = fn_ids_[i];
-    const cluster::FunctionMetrics& m = hub.function(id);
-    const cluster::DeployedFunction& f = rt.function(id);
-    FunctionResult fr;
-    fr.name = f.spec.display_name();
-    fr.type = f.spec.type;
-    fr.completed = m.completed;
-    fr.p50_ms = m.latency_ms.P50();
-    fr.p95_ms = m.latency_ms.P95();
-    fr.mean_ms = m.latency_ms.mean();
-    fr.svr_percent = m.SvrPercent();
-    fr.cold_starts = m.cold_starts;
-    fr.recovery_cold_starts = m.recovery_cold_starts;
-    fr.dropped = m.dropped;
-    fr.availability_percent = m.AvailabilityPercent();
-    if (f.spec.type == TaskType::kInference) {
-      const cluster::GatewayCounters& gc = rt.gateway().counters(id);
-      fr.service_class = m.service_class;
-      fr.admitted = m.admitted;
-      fr.shed_admission = m.shed_admission;
-      fr.shed_retry = m.shed_retry;
-      fr.peak_queue = gc.peak_outstanding;
-    }
-    if (f.spec.type == TaskType::kTraining) {
-      fr.iterations = f.job ? f.job->stats().iterations_completed : 0;
-      fr.restarts = m.training_restarts;
-      fr.lost_iterations = m.lost_iterations;
-      fr.checkpoints = m.checkpoints;
-      fr.checkpoint_pause_s = ToSec(m.checkpoint_pause);
-      const TimeUs jct = rt.TrainingJct(id);
-      fr.jct_s = jct < 0 ? -1.0 : ToSec(jct);
-      fr.throughput_units = rt.TrainingThroughputUnits(id);
-    }
+  for (const FunctionId id : fn_ids_) {
+    FunctionResult fr = CollectFunctionResult(rt, id);
+    r.total_completed += fr.completed;
+    r.total_dropped += fr.dropped;
     r.functions.push_back(std::move(fr));
-    r.total_completed += m.completed;
-    r.total_dropped += m.dropped;
   }
 
   if (engine_) r.chaos = engine_->Verdict();

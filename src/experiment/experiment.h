@@ -26,6 +26,7 @@
 #include "chaos/chaos_engine.h"
 #include "core/system.h"
 #include "experiment/experiment_spec.h"
+#include "workload/arrival.h"
 
 namespace dilu::experiment {
 
@@ -100,6 +101,34 @@ struct ExperimentResult {
    */
   std::string ToJson() const;
 };
+
+// --- shared assembly helpers --------------------------------------
+// Used by Experiment and by the sharded driver (ShardedExperiment),
+// which must build per-shard systems / workload streams / per-function
+// results with exactly the same recipe so shards=1 and shards=N report
+// through identical code paths.
+
+/** SystemConfig from preset + spec overrides (+ CLI seed override). */
+core::SystemConfig BuildSystemConfig(const ClusterSection& c,
+                                     const FabricSection& fab,
+                                     std::uint64_t seed_override);
+
+/**
+ * Seed of workload stream `index` under cluster seed `base`: stable,
+ * well-mixed, and disjoint from the chaos-surge streams (which derive
+ * from the event index inside the chaos engine). The sharded driver
+ * passes the *global* workload index, so a stream's seed does not
+ * depend on the shard count.
+ */
+std::uint64_t WorkloadStreamSeed(std::uint64_t base, std::size_t index);
+
+/** The arrival process a WorkloadSpec describes, seeded. */
+std::unique_ptr<workload::ArrivalProcess> BuildArrivalProcess(
+    const WorkloadSpec& w, std::uint64_t stream_seed);
+
+/** One function's measured outcome, read out of its runtime. */
+FunctionResult CollectFunctionResult(const cluster::ClusterRuntime& rt,
+                                     FunctionId id);
 
 /** Run-time knobs that are not part of the spec. */
 struct RunOptions {

@@ -48,11 +48,39 @@ class Simulation {
    */
   void StopPeriodic(TaskId id);
 
+  /**
+   * Post `fn` to run at `when` (>= now) on this simulation's queue.
+   *
+   * This is the shard-local half of the sharded core's mailbox
+   * discipline (docs/PARALLELISM.md): every Simulation is one shard's
+   * clock, so a post from the owning shard needs no barrier hand-off
+   * and schedules directly. Cross-shard effects must go through
+   * ShardedSimulation::Post instead, which drains them into the target
+   * shard's queue at the next time barrier. Layer code above sim/
+   * should call Post rather than queue().ScheduleAt so dilu_lint's
+   * event-schedule rule can keep raw scheduling confined to sim/.
+   */
+  EventId Post(TimeUs when, EventCallback fn)
+  {
+    return queue_.ScheduleAt(when, std::move(fn));
+  }
+
   /** Advance simulated time to `deadline`, firing due events. */
   void RunUntil(TimeUs deadline) { queue_.RunUntil(deadline); }
 
-  /** Run for `duration` beyond the current time. */
-  void RunFor(TimeUs duration) { queue_.RunUntil(queue_.now() + duration); }
+  /**
+   * Run for `duration` beyond the current time, saturating at
+   * kTimeCapUs: a duration near the ParseTime cap added to a late
+   * now() must clamp to the cap, not wrap TimeUs into the past.
+   */
+  void RunFor(TimeUs duration)
+  {
+    const TimeUs now = queue_.now();
+    const TimeUs deadline = duration >= kTimeCapUs - now
+                                ? (now > kTimeCapUs ? now : kTimeCapUs)
+                                : now + duration;
+    queue_.RunUntil(deadline);
+  }
 
  private:
   struct PeriodicTask {

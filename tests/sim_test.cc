@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <limits>
 #include <vector>
 
 #include "sim/event_queue.h"
@@ -300,6 +301,36 @@ TEST(Simulation, MultiplePeriodicTasksInterleave)
   sim.RunUntil(Ms(100));
   EXPECT_EQ(a, 20);
   EXPECT_EQ(b, 10);
+}
+
+TEST(Simulation, RunForSaturatesAtTheTimeCap)
+{
+  // Regression: RunFor(huge) used to compute now + duration, which
+  // wrapped TimeUs negative and made the run a silent no-op. It now
+  // saturates at kTimeCapUs — the same ~31-year ceiling ParseTime
+  // enforces on spec durations — so events up to the cap still fire.
+  Simulation sim;
+  int fired = 0;
+  sim.Post(kTimeCapUs, [&] { ++fired; });
+  sim.RunFor(std::numeric_limits<TimeUs>::max());
+  EXPECT_EQ(fired, 1) << "the capped run must still reach the cap";
+  EXPECT_EQ(sim.now(), kTimeCapUs);
+
+  // Already at the cap: another saturating run must not wrap either.
+  sim.RunFor(std::numeric_limits<TimeUs>::max());
+  EXPECT_EQ(sim.now(), kTimeCapUs);
+}
+
+TEST(Simulation, RunForNearTheCapClampsNotWraps)
+{
+  Simulation sim;
+  sim.RunFor(kTimeCapUs - Ms(1));
+  EXPECT_EQ(sim.now(), kTimeCapUs - Ms(1));
+  int fired = 0;
+  sim.Post(kTimeCapUs, [&] { ++fired; });
+  sim.RunFor(Sec(5));  // would land past the cap: clamps to it
+  EXPECT_EQ(sim.now(), kTimeCapUs);
+  EXPECT_EQ(fired, 1);
 }
 
 }  // namespace

@@ -3,21 +3,27 @@
  * dilu_run: execute a declarative experiment spec.
  *
  *   dilu_run <spec.exp> [--seed N] [--out FILE] [--export PREFIX]
- *            [--print]
+ *            [--shards N] [--threads N] [--barrier-ms N] [--print]
  *
  *  --seed N         override the spec's cluster seed (all derived
  *                   workload / chaos streams re-key from it)
  *  --out FILE       write the JSON result (dilu-experiment/1) to FILE
  *                   instead of stdout
  *  --export PREFIX  write the trace CSVs under PREFIX (overrides the
- *                   spec's `export` line)
+ *                   spec's `export` line; sharded runs append _s<k>)
+ *  --shards N       partition the fleet into N shards (default 1 =
+ *                   the single-threaded driver; see
+ *                   docs/PARALLELISM.md)
+ *  --threads N      worker threads for the sharded driver (default 1)
+ *  --barrier-ms N   time-barrier window in ms (default 100)
  *  --print          print the canonical spec text and exit (lint /
  *                   round-trip check; no simulation)
  *
  * Two runs of the same spec + seed emit byte-identical JSON (the CI
- * experiment-smoke job diffs exactly that). Parse errors carry the
- * offending line number and exit 2; see docs/EXPERIMENTS.md for the
- * grammar and the checked-in gallery under experiments/.
+ * experiment-smoke job diffs exactly that); a sharded run's JSON is
+ * additionally byte-identical at any --threads value. Parse errors
+ * carry the offending line number and exit 2; see docs/EXPERIMENTS.md
+ * for the grammar and the checked-in gallery under experiments/.
  */
 #include <cstdio>
 #include <cstdlib>
@@ -27,6 +33,7 @@
 #include <string>
 
 #include "experiment/experiment.h"
+#include "experiment/sharded_experiment.h"
 
 namespace {
 
@@ -37,7 +44,8 @@ Usage(const char* argv0)
 {
   std::fprintf(stderr,
                "usage: %s <spec.exp> [--seed N] [--out FILE] "
-               "[--export PREFIX] [--print]\n",
+               "[--export PREFIX] [--shards N] [--threads N] "
+               "[--barrier-ms N] [--print]\n",
                argv0);
   return 2;
 }
@@ -51,11 +59,24 @@ main(int argc, char** argv)
   const char* out_path = nullptr;
   const char* export_prefix = nullptr;
   std::uint64_t seed = 0;
+  int shards = 1;
+  int threads = 1;
+  long barrier_ms = 100;
   bool print_only = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
       seed = static_cast<std::uint64_t>(
           std::strtoull(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      shards = std::atoi(argv[++i]);
+      if (shards < 1) return Usage(argv[0]);
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = std::atoi(argv[++i]);
+      if (threads < 1) return Usage(argv[0]);
+    } else if (std::strcmp(argv[i], "--barrier-ms") == 0
+               && i + 1 < argc) {
+      barrier_ms = std::atol(argv[++i]);
+      if (barrier_ms < 1) return Usage(argv[0]);
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
     } else if (std::strcmp(argv[i], "--export") == 0 && i + 1 < argc) {
@@ -101,8 +122,23 @@ main(int argc, char** argv)
   experiment::RunOptions opts;
   opts.seed = seed;
   if (export_prefix != nullptr) opts.export_prefix = export_prefix;
-  experiment::Experiment exp(std::move(spec), opts);
-  const experiment::ExperimentResult result = exp.Run();
+  experiment::ExperimentResult result;
+  if (shards <= 1) {
+    // The single-threaded driver IS the reference semantics: every
+    // golden was recorded through it, so shards=1 never routes
+    // through the sharded core.
+    experiment::Experiment exp(std::move(spec), opts);
+    result = exp.Run();
+  } else {
+    experiment::ShardOptions sh;
+    sh.shards = shards;
+    sh.threads = threads;
+    sh.barrier = Ms(barrier_ms);
+    std::fprintf(stderr, "sharded driver: %d shards, %d threads, "
+                 "%ldms barriers\n", shards, threads, barrier_ms);
+    experiment::ShardedExperiment exp(std::move(spec), opts, sh);
+    result = exp.Run();
+  }
   const std::string json = result.ToJson();
 
   if (out_path != nullptr) {

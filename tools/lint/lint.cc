@@ -47,7 +47,7 @@ const std::vector<RuleInfo> kRules = {
      "arming entry point)"},
     {"seed-zero", "everywhere except the sanctioned legacy-seed sites",
      "`seed == 0` sentinel comparisons (0 = legacy per-suite seeds / "
-     "spec-owned seed) are only sanctioned in bench/bench_harness.cc, "
+     "spec-owned seed) are only sanctioned in "
      "src/experiment/experiment.cc and tools/dilu_run.cc; elsewhere "
      "derive the stream from the cluster seed"},
     {"bare-allow", kEverywhere,
@@ -60,9 +60,10 @@ const char* kGetenvExceptions[] = {"tests/trace_golden_test.cc",
                                    "tests/fabric_test.cc"};
 
 // Files where `seed == 0` sentinel logic is sanctioned and documented
-// (docs/STATIC_ANALYSIS.md "seed 0 semantics").
+// (docs/STATIC_ANALYSIS.md "seed 0 semantics"). bench/bench_harness.cc
+// left the list when its `--seed 0` sentinel became an explicit
+// --legacy-seeds flag.
 const char* kSeedZeroExceptions[] = {
-    "bench/bench_harness.cc",
     "src/experiment/experiment.cc",
     "tools/dilu_run.cc",
 };
@@ -749,6 +750,10 @@ Linter::LintFile(const std::string& path, const std::string& content,
   }
 
   // --- event-schedule -------------------------------------------------
+  // Raw queue scheduling lives only in src/sim/ (including the sharded
+  // core's shard.{h,cc} mailboxes) and src/runtime/. Layer code posts
+  // through Simulation::Post (shard-local) or ShardedSimulation::Post
+  // (cross-shard mailbox); see docs/PARALLELISM.md.
   if (StartsWith(path, "src/") && !StartsWith(path, "src/sim/")
       && !StartsWith(path, "src/runtime/")) {
     for (const char* w : {"ScheduleAt", "ScheduleAfter"}) {
@@ -757,8 +762,9 @@ Linter::LintFile(const std::string& path, const std::string& content,
         const std::size_t after = SkipSpace(code, at + std::string(w).size());
         if (after < code.size() && code[after] == '(') {
           emit(at, "event-schedule",
-               std::string(w) + " outside sim/+runtime/: cross-shard "
-               "events must go through mailboxes in the sharded core");
+               std::string(w) + " outside sim/+runtime/: use "
+               "Simulation::Post (shard-local) or "
+               "ShardedSimulation::Post (cross-shard mailbox)");
         }
       }
     }
