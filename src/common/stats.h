@@ -23,6 +23,16 @@ class Accumulator {
  public:
   void Add(double x);
 
+  /**
+   * Fold `other`'s samples into this accumulator as if every Add had
+   * happened here (Chan et al.'s parallel variance combination —
+   * exact, not an approximation). Merging an empty accumulator is a
+   * no-op; merge order does not change mean/min/max and perturbs the
+   * variance only at floating-point rounding level, so deterministic
+   * callers (the sweep aggregator) must merge in a fixed order.
+   */
+  void Merge(const Accumulator& other);
+
   std::size_t count() const { return count_; }
   double mean() const;
   double variance() const;
@@ -30,6 +40,14 @@ class Accumulator {
   double min() const { return min_; }
   double max() const { return max_; }
   double sum() const { return sum_; }
+
+  /**
+   * Half-width of the two-sided Student-t confidence interval on the
+   * mean at confidence `level` in (0, 1) (e.g. 0.95): the cell mean
+   * is mean() +/- MeanCi(level). Returns 0 with fewer than two
+   * samples (no variance estimate exists).
+   */
+  double MeanCi(double level) const;
 
  private:
   std::size_t count_ = 0;
@@ -67,6 +85,23 @@ class Percentiles {
   mutable std::vector<double> samples_;
   mutable bool sorted_ = true;
 };
+
+/**
+ * Standard normal quantile (inverse CDF) at p in (0, 1): Acklam's
+ * rational approximation, |error| < 1.2e-9 — far below the sampling
+ * noise any simulated confidence interval carries.
+ */
+double NormalQuantile(double p);
+
+/**
+ * Student-t quantile at p in (0, 1) with df >= 1 degrees of freedom.
+ * df 1 and 2 use the exact closed forms; df >= 3 uses the
+ * Cornish-Fisher expansion around the normal quantile (relative error
+ * under 0.1% for the tail levels confidence intervals use). This is
+ * what makes MeanCi's intervals t-based instead of normal-based, which
+ * matters at the 3-10 seeds a sweep cell typically aggregates.
+ */
+double StudentTQuantile(double p, int df);
 
 /**
  * Time-weighted average of a piecewise-constant signal.

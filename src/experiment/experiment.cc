@@ -125,6 +125,7 @@ CollectFunctionResult(const cluster::ClusterRuntime& rt, FunctionId id)
   fr.completed = m.completed;
   fr.p50_ms = m.latency_ms.P50();
   fr.p95_ms = m.latency_ms.P95();
+  fr.p99_ms = m.latency_ms.P99();
   fr.mean_ms = m.latency_ms.mean();
   fr.svr_percent = m.SvrPercent();
   fr.cold_starts = m.cold_starts;
@@ -364,12 +365,13 @@ ExperimentResult::ToJson() const
                  "\"task\": \"inference\", "
                  "\"class\": \"%s\", "
                  "\"completed\": %lld, \"p50_ms\": %.3f, "
-                 "\"p95_ms\": %.3f, \"mean_ms\": %.3f, "
+                 "\"p95_ms\": %.3f, \"p99_ms\": %.3f, "
+                 "\"mean_ms\": %.3f, "
                  "\"svr_percent\": %.3f, \"cold_starts\": %d, "
                  "\"recovery_cold_starts\": %d, \"dropped\": %lld, ",
                  ToString(f.service_class),
                  static_cast<long long>(f.completed),
-                 f.p50_ms, f.p95_ms, f.mean_ms, f.svr_percent,
+                 f.p50_ms, f.p95_ms, f.p99_ms, f.mean_ms, f.svr_percent,
                  f.cold_starts, f.recovery_cold_starts,
                  static_cast<long long>(f.dropped));
       AppendJson(&out,

@@ -38,6 +38,7 @@ struct FunctionResult {
   std::int64_t completed = 0;
   double p50_ms = 0.0;
   double p95_ms = 0.0;
+  double p99_ms = 0.0;
   double mean_ms = 0.0;
   double svr_percent = 0.0;
   int cold_starts = 0;

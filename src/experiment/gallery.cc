@@ -1,0 +1,75 @@
+#include "experiment/gallery.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace dilu::experiment {
+
+namespace {
+
+/** First whole-line `#` comment of `path`, stripped; "" when none. */
+std::string
+FirstCommentLine(const std::string& path)
+{
+  std::ifstream in(path);
+  if (!in) return "";
+  std::string line;
+  while (std::getline(in, line)) {
+    std::size_t i = line.find_first_not_of(" \t");
+    if (i == std::string::npos) continue;  // blank
+    if (line[i] != '#') return "";         // first content is not a comment
+    i = line.find_first_not_of("# \t", i);
+    if (i == std::string::npos) continue;  // bare "#" banner line
+    const std::size_t end = line.find_last_not_of(" \t\r");
+    return line.substr(i, end - i + 1);
+  }
+  return "";
+}
+
+}  // namespace
+
+std::vector<GalleryEntry>
+ListGallery(const std::string& dir, const std::string& extension)
+{
+  namespace fs = std::filesystem;
+  std::vector<GalleryEntry> entries;
+  std::error_code ec;
+  for (const fs::directory_entry& e : fs::directory_iterator(dir, ec)) {
+    if (!e.is_regular_file() || e.path().extension() != extension) {
+      continue;
+    }
+    GalleryEntry g;
+    g.name = e.path().stem().string();
+    g.path = e.path().string();
+    g.description = FirstCommentLine(g.path);
+    entries.push_back(std::move(g));
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const GalleryEntry& a, const GalleryEntry& b) {
+              return a.name < b.name;
+            });
+  return entries;
+}
+
+std::string
+FormatGallery(const std::vector<GalleryEntry>& entries)
+{
+  std::size_t width = 0;
+  for (const GalleryEntry& e : entries) {
+    width = std::max(width, e.name.size());
+  }
+  std::ostringstream out;
+  for (const GalleryEntry& e : entries) {
+    out << "  " << e.name;
+    if (!e.description.empty()) {
+      out << std::string(width - e.name.size() + 2, ' ')
+          << e.description;
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace dilu::experiment

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Gallery listing: enumerate the checked-in spec files of a directory.
+ *
+ * The experiments/ tree is the repo's figure gallery — every `.exp`
+ * (and `.sweep`) file is a runnable artifact whose first comment line
+ * is its one-line description. `dilu_run --list` and `dilu_sweep
+ * --list` render the same listing through this helper, so the two CLIs
+ * cannot drift in how they present the gallery.
+ */
+#ifndef DILU_EXPERIMENT_GALLERY_H_
+#define DILU_EXPERIMENT_GALLERY_H_
+
+#include <string>
+#include <vector>
+
+namespace dilu::experiment {
+
+/** One gallery spec file. */
+struct GalleryEntry {
+  std::string name;         ///< file stem ("chaos_burst")
+  std::string path;         ///< full path as found on disk
+  std::string description;  ///< first `#` comment line, "" when none
+};
+
+/**
+ * The `extension` spec files (e.g. ".exp") directly inside `dir`,
+ * sorted by name — directory iteration order is filesystem-dependent,
+ * the listing must not be. Each entry's description is the first
+ * whole-line `#` comment of the file (leading `#` and spaces
+ * stripped). Unreadable files still list, with an empty description.
+ * Returns an empty vector when `dir` does not exist.
+ */
+std::vector<GalleryEntry> ListGallery(const std::string& dir,
+                                      const std::string& extension);
+
+/**
+ * Render entries as aligned "  <name>  <description>" lines, one per
+ * entry, newline-terminated ("" for an empty gallery).
+ */
+std::string FormatGallery(const std::vector<GalleryEntry>& entries);
+
+}  // namespace dilu::experiment
+
+#endif  // DILU_EXPERIMENT_GALLERY_H_

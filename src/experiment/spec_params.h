@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Parameter paths into an ExperimentSpec.
+ *
+ * A sweep axis names a single knob of the base experiment by path —
+ * `cluster.recovery`, `deploy[0].provision`, `workload[1].rps`,
+ * `chaos.intensity` — and ApplyParam sets it from a string value with
+ * the same validation the spec text loader enforces, so a sweep cell
+ * can never construct a spec the loader would have rejected. The path
+ * grammar is documented in docs/SWEEP.md.
+ *
+ * Paths:
+ *   cluster.<key>      every `cluster` line key except seed= (the
+ *                      sweep's seed axis owns per-run seeding)
+ *   deploy[i].<key>    every `deploy` line key except model=/name=
+ *                      (changing the function identity mid-sweep would
+ *                      compare different workloads, not policies)
+ *   workload[i].<key>  every `workload` line key except seed=, plus
+ *                      `duration` for the `for` window
+ *   chaos.intensity    scales the scenario: surge extra-RPS is
+ *                      multiplied by the factor, and overload /
+ *                      cold-start-inflation / storage-brownout factors
+ *                      f become 1 + (f - 1) * intensity, so 1 replays
+ *                      the scenario as written and 0 < i < 1 softens it
+ *   run.for            the simulation horizon
+ */
+#ifndef DILU_EXPERIMENT_SPEC_PARAMS_H_
+#define DILU_EXPERIMENT_SPEC_PARAMS_H_
+
+#include <string>
+
+#include "experiment/experiment_spec.h"
+
+namespace dilu::experiment {
+
+/**
+ * Set the knob `path` of `*spec` to `value` (parsed with the same
+ * rules as the spec text format). On failure returns false and leaves
+ * a message naming the path in `*error` (when non-null); `*spec` is
+ * unchanged on failure.
+ */
+bool ApplyParam(ExperimentSpec* spec, const std::string& path,
+                const std::string& value, std::string* error);
+
+}  // namespace dilu::experiment
+
+#endif  // DILU_EXPERIMENT_SPEC_PARAMS_H_

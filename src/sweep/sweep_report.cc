@@ -1,0 +1,385 @@
+#include "sweep/sweep_report.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+#include "common/csv.h"
+#include "common/logging.h"
+#include "common/stats.h"
+
+namespace dilu::sweep {
+
+namespace {
+
+using experiment::ExperimentResult;
+using experiment::FunctionResult;
+
+/** One registry metric: a name and its per-run extractor. */
+struct MetricDef {
+  const char* name;
+  double (*value)(const ExperimentResult& r);
+};
+
+double
+WorstInference(const ExperimentResult& r,
+               double FunctionResult::*field)
+{
+  double worst = 0.0;
+  for (const FunctionResult& f : r.functions) {
+    if (f.type != TaskType::kInference) continue;
+    if (f.*field > worst) worst = f.*field;
+  }
+  return worst;
+}
+
+/**
+ * Registry order is report order (JSON keys, CSV columns); append only
+ * at the end — reordering silently reshuffles every checked-in golden.
+ */
+constexpr MetricDef kMetrics[] = {
+    {"availability",
+     [](const ExperimentResult& r) {
+       return r.overall_availability_percent;
+     }},
+    {"svr",
+     [](const ExperimentResult& r) { return r.overall_svr_percent; }},
+    {"p50_ms",
+     [](const ExperimentResult& r) {
+       return WorstInference(r, &FunctionResult::p50_ms);
+     }},
+    {"p95_ms",
+     [](const ExperimentResult& r) {
+       return WorstInference(r, &FunctionResult::p95_ms);
+     }},
+    {"p99_ms",
+     [](const ExperimentResult& r) {
+       return WorstInference(r, &FunctionResult::p99_ms);
+     }},
+    {"mean_ms",
+     [](const ExperimentResult& r) {
+       return WorstInference(r, &FunctionResult::mean_ms);
+     }},
+    {"completed",
+     [](const ExperimentResult& r) {
+       return static_cast<double>(r.total_completed);
+     }},
+    {"dropped",
+     [](const ExperimentResult& r) {
+       return static_cast<double>(r.total_dropped);
+     }},
+    {"shed",
+     [](const ExperimentResult& r) {
+       return static_cast<double>(r.total_shed);
+     }},
+    {"cold_starts",
+     [](const ExperimentResult& r) {
+       return static_cast<double>(r.total_cold_starts);
+     }},
+    {"ttr_s",
+     [](const ExperimentResult& r) { return r.chaos.mean_ttr_s; }},
+    {"max_ttr_s",
+     [](const ExperimentResult& r) { return r.chaos.max_ttr_s; }},
+    {"ttsr_s",
+     [](const ExperimentResult& r) { return r.chaos.mean_ttsr_s; }},
+    {"checkpoint_pause_s",
+     [](const ExperimentResult& r) {
+       double sum = 0.0;
+       for (const FunctionResult& f : r.functions) {
+         sum += f.checkpoint_pause_s;
+       }
+       return sum;
+     }},
+    {"restarts",
+     [](const ExperimentResult& r) {
+       double sum = 0.0;
+       for (const FunctionResult& f : r.functions) sum += f.restarts;
+       return sum;
+     }},
+    {"iterations",
+     [](const ExperimentResult& r) {
+       double sum = 0.0;
+       for (const FunctionResult& f : r.functions) {
+         sum += static_cast<double>(f.iterations);
+       }
+       return sum;
+     }},
+    {"avg_gpus",
+     [](const ExperimentResult& r) { return r.avg_gpus; }},
+    {"gpu_seconds",
+     [](const ExperimentResult& r) { return r.gpu_seconds; }},
+};
+
+constexpr std::size_t kMetricCount =
+    sizeof(kMetrics) / sizeof(kMetrics[0]);
+
+void
+AppendJson(std::string* out, const char* fmt, ...)
+#if defined(__GNUC__)
+    __attribute__((format(printf, 2, 3)))
+#endif
+    ;
+
+void
+AppendJson(std::string* out, const char* fmt, ...)
+{
+  char buf[512];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  out->append(buf);
+}
+
+/** JSON escaping for names / axis values that flow in from specs. */
+std::string
+EscapeJson(const std::string& s)
+{
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+/** "%.6f"-formatted cell for the CSV rendering. */
+std::string
+Fixed6(double v)
+{
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6f", v);
+  return buf;
+}
+
+/**
+ * The per-axis value indices of row-major cell `index` (first axis
+ * outermost) — the single source of the cell -> grid-point mapping,
+ * shared by expansion (via CellValues) and aggregation.
+ */
+std::vector<std::size_t>
+CellValueIndices(const std::vector<SweepAxis>& axes, std::size_t index)
+{
+  std::vector<std::size_t> out(axes.size(), 0);
+  for (std::size_t a = axes.size(); a-- > 0;) {
+    out[a] = index % axes[a].values.size();
+    index /= axes[a].values.size();
+  }
+  return out;
+}
+
+}  // namespace
+
+const std::vector<std::string>&
+SweepMetricNames()
+{
+  static const std::vector<std::string>* const kNames = [] {
+    auto* names = new std::vector<std::string>();
+    for (const MetricDef& m : kMetrics) names->emplace_back(m.name);
+    return names;
+  }();
+  return *kNames;
+}
+
+bool
+IsSweepMetric(const std::string& name)
+{
+  for (const MetricDef& m : kMetrics) {
+    if (name == m.name) return true;
+  }
+  return false;
+}
+
+double
+SweepMetricValue(const std::string& name, const ExperimentResult& r)
+{
+  for (const MetricDef& m : kMetrics) {
+    if (name == m.name) return m.value(r);
+  }
+  return 0.0;
+}
+
+SweepReport
+AggregateSweep(const SweepSpec& sweep,
+               const std::vector<ExperimentResult>& results)
+{
+  DILU_CHECK(results.size() == sweep.Runs());
+  SweepReport rep;
+  rep.sweep = sweep.name();
+  rep.base = sweep.base();
+  rep.seeds = sweep.seeds();
+  rep.seed_base = sweep.seed_base();
+  rep.axes = sweep.axes();
+
+  const std::size_t cells = sweep.Cells();
+  const std::size_t reps = static_cast<std::size_t>(sweep.seeds());
+  rep.cells.reserve(cells);
+  for (std::size_t c = 0; c < cells; ++c) {
+    SweepCell cell;
+    cell.index = c;
+    const std::vector<std::size_t> vi = CellValueIndices(rep.axes, c);
+    for (std::size_t a = 0; a < rep.axes.size(); ++a) {
+      cell.values.push_back(rep.axes[a].values[vi[a]]);
+    }
+    cell.metrics.resize(kMetricCount);
+    for (std::size_t m = 0; m < kMetricCount; ++m) {
+      Accumulator acc;
+      for (std::size_t k = 0; k < reps; ++k) {
+        acc.Add(kMetrics[m].value(results[c * reps + k]));
+      }
+      MetricStats& s = cell.metrics[m];
+      s.mean = acc.mean();
+      s.stddev = acc.stddev();
+      s.min = acc.min();
+      s.max = acc.max();
+      s.ci95 = acc.MeanCi(0.95);
+    }
+    rep.cells.push_back(std::move(cell));
+  }
+
+  for (const Threshold& t : sweep.thresholds()) {
+    std::size_t mi = 0;
+    while (mi < kMetricCount && t.metric != kMetrics[mi].name) ++mi;
+    DILU_CHECK(mi < kMetricCount);  // Parse / Require validated the name
+    ThresholdResult tr;
+    tr.threshold = t;
+    const double baseline =
+        rep.cells.empty() ? 0.0 : rep.cells[0].metrics[mi].mean;
+    tr.bound = t.relative ? t.value * baseline : t.value;
+    tr.observed = baseline;
+    const std::size_t first = t.relative ? 1 : 0;
+    bool have_worst = false;
+    for (std::size_t c = first; c < rep.cells.size(); ++c) {
+      const double observed = rep.cells[c].metrics[mi].mean;
+      const bool worse = !have_worst
+          || (t.op == ThresholdOp::kLe ? observed > tr.observed
+                                       : observed < tr.observed);
+      if (worse) {
+        have_worst = true;
+        tr.worst_cell = c;
+        tr.observed = observed;
+      }
+      const bool ok = t.op == ThresholdOp::kLe ? observed <= tr.bound
+                                               : observed >= tr.bound;
+      if (!ok) tr.pass = false;
+    }
+    if (!tr.pass) rep.pass = false;
+    rep.thresholds.push_back(tr);
+  }
+  return rep;
+}
+
+std::string
+SweepReport::ToJson() const
+{
+  std::string out;
+  out += "{\n";
+  out += "  \"schema\": \"dilu-sweep/1\",\n";
+  out += "  \"sweep\": \"" + EscapeJson(sweep) + "\",\n";
+  out += "  \"base\": \"" + EscapeJson(base) + "\",\n";
+  AppendJson(&out, "  \"seeds\": %d,\n", seeds);
+  AppendJson(&out, "  \"seed_base\": %llu,\n",
+             static_cast<unsigned long long>(seed_base));
+  out += "  \"axes\": [\n";
+  for (std::size_t a = 0; a < axes.size(); ++a) {
+    out += "    {\"path\": \"" + EscapeJson(axes[a].path)
+        + "\", \"values\": [";
+    for (std::size_t v = 0; v < axes[a].values.size(); ++v) {
+      if (v > 0) out += ", ";
+      out += "\"" + EscapeJson(axes[a].values[v]) + "\"";
+    }
+    out += "]}";
+    out += a + 1 < axes.size() ? ",\n" : "\n";
+  }
+  out += "  ],\n";
+  const std::vector<std::string>& names = SweepMetricNames();
+  out += "  \"cells\": [\n";
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    const SweepCell& cell = cells[c];
+    AppendJson(&out, "    {\"cell\": %zu, \"point\": {", cell.index);
+    for (std::size_t a = 0; a < axes.size(); ++a) {
+      if (a > 0) out += ", ";
+      out += "\"" + EscapeJson(axes[a].path) + "\": \""
+          + EscapeJson(cell.values[a]) + "\"";
+    }
+    out += "}, \"metrics\": {\n";
+    for (std::size_t m = 0; m < cell.metrics.size(); ++m) {
+      const MetricStats& s = cell.metrics[m];
+      out += "      \"" + names[m] + "\": ";
+      AppendJson(&out,
+                 "{\"mean\": %.6f, \"stddev\": %.6f, \"min\": %.6f, "
+                 "\"max\": %.6f, \"ci95\": %.6f}",
+                 s.mean, s.stddev, s.min, s.max, s.ci95);
+      out += m + 1 < cell.metrics.size() ? ",\n" : "\n";
+    }
+    out += "    }}";
+    out += c + 1 < cells.size() ? ",\n" : "\n";
+  }
+  out += "  ],\n";
+  out += "  \"thresholds\": [\n";
+  for (std::size_t t = 0; t < thresholds.size(); ++t) {
+    const ThresholdResult& tr = thresholds[t];
+    out += "    {\"require\": \"" + EscapeJson(tr.threshold.metric)
+        + "\", \"op\": \""
+        + (tr.threshold.op == ThresholdOp::kLe ? "<=" : ">=") + "\", ";
+    AppendJson(&out,
+               "\"value\": %.6f, \"relative\": %s, \"bound\": %.6f, "
+               "\"worst_cell\": %zu, \"observed\": %.6f, \"pass\": %s}",
+               tr.threshold.value,
+               tr.threshold.relative ? "true" : "false", tr.bound,
+               tr.worst_cell, tr.observed, tr.pass ? "true" : "false");
+    out += t + 1 < thresholds.size() ? ",\n" : "\n";
+  }
+  out += "  ],\n";
+  AppendJson(&out, "  \"pass\": %s\n", pass ? "true" : "false");
+  out += "}\n";
+  return out;
+}
+
+std::string
+SweepReport::CellsCsv() const
+{
+  std::vector<std::string> columns;
+  columns.emplace_back("cell");
+  for (const SweepAxis& a : axes) columns.push_back(a.path);
+  columns.emplace_back("runs");
+  for (const std::string& name : SweepMetricNames()) {
+    columns.push_back(name + "_mean");
+    columns.push_back(name + "_stddev");
+    columns.push_back(name + "_min");
+    columns.push_back(name + "_max");
+    columns.push_back(name + "_ci95");
+  }
+  CsvWriter csv(std::move(columns));
+  for (const SweepCell& cell : cells) {
+    std::vector<std::string> row;
+    row.push_back(std::to_string(cell.index));
+    for (const std::string& v : cell.values) row.push_back(v);
+    row.push_back(std::to_string(seeds));
+    for (const MetricStats& s : cell.metrics) {
+      row.push_back(Fixed6(s.mean));
+      row.push_back(Fixed6(s.stddev));
+      row.push_back(Fixed6(s.min));
+      row.push_back(Fixed6(s.max));
+      row.push_back(Fixed6(s.ci95));
+    }
+    csv.AddTextRow(row);
+  }
+  return csv.ToString();
+}
+
+}  // namespace dilu::sweep

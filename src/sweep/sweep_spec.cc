@@ -1,0 +1,263 @@
+#include "sweep/sweep_spec.h"
+
+#include <sstream>
+#include <utility>
+
+#include "common/spec_text.h"
+#include "sweep/sweep_report.h"
+
+namespace dilu::sweep {
+
+namespace {
+
+using spec_text::Fail;
+using spec_text::FormatDouble;
+using spec_text::ParseDouble;
+using spec_text::ParseInt;
+using spec_text::ParseUint64;
+using spec_text::StripComment;
+using spec_text::StripPrefix;
+
+bool
+ParseSeedsLine(std::istringstream& toks, int line_no, SweepSpec* spec,
+               std::string* error)
+{
+  std::string tok;
+  std::int32_t n = 0;
+  if (!(toks >> tok) || !ParseInt(tok, &n) || n < 1) {
+    return Fail(error, line_no, "seeds wants a count >= 1");
+  }
+  std::uint64_t base = 1;
+  if (toks >> tok) {
+    const std::string v = StripPrefix(tok, "base=");
+    if (v.empty() || !ParseUint64(v, &base) || base < 1) {
+      return Fail(error, line_no,
+                  "seeds takes base=<seed >= 1> (0 would mean \"no "
+                  "override\" to the experiment driver)");
+    }
+    std::string rest;
+    if (toks >> rest) {
+      return Fail(error, line_no, "unexpected trailing '" + rest + "'");
+    }
+  }
+  spec->Seeds(n, base);
+  return true;
+}
+
+bool
+ParseAxisLine(std::istringstream& toks, int line_no, SweepSpec* spec,
+              std::string* error)
+{
+  std::string path;
+  if (!(toks >> path)) {
+    return Fail(error, line_no, "axis needs a parameter path");
+  }
+  for (const SweepAxis& a : spec->axes()) {
+    if (a.path == path) {
+      return Fail(error, line_no, "duplicate axis '" + path + "'");
+    }
+  }
+  std::vector<std::string> values;
+  std::string v;
+  while (toks >> v) values.push_back(v);
+  if (values.empty()) {
+    return Fail(error, line_no,
+                "axis '" + path + "' needs at least one value");
+  }
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    for (std::size_t j = i + 1; j < values.size(); ++j) {
+      if (values[i] == values[j]) {
+        return Fail(error, line_no,
+                    "axis '" + path + "' repeats value '" + values[i]
+                        + "'");
+      }
+    }
+  }
+  spec->Axis(path, std::move(values));
+  return true;
+}
+
+bool
+ParseRequireLine(std::istringstream& toks, int line_no, SweepSpec* spec,
+                 std::string* error)
+{
+  std::string metric;
+  std::string op_tok;
+  std::string value_tok;
+  if (!(toks >> metric >> op_tok >> value_tok)) {
+    return Fail(error, line_no,
+                "expected 'require <metric> <=|>= <value>[x baseline]'");
+  }
+  if (!IsSweepMetric(metric)) {
+    return Fail(error, line_no,
+                "unknown metric '" + metric
+                    + "' (dilu_sweep --metrics lists the registry)");
+  }
+  ThresholdOp op = ThresholdOp::kLe;
+  if (op_tok == "<=") {
+    op = ThresholdOp::kLe;
+  } else if (op_tok == ">=") {
+    op = ThresholdOp::kGe;
+  } else {
+    return Fail(error, line_no, "require wants <= or >=, got '" + op_tok
+                + "'");
+  }
+  bool relative = false;
+  if (!value_tok.empty() && value_tok.back() == 'x') {
+    relative = true;
+    value_tok.pop_back();
+    std::string baseline;
+    if (!(toks >> baseline) || baseline != "baseline") {
+      return Fail(error, line_no,
+                  "a relative bound reads '<value>x baseline'");
+    }
+  }
+  double value = 0.0;
+  if (!ParseDouble(value_tok, &value) || value < 0.0) {
+    return Fail(error, line_no, "require wants a bound >= 0");
+  }
+  std::string rest;
+  if (toks >> rest) {
+    return Fail(error, line_no, "unexpected trailing '" + rest + "'");
+  }
+  spec->Require(metric, op, value, relative);
+  return true;
+}
+
+}  // namespace
+
+SweepSpec&
+SweepSpec::Base(std::string base)
+{
+  base_ = std::move(base);
+  return *this;
+}
+
+SweepSpec&
+SweepSpec::Seeds(int n, std::uint64_t seed_base)
+{
+  seeds_ = n < 1 ? 1 : n;
+  seed_base_ = seed_base < 1 ? 1 : seed_base;
+  return *this;
+}
+
+SweepSpec&
+SweepSpec::Axis(std::string path, std::vector<std::string> values)
+{
+  axes_.push_back(SweepAxis{std::move(path), std::move(values)});
+  return *this;
+}
+
+SweepSpec&
+SweepSpec::Require(std::string metric, ThresholdOp op, double value,
+                   bool relative)
+{
+  thresholds_.push_back(
+      Threshold{std::move(metric), op, value, relative});
+  return *this;
+}
+
+std::size_t
+SweepSpec::Cells() const
+{
+  std::size_t cells = 1;
+  for (const SweepAxis& a : axes_) cells *= a.values.size();
+  return cells;
+}
+
+std::string
+SweepSpec::ToText() const
+{
+  std::ostringstream out;
+  out << "sweep " << name_ << '\n';
+  if (!base_.empty()) out << "base " << base_ << '\n';
+  out << "seeds " << seeds_;
+  if (seed_base_ != 1) out << " base=" << seed_base_;
+  out << '\n';
+  for (const SweepAxis& a : axes_) {
+    out << "axis " << a.path;
+    for (const std::string& v : a.values) out << ' ' << v;
+    out << '\n';
+  }
+  for (const Threshold& t : thresholds_) {
+    out << "require " << t.metric << ' '
+        << (t.op == ThresholdOp::kLe ? "<=" : ">=") << ' '
+        << FormatDouble(t.value);
+    if (t.relative) out << "x baseline";
+    out << '\n';
+  }
+  return out.str();
+}
+
+bool
+SweepSpec::Parse(const std::string& text, SweepSpec* out,
+                 std::string* error)
+{
+  SweepSpec spec;
+  bool have_name = false;
+  bool have_base = false;
+  bool have_seeds = false;
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    line = StripComment(line);
+    std::istringstream toks(line);
+    std::string tok;
+    if (!(toks >> tok)) continue;  // blank (or comment-only) line
+    if (tok == "sweep") {
+      if (have_name) {
+        return Fail(error, line_no, "duplicate sweep line");
+      }
+      std::string name;
+      if (!(toks >> name)) {
+        return Fail(error, line_no, "sweep needs a name");
+      }
+      std::string rest;
+      if (toks >> rest) {
+        return Fail(error, line_no, "unexpected trailing '" + rest + "'");
+      }
+      spec.name_ = name;
+      have_name = true;
+    } else if (tok == "base") {
+      if (have_base) {
+        return Fail(error, line_no, "duplicate base line");
+      }
+      std::string base;
+      if (!(toks >> base)) {
+        return Fail(error, line_no, "base needs an experiment name");
+      }
+      std::string rest;
+      if (toks >> rest) {
+        return Fail(error, line_no, "unexpected trailing '" + rest + "'");
+      }
+      spec.base_ = base;
+      have_base = true;
+    } else if (tok == "seeds") {
+      if (have_seeds) {
+        return Fail(error, line_no, "duplicate seeds line");
+      }
+      if (!ParseSeedsLine(toks, line_no, &spec, error)) return false;
+      have_seeds = true;
+    } else if (tok == "axis") {
+      if (!ParseAxisLine(toks, line_no, &spec, error)) return false;
+    } else if (tok == "require") {
+      if (!ParseRequireLine(toks, line_no, &spec, error)) return false;
+    } else {
+      return Fail(error, line_no,
+                  "unknown directive '" + tok
+                      + "' (want sweep/base/seeds/axis/require)");
+    }
+  }
+  if (!have_name) {
+    return Fail(error, line_no, "a sweep needs a 'sweep <name>' line");
+  }
+  if (!have_base) {
+    return Fail(error, line_no, "a sweep needs a 'base <experiment>' line");
+  }
+  if (out != nullptr) *out = std::move(spec);
+  return true;
+}
+
+}  // namespace dilu::sweep

@@ -40,6 +40,94 @@ TEST(Accumulator, EmptyIsZero)
   EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
 }
 
+TEST(Accumulator, MergeMatchesSingleStream)
+{
+  // Chan et al.'s pairwise update must reproduce the single-stream
+  // moments exactly for these integer-valued samples.
+  const double samples[] = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  Accumulator whole;
+  Accumulator left;
+  Accumulator right;
+  for (int i = 0; i < 8; ++i) {
+    whole.Add(samples[i]);
+    (i < 3 ? left : right).Add(samples[i]);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_DOUBLE_EQ(left.sum(), whole.sum());
+  EXPECT_DOUBLE_EQ(left.mean(), whole.mean());
+  EXPECT_DOUBLE_EQ(left.variance(), whole.variance());
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(Accumulator, MergeWithEmptyIsIdentityBothWays)
+{
+  Accumulator acc;
+  acc.Add(3.0);
+  acc.Add(5.0);
+  Accumulator empty;
+  acc.Merge(empty);
+  EXPECT_EQ(acc.count(), 2u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 4.0);
+  empty.Merge(acc);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(empty.min(), 3.0);
+  EXPECT_DOUBLE_EQ(empty.max(), 5.0);
+}
+
+TEST(NormalQuantileFn, MatchesTabulatedValues)
+{
+  EXPECT_NEAR(NormalQuantile(0.5), 0.0, 1e-9);
+  EXPECT_NEAR(NormalQuantile(0.975), 1.959964, 1e-5);
+  EXPECT_NEAR(NormalQuantile(0.995), 2.575829, 1e-5);
+  // Tail region (p < 0.02425) and symmetry.
+  EXPECT_NEAR(NormalQuantile(0.001), -3.090232, 1e-5);
+  EXPECT_NEAR(NormalQuantile(0.999), 3.090232, 1e-5);
+  EXPECT_TRUE(std::isinf(NormalQuantile(0.0)));
+  EXPECT_TRUE(std::isinf(NormalQuantile(1.0)));
+}
+
+TEST(StudentTQuantileFn, MatchesTabulatedValues)
+{
+  // Two-sided 95% critical values: t_{0.975, df}.
+  EXPECT_NEAR(StudentTQuantile(0.975, 1), 12.7062, 5e-3);   // exact tan
+  EXPECT_NEAR(StudentTQuantile(0.975, 2), 4.30265, 1e-4);   // exact
+  EXPECT_NEAR(StudentTQuantile(0.975, 3), 3.18245, 5e-3);
+  EXPECT_NEAR(StudentTQuantile(0.975, 4), 2.77645, 5e-3);
+  EXPECT_NEAR(StudentTQuantile(0.975, 9), 2.26216, 1e-3);
+  EXPECT_NEAR(StudentTQuantile(0.975, 30), 2.04227, 1e-4);
+  // Median and symmetry.
+  EXPECT_NEAR(StudentTQuantile(0.5, 7), 0.0, 1e-9);
+  EXPECT_NEAR(StudentTQuantile(0.025, 4), -StudentTQuantile(0.975, 4),
+              1e-9);
+}
+
+TEST(Accumulator, MeanCiMatchesHandComputedInterval)
+{
+  // n = 5 samples: mean 30, s = sqrt(250); the 95% half-width is
+  // t_{0.975,4} * s / sqrt(5) = 2.7764 * 15.811 / 2.2361 ~= 19.63.
+  Accumulator acc;
+  for (double x : {10.0, 20.0, 30.0, 40.0, 50.0}) acc.Add(x);
+  const double s = acc.stddev();
+  const double expected = StudentTQuantile(0.975, 4) * s / std::sqrt(5.0);
+  EXPECT_NEAR(acc.MeanCi(0.95), expected, 1e-12);
+  EXPECT_NEAR(acc.MeanCi(0.95), 19.63, 0.05);  // vs t-table by hand
+}
+
+TEST(Accumulator, MeanCiDegenerateCasesAreZero)
+{
+  Accumulator acc;
+  EXPECT_DOUBLE_EQ(acc.MeanCi(0.95), 0.0);  // empty
+  acc.Add(7.0);
+  EXPECT_DOUBLE_EQ(acc.MeanCi(0.95), 0.0);  // one sample: no df
+  acc.Add(9.0);
+  EXPECT_DOUBLE_EQ(acc.MeanCi(0.0), 0.0);   // degenerate level
+  EXPECT_DOUBLE_EQ(acc.MeanCi(1.0), 0.0);
+  EXPECT_GT(acc.MeanCi(0.95), 0.0);
+}
+
 TEST(Percentiles, QuantilesInterpolate)
 {
   Percentiles p;

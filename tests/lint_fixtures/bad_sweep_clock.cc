@@ -1,0 +1,16 @@
+// Fixture: sweep-idiom wall-clock misuse — stamping a sweep report
+// with host time and timing cells with host clocks, which would make
+// two runs of the same matrix differ byte-for-byte.
+#include <chrono>
+#include <ctime>
+
+long SweepReportStampFixture()
+{
+  auto stamped = std::chrono::system_clock::now();           // line 9
+  auto cell_t0 = std::chrono::high_resolution_clock::now();  // line 10
+  struct timespec wall;
+  clock_gettime(CLOCK_REALTIME, &wall);                      // line 12
+  (void)stamped;
+  (void)cell_t0;
+  return wall.tv_nsec;
+}

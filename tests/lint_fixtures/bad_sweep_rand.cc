@@ -1,0 +1,15 @@
+// Fixture: sweep-idiom raw randomness — drawing per-run seeds and
+// shuffling the run matrix outside the paired seed ladder, which
+// would decorrelate the cells a sweep is meant to compare.
+#include <algorithm>
+#include <cstdlib>
+#include <vector>
+
+long SweepSeedDrawFixture(std::vector<int>& order)
+{
+  srand(1234);                                  // line 10
+  unsigned state = 7;
+  const int run_seed = rand_r(&state);          // line 12
+  std::random_shuffle(order.begin(), order.end());  // line 13
+  return run_seed + order.front();
+}

@@ -100,6 +100,26 @@ TEST(LintRules, RawRandCatchesFabricJitterIdioms)
                               {"raw-rand", 11}}));
 }
 
+TEST(LintRules, WallClockCatchesSweepReportStampIdioms)
+{
+  // Planted sweep-shaped violations: a report stamped with host time
+  // would break the byte-identical-rerun contract (docs/SWEEP.md).
+  const auto got =
+      RuleLines(Lint("bad_sweep_clock.cc", "src/sweep/x.cc"));
+  EXPECT_EQ(got, (std::set<P>{{"wall-clock", 9},
+                              {"wall-clock", 10},
+                              {"wall-clock", 12}}));
+}
+
+TEST(LintRules, RawRandCatchesSweepSeedDrawIdioms)
+{
+  const auto got =
+      RuleLines(Lint("bad_sweep_rand.cc", "src/sweep/x.cc"));
+  EXPECT_EQ(got, (std::set<P>{{"raw-rand", 10},
+                              {"raw-rand", 12},
+                              {"raw-rand", 13}}));
+}
+
 TEST(LintRules, GetenvFlaggedOutsideGoldenRegenKnob)
 {
   const auto got = RuleLines(Lint("bad_getenv.cc", "src/x.cc"));

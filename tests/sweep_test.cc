@@ -1,0 +1,582 @@
+/**
+ * @file
+ * Sweep engine tests (docs/SWEEP.md): the SweepSpec text format and
+ * builder (round-trip, line-numbered rejection), ApplyParam's
+ * parameter paths into an ExperimentSpec, matrix expansion (row-major
+ * cell order, paired seeds, run.shards interception, the run cap),
+ * aggregation + threshold evaluation over synthetic results, and the
+ * end-to-end contract on experiments/sweeps/mini.sweep: byte-identical
+ * reports across worker-thread counts and reruns, compared against the
+ * checked-in golden.
+ *
+ * The golden comparison regenerates with:
+ *
+ *   DILU_REGEN_GOLDEN=1 ./tests/sweep_test
+ */
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "chaos/scenario.h"
+#include "common/types.h"
+#include "experiment/experiment.h"
+#include "experiment/experiment_spec.h"
+#include "experiment/gallery.h"
+#include "experiment/spec_params.h"
+#include "sweep/sweep_runner.h"
+
+namespace dilu {
+namespace {
+
+#ifndef DILU_GOLDEN_DIR
+#error "tests/CMakeLists.txt must define DILU_GOLDEN_DIR"
+#endif
+#ifndef DILU_EXPERIMENTS_DIR
+#error "tests/CMakeLists.txt must define DILU_EXPERIMENTS_DIR"
+#endif
+
+using experiment::ApplyParam;
+using experiment::ExperimentResult;
+using experiment::ExperimentSpec;
+using sweep::SweepMatrix;
+using sweep::SweepReport;
+using sweep::SweepSpec;
+using sweep::Threshold;
+using sweep::ThresholdOp;
+
+std::string
+ReadFileOrEmpty(const std::string& path)
+{
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+/** A tiny but fully valid base spec for expansion tests. */
+ExperimentSpec
+TinyBase()
+{
+  ExperimentSpec spec("tiny");
+  spec.cluster().nodes = 2;
+  auto& d = spec.AddInference("bert-base");
+  d.provision = 1;
+  spec.AddPoisson(0, 10.0, Sec(5));
+  spec.RunFor(Sec(6));
+  return spec;
+}
+
+// --- SweepSpec: builder, text format, rejection ----------------------
+
+TEST(SweepSpec, BuilderRoundTripsByteIdentically)
+{
+  SweepSpec spec("ablation");
+  spec.Base("chaos_burst")
+      .Seeds(5, 7)
+      .Axis("cluster.recovery", {"joint", "greedy"})
+      .Axis("cluster.nodes", {"3", "4"})
+      .Require("availability", ThresholdOp::kGe, 97.0)
+      .Require("p99_ms", ThresholdOp::kLe, 1.2, /*relative=*/true);
+  const std::string text = spec.ToText();
+  EXPECT_EQ(text,
+            "sweep ablation\n"
+            "base chaos_burst\n"
+            "seeds 5 base=7\n"
+            "axis cluster.recovery joint greedy\n"
+            "axis cluster.nodes 3 4\n"
+            "require availability >= 97\n"
+            "require p99_ms <= 1.2x baseline\n");
+
+  SweepSpec parsed;
+  std::string error;
+  ASSERT_TRUE(SweepSpec::Parse(text, &parsed, &error)) << error;
+  EXPECT_EQ(parsed.ToText(), text);
+  EXPECT_EQ(parsed.Cells(), 4u);
+  EXPECT_EQ(parsed.Runs(), 20u);
+  EXPECT_EQ(parsed.seed_base(), 7u);
+  ASSERT_EQ(parsed.thresholds().size(), 2u);
+  EXPECT_TRUE(parsed.thresholds()[1].relative);
+}
+
+TEST(SweepSpec, CommentsAndBlankLinesAreSkipped)
+{
+  const std::string text =
+      "# a sweep\n"
+      "\n"
+      "sweep s   # trailing comment\n"
+      "base quickstart\n"
+      "seeds 2\n"
+      "axis workload[0].rps 10 20  # two loads\n";
+  SweepSpec parsed;
+  std::string error;
+  ASSERT_TRUE(SweepSpec::Parse(text, &parsed, &error)) << error;
+  EXPECT_EQ(parsed.name(), "s");
+  ASSERT_EQ(parsed.axes().size(), 1u);
+  EXPECT_EQ(parsed.axes()[0].values.size(), 2u);
+}
+
+TEST(SweepSpec, ParseRejectsMalformedSpecsWithLineNumbers)
+{
+  const struct {
+    const char* text;
+    const char* needle;
+  } kCases[] = {
+      {"base quickstart\n", "sweep <name>"},
+      {"sweep s\n", "base <experiment>"},
+      {"sweep s\nsweep t\nbase q\n", "duplicate sweep"},
+      {"sweep s\nbase q\nbase r\n", "duplicate base"},
+      {"sweep s\nbase q\nseeds 2\nseeds 3\n", "duplicate seeds"},
+      {"sweep s\nbase q\nseeds 0\n", "count >= 1"},
+      {"sweep s\nbase q\nseeds 3 base=0\n", "base=<seed >= 1>"},
+      {"sweep s\nbase q\naxis\n", "parameter path"},
+      {"sweep s\nbase q\naxis cluster.nodes\n", "at least one value"},
+      {"sweep s\nbase q\naxis cluster.nodes 2 2\n", "repeats value"},
+      {"sweep s\nbase q\naxis a 1\naxis a 2\n", "duplicate axis"},
+      {"sweep s\nbase q\nrequire availability > 5\n", "<= or >="},
+      {"sweep s\nbase q\nrequire warp <= 5\n", "unknown metric"},
+      {"sweep s\nbase q\nrequire p99_ms <= 1.2x\n", "x baseline"},
+      {"sweep s\nbase q\nrequire shed <= -1\n", "bound >= 0"},
+      {"sweep s\nbase q\nrequire shed <= 5 junk\n", "trailing"},
+      {"sweep s extra\n", "trailing"},
+      {"sweep s\nbase q\nexplode\n", "unknown directive"},
+  };
+  for (const auto& c : kCases) {
+    SCOPED_TRACE(c.text);
+    SweepSpec scratch;
+    std::string error;
+    EXPECT_FALSE(SweepSpec::Parse(c.text, &scratch, &error));
+    EXPECT_NE(error.find("line "), std::string::npos) << error;
+    EXPECT_NE(error.find(c.needle), std::string::npos) << error;
+  }
+}
+
+// --- ApplyParam: parameter paths into an ExperimentSpec --------------
+
+TEST(SpecParams, ClusterPathsApplyWithLoaderValidation)
+{
+  ExperimentSpec spec = TinyBase();
+  std::string error;
+  ASSERT_TRUE(ApplyParam(&spec, "cluster.nodes", "5", &error)) << error;
+  EXPECT_EQ(spec.cluster().nodes, 5);
+  ASSERT_TRUE(ApplyParam(&spec, "cluster.recovery", "greedy", &error));
+  EXPECT_EQ(*spec.cluster().recovery, "greedy");
+  ASSERT_TRUE(ApplyParam(&spec, "cluster.scheduler", "static", &error));
+  ASSERT_TRUE(ApplyParam(&spec, "cluster.warm_starts", "off", &error));
+  EXPECT_FALSE(*spec.cluster().warm_starts);
+
+  EXPECT_FALSE(ApplyParam(&spec, "cluster.nodes", "0", &error));
+  EXPECT_FALSE(ApplyParam(&spec, "cluster.recovery", "magic", &error));
+  EXPECT_FALSE(ApplyParam(&spec, "cluster.warp", "9", &error));
+  EXPECT_NE(error.find("cluster.warp"), std::string::npos) << error;
+}
+
+TEST(SpecParams, SeedPathsAreReserved)
+{
+  ExperimentSpec spec = TinyBase();
+  std::string error;
+  EXPECT_FALSE(ApplyParam(&spec, "cluster.seed", "9", &error));
+  EXPECT_NE(error.find("seed"), std::string::npos) << error;
+  EXPECT_FALSE(ApplyParam(&spec, "workload[0].seed", "9", &error));
+}
+
+TEST(SpecParams, DeployPathsRespectTaskTypeApplicability)
+{
+  ExperimentSpec spec = TinyBase();
+  spec.AddTraining("vgg19", 2, 100);
+  std::string error;
+  ASSERT_TRUE(ApplyParam(&spec, "deploy[0].provision", "3", &error));
+  EXPECT_EQ(spec.deploys()[0].provision, 3);
+  ASSERT_TRUE(ApplyParam(&spec, "deploy[0].scaler", "eager", &error));
+  ASSERT_TRUE(ApplyParam(&spec, "deploy[0].class", "critical", &error));
+  ASSERT_TRUE(ApplyParam(&spec, "deploy[0].backoff", "2s", &error));
+  EXPECT_EQ(spec.deploys()[0].fn.retry_backoff, Sec(2));
+  ASSERT_TRUE(ApplyParam(&spec, "deploy[1].workers", "4", &error));
+  EXPECT_EQ(spec.deploys()[1].fn.workers, 4);
+  ASSERT_TRUE(
+      ApplyParam(&spec, "deploy[1].checkpoint_every", "30s", &error));
+
+  // Inference keys on a training deploy and vice versa.
+  EXPECT_FALSE(ApplyParam(&spec, "deploy[1].provision", "3", &error));
+  EXPECT_NE(error.find("inference deploys only"), std::string::npos);
+  EXPECT_FALSE(ApplyParam(&spec, "deploy[0].workers", "4", &error));
+  EXPECT_NE(error.find("training deploys only"), std::string::npos);
+  // Identity keys are not sweepable; indexes are validated.
+  EXPECT_FALSE(ApplyParam(&spec, "deploy[0].model", "vgg19", &error));
+  EXPECT_FALSE(ApplyParam(&spec, "deploy[2].provision", "1", &error));
+  EXPECT_NE(error.find("out of range"), std::string::npos) << error;
+  EXPECT_FALSE(ApplyParam(&spec, "deploy[x].provision", "1", &error));
+}
+
+TEST(SpecParams, WorkloadPathsRespectArrivalKindApplicability)
+{
+  ExperimentSpec spec = TinyBase();
+  std::string error;
+  ASSERT_TRUE(ApplyParam(&spec, "workload[0].rps", "25.5", &error));
+  EXPECT_DOUBLE_EQ(spec.workloads()[0].rps, 25.5);
+  ASSERT_TRUE(ApplyParam(&spec, "workload[0].duration", "30s", &error));
+  EXPECT_EQ(spec.workloads()[0].duration, Sec(30));
+  ASSERT_TRUE(ApplyParam(&spec, "workload[0].warmup", "5s", &error));
+
+  // `cv` belongs to gamma arrivals, not poisson.
+  EXPECT_FALSE(ApplyParam(&spec, "workload[0].cv", "2", &error));
+  EXPECT_NE(error.find("does not apply"), std::string::npos) << error;
+  EXPECT_FALSE(ApplyParam(&spec, "workload[0].rps", "-1", &error));
+  EXPECT_FALSE(ApplyParam(&spec, "workload[1].rps", "5", &error));
+  EXPECT_NE(error.find("out of range"), std::string::npos) << error;
+}
+
+TEST(SpecParams, ChaosIntensityScalesLoadPressureOnly)
+{
+  ExperimentSpec spec = TinyBase();
+  spec.chaos()
+      .Surge(Sec(1), 0, 40.0, Sec(2))
+      .Overload(Sec(1), 0, 4.0, Sec(2))
+      .InflateColdStarts(Sec(1), 2.5, Sec(2))
+      .FailNode(Sec(2), 1);
+  std::string error;
+  ASSERT_TRUE(ApplyParam(&spec, "chaos.intensity", "2", &error)) << error;
+  const auto& events = spec.chaos().events();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_DOUBLE_EQ(events[0].magnitude, 80.0);  // surge: extra-rps x2
+  EXPECT_DOUBLE_EQ(events[1].magnitude, 7.0);   // overload: 1+(4-1)*2
+  EXPECT_DOUBLE_EQ(events[2].magnitude, 4.0);   // inflation: 1+(2.5-1)*2
+  EXPECT_EQ(events[3].kind, chaos::FaultKind::kNodeFail);  // untouched
+
+  // Intensity 1 is the identity.
+  ExperimentSpec one = TinyBase();
+  one.chaos().Overload(Sec(1), 0, 4.0, Sec(2));
+  ASSERT_TRUE(ApplyParam(&one, "chaos.intensity", "1", &error));
+  EXPECT_DOUBLE_EQ(one.chaos().events()[0].magnitude, 4.0);
+  EXPECT_FALSE(ApplyParam(&one, "chaos.intensity", "0", &error));
+}
+
+TEST(SpecParams, RunForAndUnknownPaths)
+{
+  ExperimentSpec spec = TinyBase();
+  std::string error;
+  ASSERT_TRUE(ApplyParam(&spec, "run.for", "90s", &error));
+  EXPECT_EQ(spec.run_for(), Sec(90));
+  EXPECT_FALSE(ApplyParam(&spec, "run.for", "0s", &error));
+  EXPECT_FALSE(ApplyParam(&spec, "nonsense.path", "1", &error));
+  EXPECT_NE(error.find("unknown parameter path"), std::string::npos);
+}
+
+// --- expansion -------------------------------------------------------
+
+TEST(SweepExpansion, RowMajorOrderWithSeedsInnermost)
+{
+  SweepSpec sweep("grid");
+  sweep.Base("tiny")
+      .Seeds(2, 10)
+      .Axis("cluster.recovery", {"joint", "greedy"})
+      .Axis("workload[0].rps", {"5", "10", "15"});
+  SweepMatrix matrix;
+  std::string error;
+  ASSERT_TRUE(ExpandSweep(sweep, TinyBase(), &matrix, &error)) << error;
+  ASSERT_EQ(matrix.runs.size(), 12u);
+  EXPECT_EQ(matrix.cells, 6u);
+
+  // First axis outermost, seed repetitions innermost.
+  EXPECT_EQ(matrix.runs[0].values,
+            (std::vector<std::string>{"joint", "5"}));
+  EXPECT_EQ(matrix.runs[0].seed, 10u);
+  EXPECT_EQ(matrix.runs[1].values,
+            (std::vector<std::string>{"joint", "5"}));
+  EXPECT_EQ(matrix.runs[1].seed, 11u);
+  EXPECT_EQ(matrix.runs[2].values,
+            (std::vector<std::string>{"joint", "10"}));
+  EXPECT_EQ(matrix.runs[2].cell, 1u);
+  EXPECT_EQ(matrix.runs[6].values,
+            (std::vector<std::string>{"greedy", "5"}));
+  EXPECT_EQ(matrix.runs[11].values,
+            (std::vector<std::string>{"greedy", "15"}));
+  // Repetition k of every cell carries the same seed (paired).
+  EXPECT_EQ(matrix.runs[6].seed, 10u);
+  EXPECT_EQ(matrix.runs[7].seed, 11u);
+  // The axis values really landed in each cell's spec.
+  EXPECT_EQ(*matrix.runs[0].spec.cluster().recovery, "joint");
+  EXPECT_DOUBLE_EQ(matrix.runs[11].spec.workloads()[0].rps, 15.0);
+}
+
+TEST(SweepExpansion, ClearsExportAndInterceptsRunShards)
+{
+  ExperimentSpec base = TinyBase();
+  base.ExportTo("/tmp/should_not_export");
+  SweepSpec sweep("shards");
+  sweep.Base("tiny").Axis("run.shards", {"1", "2"});
+  SweepMatrix matrix;
+  std::string error;
+  ASSERT_TRUE(ExpandSweep(sweep, base, &matrix, &error)) << error;
+  ASSERT_EQ(matrix.runs.size(), 2u);
+  EXPECT_EQ(matrix.runs[0].shards, 1);
+  EXPECT_EQ(matrix.runs[1].shards, 2);
+  for (const auto& run : matrix.runs) {
+    EXPECT_TRUE(run.spec.export_prefix().empty());
+  }
+
+  SweepSpec bad("shards");
+  bad.Base("tiny").Axis("run.shards", {"0"});
+  EXPECT_FALSE(ExpandSweep(bad, base, &matrix, &error));
+  EXPECT_NE(error.find("run.shards"), std::string::npos) << error;
+}
+
+TEST(SweepExpansion, RejectsBadAxisValuesNamingTheAxis)
+{
+  SweepSpec sweep("bad");
+  sweep.Base("tiny").Axis("cluster.recovery", {"joint", "magic"});
+  SweepMatrix matrix;
+  std::string error;
+  EXPECT_FALSE(ExpandSweep(sweep, TinyBase(), &matrix, &error));
+  EXPECT_NE(error.find("cluster.recovery"), std::string::npos) << error;
+  EXPECT_NE(error.find("magic"), std::string::npos) << error;
+}
+
+TEST(SweepExpansion, CapsTheMatrixSize)
+{
+  SweepSpec sweep("huge");
+  sweep.Base("tiny").Seeds(20000);
+  std::vector<std::string> values;
+  for (int i = 1; i <= 51; ++i) values.push_back(std::to_string(i));
+  sweep.Axis("workload[0].rps", values);  // 51 * 20000 > 1000000
+  SweepMatrix matrix;
+  std::string error;
+  EXPECT_FALSE(ExpandSweep(sweep, TinyBase(), &matrix, &error));
+  EXPECT_NE(error.find("cap"), std::string::npos) << error;
+}
+
+// --- aggregation + thresholds over synthetic results -----------------
+
+/** Synthetic per-run result with the fields the metrics read. */
+ExperimentResult
+FakeResult(double availability, double p99, std::int64_t shed)
+{
+  ExperimentResult r;
+  r.overall_availability_percent = availability;
+  r.total_shed = shed;
+  experiment::FunctionResult f;
+  f.type = TaskType::kInference;
+  f.p99_ms = p99;
+  r.functions.push_back(f);
+  return r;
+}
+
+TEST(SweepAggregate, FoldsCellsAndEvaluatesThresholds)
+{
+  SweepSpec sweep("agg");
+  sweep.Base("tiny")
+      .Seeds(3)
+      .Axis("cluster.recovery", {"joint", "greedy"})
+      .Require("availability", ThresholdOp::kGe, 99.0)
+      .Require("p99_ms", ThresholdOp::kLe, 1.5, /*relative=*/true);
+  // Cell 0 (joint): availability {100, 99.5, 99.9}, p99 {100, 110, 120}.
+  // Cell 1 (greedy): availability {99.4, 99.2, 99.6}, p99 {150, 160, 170}.
+  const std::vector<ExperimentResult> results = {
+      FakeResult(100.0, 100.0, 0), FakeResult(99.5, 110.0, 0),
+      FakeResult(99.9, 120.0, 0),  FakeResult(99.4, 150.0, 2),
+      FakeResult(99.2, 160.0, 4),  FakeResult(99.6, 170.0, 6),
+  };
+  const SweepReport report = AggregateSweep(sweep, results);
+  ASSERT_EQ(report.cells.size(), 2u);
+
+  const auto& names = sweep::SweepMetricNames();
+  const std::size_t avail = 0;
+  ASSERT_EQ(names[avail], "availability");
+  std::size_t p99 = 0;
+  while (names[p99] != "p99_ms") ++p99;
+  std::size_t shed = 0;
+  while (names[shed] != "shed") ++shed;
+
+  EXPECT_NEAR(report.cells[0].metrics[avail].mean, 99.8, 1e-9);
+  EXPECT_NEAR(report.cells[0].metrics[avail].min, 99.5, 1e-9);
+  EXPECT_NEAR(report.cells[0].metrics[avail].max, 100.0, 1e-9);
+  EXPECT_NEAR(report.cells[1].metrics[p99].mean, 160.0, 1e-9);
+  EXPECT_NEAR(report.cells[1].metrics[shed].mean, 4.0, 1e-9);
+  EXPECT_GT(report.cells[0].metrics[avail].ci95, 0.0);
+
+  // availability >= 99 passes (worst cell mean 99.4); p99 <= 1.5x
+  // baseline: 160 <= 1.5 * 110 = 165 passes.
+  ASSERT_EQ(report.thresholds.size(), 2u);
+  EXPECT_TRUE(report.thresholds[0].pass);
+  EXPECT_EQ(report.thresholds[0].worst_cell, 1u);
+  EXPECT_NEAR(report.thresholds[0].observed, 99.4, 1e-9);
+  EXPECT_TRUE(report.thresholds[1].pass);
+  EXPECT_NEAR(report.thresholds[1].bound, 165.0, 1e-9);
+  EXPECT_TRUE(report.pass);
+
+  // Tighten the relative bound: 160 <= 1.2 * 110 = 132 fails.
+  SweepSpec failing("agg");
+  failing.Base("tiny")
+      .Seeds(3)
+      .Axis("cluster.recovery", {"joint", "greedy"})
+      .Require("p99_ms", ThresholdOp::kLe, 1.2, /*relative=*/true);
+  const SweepReport failed = AggregateSweep(failing, results);
+  ASSERT_EQ(failed.thresholds.size(), 1u);
+  EXPECT_FALSE(failed.thresholds[0].pass);
+  EXPECT_FALSE(failed.pass);
+  EXPECT_NE(failed.ToJson().find("\"pass\": false"), std::string::npos);
+}
+
+TEST(SweepAggregate, JsonAndCsvCarrySchemaAndCells)
+{
+  SweepSpec sweep("fmt");
+  sweep.Base("tiny").Seeds(2).Axis("workload[0].rps", {"5", "10"});
+  const std::vector<ExperimentResult> results = {
+      FakeResult(100, 10, 0), FakeResult(100, 12, 0),
+      FakeResult(99, 20, 1), FakeResult(98, 22, 3)};
+  const SweepReport report = AggregateSweep(sweep, results);
+  const std::string json = report.ToJson();
+  EXPECT_NE(json.find("\"schema\": \"dilu-sweep/1\""), std::string::npos);
+  EXPECT_NE(json.find("\"point\": {\"workload[0].rps\": \"10\"}"),
+            std::string::npos);
+  const std::string csv = report.CellsCsv();
+  EXPECT_NE(csv.find("cell,workload[0].rps,runs,availability_mean"),
+            std::string::npos);
+  EXPECT_NE(csv.find("\n1,10,2,98.500000"), std::string::npos);
+}
+
+// --- end to end: the checked-in mini sweep ---------------------------
+
+struct MiniSweep {
+  SweepSpec sweep;
+  ExperimentSpec base;
+};
+
+MiniSweep
+LoadMiniSweep()
+{
+  MiniSweep m;
+  std::string error;
+  const std::string sweep_text = ReadFileOrEmpty(
+      std::string(DILU_EXPERIMENTS_DIR) + "/sweeps/mini.sweep");
+  EXPECT_TRUE(SweepSpec::Parse(sweep_text, &m.sweep, &error)) << error;
+  const std::string base_text = ReadFileOrEmpty(
+      std::string(DILU_EXPERIMENTS_DIR) + "/" + m.sweep.base() + ".exp");
+  EXPECT_TRUE(ExperimentSpec::Parse(base_text, &m.base, &error)) << error;
+  return m;
+}
+
+TEST(SweepEndToEnd, MiniSweepIsByteIdenticalAcrossThreadsAndReruns)
+{
+  const MiniSweep m = LoadMiniSweep();
+  SweepReport serial;
+  SweepReport parallel;
+  SweepReport rerun;
+  std::string error;
+  ASSERT_TRUE(RunSweep(m.sweep, m.base, 1, &serial, &error)) << error;
+  ASSERT_TRUE(RunSweep(m.sweep, m.base, 4, &parallel, &error)) << error;
+  ASSERT_TRUE(RunSweep(m.sweep, m.base, 4, &rerun, &error)) << error;
+  EXPECT_EQ(serial.ToJson(), parallel.ToJson());
+  EXPECT_EQ(serial.CellsCsv(), parallel.CellsCsv());
+  EXPECT_EQ(parallel.ToJson(), rerun.ToJson());
+  EXPECT_TRUE(serial.pass);
+}
+
+TEST(SweepEndToEnd, MiniSweepMatchesGoldenReport)
+{
+  const MiniSweep m = LoadMiniSweep();
+  SweepReport report;
+  std::string error;
+  ASSERT_TRUE(RunSweep(m.sweep, m.base, 2, &report, &error)) << error;
+  const std::string json_path =
+      std::string(DILU_GOLDEN_DIR) + "/sweep_mini_golden.json";
+  const std::string csv_path =
+      std::string(DILU_GOLDEN_DIR) + "/sweep_mini_golden_cells.csv";
+  if (std::getenv("DILU_REGEN_GOLDEN") != nullptr) {
+    std::ofstream(json_path, std::ios::binary) << report.ToJson();
+    std::ofstream(csv_path, std::ios::binary) << report.CellsCsv();
+    GTEST_SKIP() << "golden regenerated into " << json_path;
+  }
+  EXPECT_EQ(report.ToJson(), ReadFileOrEmpty(json_path))
+      << "experiments/sweeps/mini.sweep drifted from its golden; "
+         "regenerate with DILU_REGEN_GOLDEN=1 if the change is "
+         "intentional";
+  EXPECT_EQ(report.CellsCsv(), ReadFileOrEmpty(csv_path));
+}
+
+TEST(SweepEndToEnd, ImpossibleThresholdFailsTheVerdict)
+{
+  const MiniSweep m = LoadMiniSweep();
+  SweepSpec strict = m.sweep;
+  strict.Require("availability", ThresholdOp::kGe, 101.0);
+  SweepReport report;
+  std::string error;
+  ASSERT_TRUE(RunSweep(strict, m.base, 2, &report, &error)) << error;
+  EXPECT_FALSE(report.pass);
+  EXPECT_FALSE(report.thresholds.back().pass);
+  // The passing clauses of the checked-in sweep still pass.
+  for (std::size_t i = 0; i + 1 < report.thresholds.size(); ++i) {
+    EXPECT_TRUE(report.thresholds[i].pass) << i;
+  }
+}
+
+TEST(SweepEndToEnd, ShardsAxisRoutesThroughShardedDriver)
+{
+  // A 2-shard cell must produce the same *kind* of report as 1-shard
+  // (and the whole matrix must still be deterministic across threads).
+  // Two deploys on two nodes so each shard owns real work.
+  ExperimentSpec base("twin");
+  base.cluster().nodes = 2;
+  base.AddInference("bert-base").provision = 1;
+  base.AddInference("roberta-large").provision = 1;
+  base.AddPoisson(0, 10.0, Sec(5));
+  base.AddPoisson(1, 10.0, Sec(5));
+  base.RunFor(Sec(6));
+  SweepSpec sweep("shards");
+  sweep.Base("tiny").Seeds(2).Axis("run.shards", {"1", "2"});
+  SweepReport a;
+  SweepReport b;
+  std::string error;
+  ASSERT_TRUE(RunSweep(sweep, base, 1, &a, &error)) << error;
+  ASSERT_TRUE(RunSweep(sweep, base, 4, &b, &error)) << error;
+  EXPECT_EQ(a.ToJson(), b.ToJson());
+  ASSERT_EQ(a.cells.size(), 2u);
+  // Both drivers served traffic.
+  std::size_t completed = 0;
+  const auto& names = sweep::SweepMetricNames();
+  while (names[completed] != "completed") ++completed;
+  EXPECT_GT(a.cells[0].metrics[completed].mean, 0.0);
+  EXPECT_GT(a.cells[1].metrics[completed].mean, 0.0);
+}
+
+// --- gallery listing -------------------------------------------------
+
+TEST(Gallery, ListsExperimentsSortedWithDescriptions)
+{
+  const auto entries =
+      experiment::ListGallery(DILU_EXPERIMENTS_DIR, ".exp");
+  ASSERT_GE(entries.size(), 10u);
+  for (std::size_t i = 1; i < entries.size(); ++i) {
+    EXPECT_LT(entries[i - 1].name, entries[i].name);
+  }
+  bool found = false;
+  for (const auto& e : entries) {
+    if (e.name != "quickstart") continue;
+    found = true;
+    EXPECT_NE(e.description.find("quickstart scenario as data"),
+              std::string::npos)
+        << e.description;
+  }
+  EXPECT_TRUE(found);
+  const std::string listing = experiment::FormatGallery(entries);
+  EXPECT_NE(listing.find("  quickstart"), std::string::npos);
+}
+
+TEST(Gallery, ListsSweepGalleryAndHandlesMissingDir)
+{
+  const auto sweeps = experiment::ListGallery(
+      std::string(DILU_EXPERIMENTS_DIR) + "/sweeps", ".sweep");
+  ASSERT_GE(sweeps.size(), 4u);
+  bool found = false;
+  for (const auto& e : sweeps) found = found || e.name == "mini";
+  EXPECT_TRUE(found);
+  EXPECT_TRUE(
+      experiment::ListGallery("/nonexistent/dir", ".exp").empty());
+  EXPECT_EQ(experiment::FormatGallery({}), "");
+}
+
+}  // namespace
+}  // namespace dilu

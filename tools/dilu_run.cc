@@ -4,6 +4,7 @@
  *
  *   dilu_run <spec.exp> [--seed N] [--out FILE] [--export PREFIX]
  *            [--shards N] [--threads N] [--barrier-ms N] [--print]
+ *   dilu_run --list [DIR]
  *
  *  --seed N         override the spec's cluster seed (all derived
  *                   workload / chaos streams re-key from it)
@@ -18,6 +19,9 @@
  *  --barrier-ms N   time-barrier window in ms (default 100)
  *  --print          print the canonical spec text and exit (lint /
  *                   round-trip check; no simulation)
+ *  --list [DIR]     list the `.exp` gallery under DIR (default
+ *                   experiments/) with each file's one-line
+ *                   description, and exit
  *
  * Two runs of the same spec + seed emit byte-identical JSON (the CI
  * experiment-smoke job diffs exactly that); a sharded run's JSON is
@@ -33,6 +37,7 @@
 #include <string>
 
 #include "experiment/experiment.h"
+#include "experiment/gallery.h"
 #include "experiment/sharded_experiment.h"
 
 namespace {
@@ -45,9 +50,24 @@ Usage(const char* argv0)
   std::fprintf(stderr,
                "usage: %s <spec.exp> [--seed N] [--out FILE] "
                "[--export PREFIX] [--shards N] [--threads N] "
-               "[--barrier-ms N] [--print]\n",
-               argv0);
+               "[--barrier-ms N] [--print]\n"
+               "       %s --list [DIR]\n",
+               argv0, argv0);
   return 2;
+}
+
+int
+ListGalleryDir(const std::string& dir)
+{
+  const std::vector<experiment::GalleryEntry> entries =
+      experiment::ListGallery(dir, ".exp");
+  if (entries.empty()) {
+    std::fprintf(stderr, "no .exp specs under %s\n", dir.c_str());
+    return 1;
+  }
+  std::fprintf(stdout, "experiments under %s:\n%s", dir.c_str(),
+               experiment::FormatGallery(entries).c_str());
+  return 0;
 }
 
 }  // namespace
@@ -63,6 +83,10 @@ main(int argc, char** argv)
   int threads = 1;
   long barrier_ms = 100;
   bool print_only = false;
+  if (argc >= 2 && std::strcmp(argv[1], "--list") == 0) {
+    if (argc > 3) return Usage(argv[0]);
+    return ListGalleryDir(argc == 3 ? argv[2] : "experiments");
+  }
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
       seed = static_cast<std::uint64_t>(

@@ -57,7 +57,8 @@ const std::vector<RuleInfo> kRules = {
 // Files exempt from `getenv` (the golden regen knobs).
 const char* kGetenvExceptions[] = {"tests/trace_golden_test.cc",
                                    "tests/overload_test.cc",
-                                   "tests/fabric_test.cc"};
+                                   "tests/fabric_test.cc",
+                                   "tests/sweep_test.cc"};
 
 // Files where `seed == 0` sentinel logic is sanctioned and documented
 // (docs/STATIC_ANALYSIS.md "seed 0 semantics"). bench/bench_harness.cc
